@@ -1,0 +1,91 @@
+//! **Extension experiment** — corrupted clients and robust aggregation.
+//!
+//! The paper scopes out "corrupted updates by the clients" (§1.1). Here a
+//! fraction of clients flip their training labels (a classic data-poisoning
+//! model) and we measure how the honest clients' accuracy degrades under:
+//!
+//! * plain Sub-FedAvg intersection averaging, and
+//! * the trimmed-mean variant (`SubFedAvgOptions::trim = 1`), which drops
+//!   the extreme contribution per side at every parameter position.
+//!
+//! Expected shape: poisoning hurts; trimming recovers part of the loss at
+//! low corruption rates and cannot fix majority corruption.
+
+use subfed_bench::{bench_un_controller, scale, DatasetKind};
+use subfed_core::algorithms::{FedAvg, SubFedAvgOptions, SubFedAvgUn};
+use subfed_core::{FedConfig, FederatedAlgorithm, Federation};
+use subfed_data::corrupt::flip_labels;
+use subfed_metrics::report::Table;
+
+fn poisoned_federation(corrupt_frac: f32) -> (Federation, Vec<usize>) {
+    let s = scale();
+    let clients = DatasetKind::Mnist.clients(s.clients, 777);
+    let (clients, report) = flip_labels(&clients, 10, corrupt_frac, 777);
+    let fed = Federation::new(
+        DatasetKind::Mnist.spec(),
+        clients,
+        FedConfig {
+            rounds: s.rounds,
+            sample_frac: 0.5,
+            local_epochs: s.local_epochs,
+            eval_every: s.rounds,
+            seed: 777,
+            ..Default::default()
+        },
+    );
+    (fed, report.corrupted)
+}
+
+fn subfedavg(corrupt_frac: f32, trim: usize) -> (SubFedAvgUn, Vec<usize>) {
+    let (fed, corrupted) = poisoned_federation(corrupt_frac);
+    let algo = SubFedAvgUn::with_controller(fed, bench_un_controller(0.5))
+        .with_options(SubFedAvgOptions { trim, ..Default::default() });
+    (algo, corrupted)
+}
+
+/// Mean accuracy over the *honest* clients only.
+fn honest_accuracy(h: &subfed_core::History, corrupted: &[usize]) -> f32 {
+    let last = h.records.iter().rev().find(|r| !r.per_client_acc.is_empty());
+    let Some(last) = last else { return 0.0 };
+    let honest: Vec<f32> = last
+        .per_client_acc
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !corrupted.contains(i))
+        .map(|(_, &a)| a)
+        .collect();
+    honest.iter().sum::<f32>() / honest.len().max(1) as f32
+}
+
+fn main() {
+    println!("Extension — label-flipping clients vs robust aggregation\n");
+    let mut table = Table::new(
+        "honest-client accuracy under data poisoning (MNIST stand-in)",
+        &[
+            "corrupted clients",
+            "FedAvg",
+            "Sub-FedAvg (plain)",
+            "Sub-FedAvg (trim=1)",
+        ],
+    );
+    for &frac in &[0.0f32, 0.2, 0.4] {
+        let (fed, corrupted) = poisoned_federation(frac);
+        let hf = FedAvg::new(fed).run();
+        let (mut plain, _) = subfedavg(frac, 0);
+        let hp = plain.run();
+        let (mut robust, _) = subfedavg(frac, 1);
+        let hr = robust.run();
+        table.row(&[
+            format!("{:.0}%", 100.0 * frac),
+            format!("{:.1}%", 100.0 * honest_accuracy(&hf, &corrupted)),
+            format!("{:.1}%", 100.0 * honest_accuracy(&hp, &corrupted)),
+            format!("{:.1}%", 100.0 * honest_accuracy(&hr, &corrupted)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape: FedAvg (single shared model) absorbs the poison directly;\n\
+         Sub-FedAvg's personalized subnetworks isolate honest clients from it, and\n\
+         trimmed aggregation adds a further safety margin at minority corruption."
+    );
+}

@@ -1,0 +1,78 @@
+//! **Extension experiment** — structured pruning vs network depth.
+//!
+//! §3.5 of the paper: "Structured pruning is more effective when the depth
+//! of the neural network of clients are sufficiently large." This bench
+//! runs Sub-FedAvg (Hy) at the same channel target on the paper's shallow
+//! LeNet-5 (2 conv blocks) and the deeper VGG-lite extension architecture
+//! (4 conv blocks), comparing the conv-FLOP reduction the same policy buys
+//! and the accuracy retained.
+
+use subfed_bench::{bench_hy_controller, scale, DatasetKind};
+use subfed_core::algorithms::SubFedAvgHy;
+use subfed_core::{FedConfig, FederatedAlgorithm, Federation};
+use subfed_metrics::flops::{conv_flop_reduction, dense_conv_flops};
+use subfed_metrics::report::Table;
+use subfed_nn::models::ModelSpec;
+
+fn run(spec: ModelSpec) -> (f64, f32, f32) {
+    let s = scale();
+    let clients = DatasetKind::Cifar10.clients(s.clients, 4040);
+    let fed = Federation::new(
+        spec,
+        clients,
+        FedConfig {
+            rounds: s.rounds,
+            sample_frac: 0.5,
+            local_epochs: s.local_epochs,
+            eval_every: s.rounds,
+            seed: 4040,
+            ..Default::default()
+        },
+    );
+    let mut algo = SubFedAvgHy::with_controller(fed, bench_hy_controller(0.5, 0.5));
+    let h = algo.run();
+    let mean_reduction = algo
+        .final_channels()
+        .iter()
+        .map(|m| conv_flop_reduction(&spec, m))
+        .sum::<f64>()
+        / algo.final_channels().len().max(1) as f64;
+    (mean_reduction, h.final_pruned_channels(), h.final_avg_acc())
+}
+
+fn main() {
+    println!("Extension — structured pruning vs depth (CIFAR-10 stand-in)\n");
+    let shallow = ModelSpec::lenet5(3, 16, 16, 10);
+    let deep = ModelSpec::vgg_lite(3, 16, 16, 10);
+    let mut table = Table::new(
+        "Sub-FedAvg (Hy) @ 50% channels, same policy on two depths",
+        &[
+            "architecture",
+            "conv blocks",
+            "dense conv FLOPs",
+            "channels pruned",
+            "mean FLOP reduction",
+            "accuracy",
+        ],
+    );
+    for (name, spec, blocks) in
+        [("LeNet-5 (paper)", shallow, 2usize), ("VGG-lite (deeper)", deep, 4)]
+    {
+        let (reduction, pruned, acc) = run(spec);
+        table.row(&[
+            name.into(),
+            blocks.to_string(),
+            dense_conv_flops(&spec).to_string(),
+            format!("{:.0}%", 100.0 * pruned),
+            format!("{reduction:.2}x"),
+            format!("{:.1}%", 100.0 * acc),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape (paper §3.5): pruning channels is far better *tolerated* by\n\
+         the deeper network — it keeps its accuracy at the same channel policy,\n\
+         while the shallow LeNet-5 (where each channel carries a large share of\n\
+         the representation) loses accuracy for its FLOP savings."
+    );
+}

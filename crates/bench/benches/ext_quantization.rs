@@ -1,0 +1,62 @@
+//! **Extension experiment** — mask-based vs value-based compression.
+//!
+//! The paper's related work reduces communication by compressing values
+//! (sketched updates, gradient compression); Sub-FedAvg reduces it by
+//! sending fewer values. This bench puts both on the same federation:
+//!
+//! * FedAvg with dense fp32 transfers (the reference),
+//! * FedAvg with lossy int8-quantised transfers (≈4× cheaper per round),
+//! * Sub-FedAvg (Un) @ 50% (lossless masked transfers, personalized).
+//!
+//! Expected shape: int8 cuts FedAvg's bytes 4× at some accuracy cost but
+//! inherits all of FedAvg's non-IID failure; Sub-FedAvg is both cheaper
+//! than dense FedAvg *and* far more accurate, because its compression and
+//! its personalization are the same mechanism.
+
+use subfed_bench::{bench_un_controller, federation, scale, DatasetKind};
+use subfed_core::algorithms::{FedAvg, SubFedAvgUn};
+use subfed_core::{FederatedAlgorithm, History};
+use subfed_metrics::comm::human_bytes;
+use subfed_metrics::report::Table;
+
+fn main() {
+    let s = scale();
+    println!("Extension — value quantisation vs subnetwork masking\n");
+    let mut table = Table::new(
+        "compression strategies on the same federation (MNIST stand-in)",
+        &["variant", "final accuracy", "total comm", "per-round bytes vs dense"],
+    );
+    let runs: Vec<(String, History)> = vec![
+        {
+            let mut a = FedAvg::new(federation(DatasetKind::Mnist, s, s.rounds, 42));
+            (a.name(), a.run())
+        },
+        {
+            let mut a = FedAvg::new(federation(DatasetKind::Mnist, s, s.rounds, 42)).quantized();
+            (a.name(), a.run())
+        },
+        {
+            let mut a = SubFedAvgUn::with_controller(
+                federation(DatasetKind::Mnist, s, s.rounds, 42),
+                bench_un_controller(0.5),
+            );
+            (a.name(), a.run())
+        },
+    ];
+    let dense_bytes = runs[0].1.total_bytes() as f64;
+    for (name, h) in &runs {
+        table.row(&[
+            name.clone(),
+            format!("{:.1}%", 100.0 * h.final_avg_acc()),
+            human_bytes(h.total_bytes()),
+            format!("{:.2}x", h.total_bytes() as f64 / dense_bytes),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape: int8 compresses FedAvg ~4x but keeps its non-IID failure;\n\
+         Sub-FedAvg is cheaper than dense FedAvg AND dramatically more accurate —\n\
+         the paper's point that pruning attacks communication and personalization\n\
+         with one mechanism."
+    );
+}

@@ -1,0 +1,46 @@
+//! **Figure 1** — test accuracy vs pruning percentage for sampled clients
+//! (Sub-FedAvg (Un), LeNet-5, CIFAR-10 stand-in).
+//!
+//! One long run toward a high target sparsity; each evaluated round yields
+//! every client a `(its pruned %, its accuracy)` point. The paper's shape:
+//! accuracy holds or *rises* through moderate sparsity (common parameters
+//! go first) and degrades at extreme sparsity (personal parameters start
+//! being removed).
+
+use subfed_bench::{federation, scale, DatasetKind};
+use subfed_core::algorithms::SubFedAvgUn;
+use subfed_core::FederatedAlgorithm;
+use subfed_metrics::report::render_series;
+use subfed_pruning::UnstructuredController;
+
+fn main() {
+    let mut s = scale();
+    s.rounds = (s.rounds * 3 / 2).max(6); // long enough to reach deep sparsity
+    let fed = federation(DatasetKind::Cifar10, s, 1, 4242);
+    let mut controller = UnstructuredController::paper_defaults(0.9);
+    controller.rate = 0.15; // the paper prunes 5-10% per iteration
+    controller.acc_threshold = 0.3;
+    let n_clients = s.clients;
+    let mut algo = SubFedAvgUn::with_controller(fed, controller);
+    println!("Figure 1 — per-client accuracy vs pruning %, {}\n", algo.name());
+    let h = algo.run();
+
+    // Sample a handful of clients, as the figure does.
+    let sampled: Vec<usize> = (0..n_clients).step_by((n_clients / 5).max(1)).take(5).collect();
+    for &c in &sampled {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for r in &h.records {
+            if r.avg_acc.is_some() && c < r.per_client_acc.len() && c < r.per_client_pruned.len()
+            {
+                xs.push(100.0 * r.per_client_pruned[c]);
+                ys.push(100.0 * r.per_client_acc[c]);
+            }
+        }
+        print!("{}", render_series(&format!("client {c} (x = pruned %, y = acc %)"), &xs, &ys));
+    }
+    println!(
+        "\npaper shape: accuracy non-degrading (often rising) up to ~50% sparsity,\n\
+         degrading beyond ~70% as personalized parameters get pruned."
+    );
+}

@@ -1,0 +1,54 @@
+//! **Figure 3** — test accuracy vs communication rounds for the CIFAR-10,
+//! EMNIST, and MNIST stand-ins under statistical heterogeneity.
+//!
+//! Runs FedAvg, LG-FedAvg, MTL, and Sub-FedAvg (Un) with per-round
+//! evaluation and prints each trajectory plus the rounds-to-target
+//! statistic (§4.2.2 claims a 2–10× round reduction for Sub-FedAvg).
+
+use subfed_bench::{bench_un_controller, federation, scale, DatasetKind};
+use subfed_core::algorithms::{FedAvg, FedMtl, LgFedAvg, SubFedAvgUn};
+use subfed_core::{FederatedAlgorithm, History};
+use subfed_metrics::report::{render_series, Table};
+
+fn run(kind: DatasetKind, which: &str) -> History {
+    let mut s = scale();
+    s.rounds = (s.rounds * 3 / 2).max(6);
+    let fed = federation(kind, s, 1, 2025);
+    let mut algo: Box<dyn FederatedAlgorithm> = match which {
+        "FedAvg" => Box::new(FedAvg::new(fed)),
+        "LG-FedAvg" => Box::new(LgFedAvg::new(fed)),
+        "MTL" => Box::new(FedMtl::new(fed, 0.1)),
+        "Sub-FedAvg (Un)" => Box::new(SubFedAvgUn::with_controller(fed, bench_un_controller(0.5))),
+        other => panic!("unknown algorithm {other}"),
+    };
+    algo.run()
+}
+
+fn main() {
+    println!("Figure 3 — accuracy vs communication rounds\n");
+    let algos = ["FedAvg", "LG-FedAvg", "MTL", "Sub-FedAvg (Un)"];
+    for kind in [DatasetKind::Cifar10, DatasetKind::Emnist, DatasetKind::Mnist] {
+        println!("### {}", kind.label());
+        let mut summary = Table::new(
+            format!("rounds to reach accuracy targets — {}", kind.label()),
+            &["algorithm", "final acc", "rounds to 50%", "rounds to 70%"],
+        );
+        for which in algos {
+            let h = run(kind, which);
+            let (xs, ys) = h.accuracy_series();
+            let ys_pct: Vec<f32> = ys.iter().map(|a| a * 100.0).collect();
+            print!("{}", render_series(&format!("{which} (x = round, y = acc %)"), &xs, &ys_pct));
+            summary.row(&[
+                which.into(),
+                format!("{:.1}%", 100.0 * h.final_avg_acc()),
+                h.rounds_to_reach(0.5).map_or("-".into(), |r| r.to_string()),
+                h.rounds_to_reach(0.7).map_or("-".into(), |r| r.to_string()),
+            ]);
+        }
+        println!("{}", summary.render());
+    }
+    println!(
+        "paper shape: Sub-FedAvg reaches its target accuracy in the fewest\n\
+         rounds (2-10x fewer than the dense baselines) and plateaus highest."
+    );
+}

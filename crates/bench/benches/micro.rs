@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the engine's hot paths: convolution
+//! forward/backward, matrix multiply, Sub-FedAvg aggregation, magnitude
+//! mask derivation, and mask bit-packing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use subfed_core::subfedavg_aggregate;
+use subfed_metrics::comm::{pack_mask, unpack_mask};
+use subfed_nn::models::ModelSpec;
+use subfed_nn::{Layer, Mode, ModelMask};
+use subfed_pruning::unstructured::{magnitude_mask, PruneScope, Ranking};
+use subfed_tensor::init::{uniform, SeededRng};
+use subfed_tensor::linalg::matmul;
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let mut conv = subfed_nn::layers::Conv2d::new(3, 6, 5, 1, 0, &mut rng);
+    let x = uniform(&[4, 3, 32, 32], -1.0, 1.0, &mut rng);
+    c.bench_function("conv2d_forward_lenet_block_batch4", |b| {
+        b.iter(|| conv.forward(&x, Mode::Eval))
+    });
+    c.bench_function("conv2d_forward_backward_batch4", |b| {
+        b.iter(|| {
+            let y = conv.forward(&x, Mode::Train);
+            conv.backward(&y)
+        })
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = SeededRng::new(2);
+    let a = uniform(&[128, 128], -1.0, 1.0, &mut rng);
+    let b = uniform(&[128, 128], -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_128x128", |bch| bch.iter(|| matmul(&a, &b)));
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut rng = SeededRng::new(3);
+    let n = 62_000; // paper-scale LeNet-5
+    let global: Vec<f32> = (0..n).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+    let updates: Vec<(Vec<f32>, Vec<f32>)> = (0..10)
+        .map(|_| {
+            let params: Vec<f32> = (0..n).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+            let mask: Vec<f32> =
+                (0..n).map(|_| if rng.uniform_f32(0.0, 1.0) < 0.5 { 1.0 } else { 0.0 }).collect();
+            (params, mask)
+        })
+        .collect();
+    c.bench_function("subfedavg_aggregate_62k_x10", |b| {
+        b.iter(|| subfedavg_aggregate(&global, &updates))
+    });
+}
+
+fn bench_mask_derivation(c: &mut Criterion) {
+    let mut rng = SeededRng::new(4);
+    let model = ModelSpec::lenet5(3, 32, 32, 10).build(&mut rng);
+    let ones = ModelMask::ones_for(&model);
+    c.bench_function("magnitude_mask_lenet5_paper_scale", |b| {
+        b.iter_batched(
+            || ones.clone(),
+            |m| magnitude_mask(&model, &m, 0.1, PruneScope::AllWeights, Ranking::LayerWise),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mask_packing(c: &mut Criterion) {
+    let mut rng = SeededRng::new(5);
+    let mask: Vec<f32> =
+        (0..62_000).map(|_| if rng.uniform_f32(0.0, 1.0) < 0.5 { 1.0 } else { 0.0 }).collect();
+    c.bench_function("pack_unpack_mask_62k", |b| {
+        b.iter(|| {
+            let packed = pack_mask(&mask);
+            unpack_mask(&packed, mask.len())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_conv, bench_matmul, bench_aggregation, bench_mask_derivation, bench_mask_packing
+}
+criterion_main!(benches);

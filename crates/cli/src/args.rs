@@ -1,0 +1,375 @@
+//! Hand-rolled argument parsing for the `subfed` binary.
+
+use subfed_core::presets::{DatasetKind, PartitionKind};
+use subfed_core::FedConfig;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// Local-only training.
+    Standalone,
+    /// Traditional FedAvg.
+    FedAvg,
+    /// FedAvg with a proximal local objective.
+    FedProx,
+    /// Local representations + global head.
+    LgFedAvg,
+    /// Federated multi-task learning.
+    Mtl,
+    /// Sub-FedAvg with unstructured pruning (Algorithm 1).
+    SubFedAvgUn,
+    /// Sub-FedAvg with hybrid pruning (Algorithm 2).
+    SubFedAvgHy,
+}
+
+impl AlgoKind {
+    /// Parses a CLI-style algorithm name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "standalone" => Some(AlgoKind::Standalone),
+            "fedavg" => Some(AlgoKind::FedAvg),
+            "fedprox" => Some(AlgoKind::FedProx),
+            "lg-fedavg" | "lg" => Some(AlgoKind::LgFedAvg),
+            "mtl" => Some(AlgoKind::Mtl),
+            "sub-fedavg-un" | "subfedavg-un" | "un" => Some(AlgoKind::SubFedAvgUn),
+            "sub-fedavg-hy" | "subfedavg-hy" | "hy" => Some(AlgoKind::SubFedAvgHy),
+            _ => None,
+        }
+    }
+
+    /// All parseable names, for the help text.
+    pub fn names() -> &'static str {
+        "standalone | fedavg | fedprox | lg-fedavg | mtl | sub-fedavg-un | sub-fedavg-hy"
+    }
+}
+
+/// A fully parsed `subfed run` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Dataset stand-in.
+    pub dataset: DatasetKind,
+    /// Heterogeneity generator.
+    pub partition: PartitionKind,
+    /// Algorithm.
+    pub algo: AlgoKind,
+    /// Number of clients.
+    pub clients: usize,
+    /// Shared federation config.
+    pub config: FedConfig,
+    /// Unstructured pruning target (Sub-FedAvg).
+    pub target: f32,
+    /// Structured pruning target (Sub-FedAvg (Hy)).
+    pub structured_target: f32,
+    /// Pruning rate per accepted step.
+    pub rate: f32,
+    /// FedProx proximal coefficient.
+    pub mu: f32,
+    /// MTL coupling strength.
+    pub coupling: f32,
+    /// Optional CSV output path for the round history.
+    pub csv: Option<String>,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        Self {
+            dataset: DatasetKind::Mnist,
+            partition: PartitionKind::Pathological,
+            algo: AlgoKind::SubFedAvgUn,
+            clients: 10,
+            config: FedConfig {
+                rounds: 10,
+                sample_frac: 0.5,
+                local_epochs: 3,
+                eval_every: 5,
+                ..Default::default()
+            },
+            target: 0.5,
+            structured_target: 0.5,
+            rate: 0.2,
+            mu: 0.01,
+            coupling: 0.1,
+            csv: None,
+        }
+    }
+}
+
+/// A parsed `subfed info` invocation (partition diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfoSpec {
+    /// Dataset stand-in.
+    pub dataset: DatasetKind,
+    /// Number of clients.
+    pub clients: usize,
+    /// Partition seed.
+    pub seed: u64,
+}
+
+impl Default for InfoSpec {
+    fn default() -> Self {
+        Self { dataset: DatasetKind::Mnist, clients: 10, seed: 42 }
+    }
+}
+
+/// A parsed top-level command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a federated algorithm.
+    Run(RunSpec),
+    /// Print partition diagnostics.
+    Info(InfoSpec),
+    /// Print usage.
+    Help,
+}
+
+/// The `subfed help` text.
+pub fn usage() -> String {
+    format!(
+        "subfed — Sub-FedAvg reproduction CLI\n\
+         \n\
+         USAGE:\n\
+         \x20 subfed run  [--dataset D] [--algo A] [--rounds N] [--clients N]\n\
+         \x20             [--partition P] [--alpha F] [--skew F]\n\
+         \x20             [--sample-frac F] [--epochs N] [--batch N] [--lr F]\n\
+         \x20             [--momentum F] [--seed N] [--eval-every N] [--dropout F]\n\
+         \x20             [--threads N] [--target F] [--structured-target F]\n\
+         \x20             [--rate F] [--mu F] [--coupling F] [--csv PATH]\n\
+         \x20 subfed info [--dataset D] [--clients N] [--seed N]\n\
+         \x20 subfed help\n\
+         \n\
+         DATASETS:   mnist | emnist | cifar10 | cifar100 (synthetic stand-ins)\n\
+         PARTITIONS: pathological | dirichlet (--alpha) | quantity (--skew)\n\
+         ALGOS:      {}\n",
+        AlgoKind::names()
+    )
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+    let v = value.ok_or_else(|| format!("missing value for {flag}"))?;
+    v.parse::<T>().map_err(|_| format!("invalid value for {flag}: {v}"))
+}
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, unknown flags,
+/// missing or malformed values.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" => parse_run(&args[1..]).map(Command::Run),
+        "info" => parse_info(&args[1..]).map(Command::Info),
+        other => Err(format!("unknown command `{other}` (try `subfed help`)")),
+    }
+}
+
+fn parse_run(args: &[String]) -> Result<RunSpec, String> {
+    let mut spec = RunSpec::default();
+    let mut eval_every_set = false;
+    let mut partition_name = String::from("pathological");
+    let mut alpha = 0.5f32;
+    let mut skew = 1.0f32;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        match flag {
+            "--dataset" => {
+                let name: String = parse_value(flag, value)?;
+                spec.dataset = DatasetKind::parse(&name)
+                    .ok_or_else(|| format!("unknown dataset `{name}`"))?;
+            }
+            "--partition" => partition_name = parse_value(flag, value)?,
+            "--alpha" => alpha = parse_value(flag, value)?,
+            "--skew" => skew = parse_value(flag, value)?,
+            "--algo" => {
+                let name: String = parse_value(flag, value)?;
+                spec.algo =
+                    AlgoKind::parse(&name).ok_or_else(|| format!("unknown algo `{name}`"))?;
+            }
+            "--rounds" => spec.config.rounds = parse_value(flag, value)?,
+            "--clients" => spec.clients = parse_value(flag, value)?,
+            "--sample-frac" => spec.config.sample_frac = parse_value(flag, value)?,
+            "--epochs" => spec.config.local_epochs = parse_value(flag, value)?,
+            "--batch" => spec.config.batch_size = parse_value(flag, value)?,
+            "--lr" => spec.config.lr = parse_value(flag, value)?,
+            "--momentum" => spec.config.momentum = parse_value(flag, value)?,
+            "--seed" => spec.config.seed = parse_value(flag, value)?,
+            "--eval-every" => {
+                spec.config.eval_every = parse_value(flag, value)?;
+                eval_every_set = true;
+            }
+            "--dropout" => spec.config.dropout_prob = parse_value(flag, value)?,
+            "--threads" => spec.config.threads = parse_value(flag, value)?,
+            "--target" => spec.target = parse_value(flag, value)?,
+            "--structured-target" => spec.structured_target = parse_value(flag, value)?,
+            "--rate" => spec.rate = parse_value(flag, value)?,
+            "--mu" => spec.mu = parse_value(flag, value)?,
+            "--coupling" => spec.coupling = parse_value(flag, value)?,
+            "--csv" => spec.csv = Some(parse_value::<String>(flag, value)?),
+            other => return Err(format!("unknown flag `{other}` for `subfed run`")),
+        }
+        i += 2;
+    }
+    if !eval_every_set {
+        // Default: evaluate twice — midway and at the end.
+        spec.config.eval_every = (spec.config.rounds / 2).max(1);
+    }
+    spec.partition = match partition_name.to_ascii_lowercase().as_str() {
+        "pathological" | "shards" => PartitionKind::Pathological,
+        "dirichlet" => PartitionKind::Dirichlet { alpha },
+        "quantity" | "quantity-skew" => PartitionKind::QuantitySkew { skew },
+        other => return Err(format!("unknown partition `{other}`")),
+    };
+    Ok(spec)
+}
+
+fn parse_info(args: &[String]) -> Result<InfoSpec, String> {
+    let mut spec = InfoSpec::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        match flag {
+            "--dataset" => {
+                let name: String = parse_value(flag, value)?;
+                spec.dataset = DatasetKind::parse(&name)
+                    .ok_or_else(|| format!("unknown dataset `{name}`"))?;
+            }
+            "--clients" => spec.clients = parse_value(flag, value)?,
+            "--seed" => spec.seed = parse_value(flag, value)?,
+            other => return Err(format!("unknown flag `{other}` for `subfed info`")),
+        }
+        i += 2;
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("--help")).unwrap(), Command::Help);
+        assert!(usage().contains("subfed run"));
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(spec) = parse_args(&argv("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(spec.dataset, DatasetKind::Mnist);
+        assert_eq!(spec.algo, AlgoKind::SubFedAvgUn);
+        assert_eq!(spec.config.rounds, 10);
+        assert_eq!(spec.config.eval_every, 5);
+    }
+
+    #[test]
+    fn run_full_flag_set() {
+        let Command::Run(spec) = parse_args(&argv(
+            "run --dataset cifar10 --algo fedprox --rounds 7 --clients 12 \
+             --sample-frac 0.4 --epochs 2 --batch 8 --lr 0.02 --momentum 0.4 \
+             --seed 9 --eval-every 7 --dropout 0.1 --threads 2 --target 0.6 \
+             --structured-target 0.3 --rate 0.15 --mu 0.05 --coupling 0.2 \
+             --csv /tmp/out.csv",
+        ))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(spec.dataset, DatasetKind::Cifar10);
+        assert_eq!(spec.algo, AlgoKind::FedProx);
+        assert_eq!(spec.config.rounds, 7);
+        assert_eq!(spec.clients, 12);
+        assert_eq!(spec.config.sample_frac, 0.4);
+        assert_eq!(spec.config.local_epochs, 2);
+        assert_eq!(spec.config.batch_size, 8);
+        assert_eq!(spec.config.lr, 0.02);
+        assert_eq!(spec.config.momentum, 0.4);
+        assert_eq!(spec.config.seed, 9);
+        assert_eq!(spec.config.eval_every, 7);
+        assert_eq!(spec.config.dropout_prob, 0.1);
+        assert_eq!(spec.config.threads, 2);
+        assert_eq!(spec.target, 0.6);
+        assert_eq!(spec.structured_target, 0.3);
+        assert_eq!(spec.rate, 0.15);
+        assert_eq!(spec.mu, 0.05);
+        assert_eq!(spec.coupling, 0.2);
+        assert_eq!(spec.csv.as_deref(), Some("/tmp/out.csv"));
+    }
+
+    #[test]
+    fn eval_every_defaults_to_half_rounds() {
+        let Command::Run(spec) = parse_args(&argv("run --rounds 8")).unwrap() else {
+            panic!();
+        };
+        assert_eq!(spec.config.eval_every, 4);
+        let Command::Run(spec1) = parse_args(&argv("run --rounds 1")).unwrap() else {
+            panic!();
+        };
+        assert_eq!(spec1.config.eval_every, 1);
+    }
+
+    #[test]
+    fn info_parses() {
+        let Command::Info(spec) =
+            parse_args(&argv("info --dataset emnist --clients 6 --seed 3")).unwrap()
+        else {
+            panic!("expected info");
+        };
+        assert_eq!(spec.dataset, DatasetKind::Emnist);
+        assert_eq!(spec.clients, 6);
+        assert_eq!(spec.seed, 3);
+    }
+
+    #[test]
+    fn partition_flags() {
+        let Command::Run(spec) =
+            parse_args(&argv("run --partition dirichlet --alpha 0.2")).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(spec.partition, PartitionKind::Dirichlet { alpha: 0.2 });
+        let Command::Run(spec) =
+            parse_args(&argv("run --partition quantity --skew 1.5")).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(spec.partition, PartitionKind::QuantitySkew { skew: 1.5 });
+        let Command::Run(spec) = parse_args(&argv("run")).unwrap() else { panic!() };
+        assert_eq!(spec.partition, PartitionKind::Pathological);
+        assert!(parse_args(&argv("run --partition zipf"))
+            .unwrap_err()
+            .contains("unknown partition"));
+    }
+
+    #[test]
+    fn algo_aliases() {
+        assert_eq!(AlgoKind::parse("un"), Some(AlgoKind::SubFedAvgUn));
+        assert_eq!(AlgoKind::parse("hy"), Some(AlgoKind::SubFedAvgHy));
+        assert_eq!(AlgoKind::parse("LG"), Some(AlgoKind::LgFedAvg));
+        assert_eq!(AlgoKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse_args(&argv("frobnicate")).unwrap_err().contains("unknown command"));
+        assert!(parse_args(&argv("run --bogus 1")).unwrap_err().contains("unknown flag"));
+        assert!(parse_args(&argv("run --rounds")).unwrap_err().contains("missing value"));
+        assert!(parse_args(&argv("run --rounds abc")).unwrap_err().contains("invalid value"));
+        assert!(parse_args(&argv("run --dataset svhn")).unwrap_err().contains("unknown dataset"));
+        assert!(parse_args(&argv("run --algo sgd")).unwrap_err().contains("unknown algo"));
+        assert!(parse_args(&argv("info --rounds 3")).unwrap_err().contains("unknown flag"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # subfed-cli
+//!
+//! The `subfed` command-line driver: run any of the reproduction's
+//! algorithms on any dataset stand-in from a shell, without writing Rust.
+//!
+//! ```text
+//! subfed run --dataset cifar10 --algo sub-fedavg-un --target 0.5 --rounds 10
+//! subfed run --algo fedavg --csv history.csv
+//! subfed info --dataset mnist --clients 16
+//! subfed help
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency budget has
+//! no CLI crate) and fully unit-tested; [`execute`] returns the printable
+//! report so the binary itself stays a three-line shim.
+
+pub mod args;
+pub mod run;
+
+pub use args::{parse_args, AlgoKind, Command, InfoSpec, RunSpec};
+pub use run::execute;

@@ -1,0 +1,12 @@
+//! The `subfed` binary: parse, execute, print.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match subfed_cli::parse_args(&args).and_then(|cmd| subfed_cli::execute(&cmd)) {
+        Ok(out) => print!("{out}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    }
+}

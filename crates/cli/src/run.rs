@@ -1,0 +1,198 @@
+//! Command execution: builds the federation, runs the algorithm, renders
+//! the report.
+
+use crate::args::{usage, AlgoKind, Command, InfoSpec, RunSpec};
+use subfed_core::algorithms::{
+    FedAvg, FedMtl, FedProx, LgFedAvg, Standalone, SubFedAvgHy, SubFedAvgUn,
+};
+use subfed_core::{FederatedAlgorithm, Federation};
+use subfed_data::stats::{label_histogram, mean_labels_per_client};
+use subfed_metrics::comm::human_bytes;
+use subfed_metrics::report::Table;
+use subfed_pruning::{HybridController, UnstructuredController};
+
+fn build_algorithm(spec: &RunSpec, fed: Federation) -> Box<dyn FederatedAlgorithm> {
+    match spec.algo {
+        AlgoKind::Standalone => Box::new(Standalone::new(fed)),
+        AlgoKind::FedAvg => Box::new(FedAvg::new(fed)),
+        AlgoKind::FedProx => Box::new(FedProx::new(fed, spec.mu)),
+        AlgoKind::LgFedAvg => Box::new(LgFedAvg::new(fed)),
+        AlgoKind::Mtl => Box::new(FedMtl::new(fed, spec.coupling)),
+        AlgoKind::SubFedAvgUn => {
+            let mut c = UnstructuredController::paper_defaults(spec.target);
+            c.rate = spec.rate;
+            c.acc_threshold = 0.3;
+            Box::new(SubFedAvgUn::with_controller(fed, c))
+        }
+        AlgoKind::SubFedAvgHy => {
+            let mut c = HybridController::paper_defaults(spec.structured_target, spec.target);
+            c.structured_rate = spec.rate;
+            c.unstructured.rate = spec.rate;
+            c.acc_threshold = 0.3;
+            c.unstructured.acc_threshold = 0.3;
+            Box::new(SubFedAvgHy::with_controller(fed, c))
+        }
+    }
+}
+
+fn execute_run(spec: &RunSpec) -> Result<String, String> {
+    let clients =
+        spec.dataset.clients_with(spec.clients, spec.config.seed, spec.partition);
+    let fed = Federation::new(spec.dataset.spec(), clients, spec.config);
+    let mut algo = build_algorithm(spec, fed);
+    let name = algo.name();
+    let history = algo.run();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{name} on {} — {} clients, {} rounds\n\n",
+        spec.dataset.label(),
+        spec.clients,
+        spec.config.rounds
+    ));
+    let mut table = Table::new("round history", &["round", "accuracy", "sparsity", "comm"]);
+    for r in &history.records {
+        if let Some(acc) = r.avg_acc {
+            table.row(&[
+                r.round.to_string(),
+                format!("{:.1}%", 100.0 * acc),
+                format!("{:.0}%", 100.0 * r.avg_pruned_params),
+                human_bytes(r.cum_bytes),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nfinal: accuracy {:.1}%, sparsity {:.0}%, total communication {}\n",
+        100.0 * history.final_avg_acc(),
+        100.0 * history.final_pruned_params(),
+        human_bytes(history.total_bytes()),
+    ));
+    if let Some(path) = &spec.csv {
+        std::fs::write(path, history.to_csv())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        out.push_str(&format!("history written to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn execute_info(spec: &InfoSpec) -> Result<String, String> {
+    let clients = spec.dataset.clients(spec.clients, spec.seed);
+    let classes = spec.dataset.classes();
+    let mut out = format!(
+        "{} — pathological partition, {} clients (seed {})\n\n",
+        spec.dataset.label(),
+        spec.clients,
+        spec.seed
+    );
+    let mut table =
+        Table::new("clients", &["client", "train", "val", "test", "labels", "histogram"]);
+    for c in &clients {
+        let hist = label_histogram(c, classes);
+        let hist_str: Vec<String> = hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(l, n)| format!("{l}:{n}"))
+            .collect();
+        table.row(&[
+            c.id.to_string(),
+            c.train.len().to_string(),
+            c.val.len().to_string(),
+            c.test.len().to_string(),
+            format!("{:?}", c.labels),
+            hist_str.join(" "),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nmean labels per client: {:.2} (pathological non-IID targets ~2)\n",
+        mean_labels_per_client(&clients)
+    ));
+    Ok(out)
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a message when the run configuration is unusable or output
+/// files cannot be written.
+pub fn execute(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(usage()),
+        Command::Run(spec) => execute_run(spec),
+        Command::Info(spec) => execute_info(spec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+    use subfed_core::presets::DatasetKind;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn quick_run(extra: &str) -> String {
+        let args = argv(&format!(
+            "run --rounds 2 --clients 4 --epochs 1 --seed 3 {extra}"
+        ));
+        let cmd = parse_args(&args).unwrap();
+        execute(&cmd).unwrap()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = execute(&Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn run_every_algorithm_end_to_end() {
+        for algo in ["standalone", "fedavg", "fedprox", "lg-fedavg", "mtl", "un", "hy"] {
+            let out = quick_run(&format!("--algo {algo}"));
+            assert!(out.contains("final: accuracy"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn run_writes_csv() {
+        let path = std::env::temp_dir().join("subfed_cli_test.csv");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = quick_run(&format!("--csv {path_str}"));
+        assert!(out.contains("history written"));
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("round,avg_acc"));
+        assert_eq!(csv.lines().count(), 3); // header + 2 rounds
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_rejects_unwritable_csv() {
+        let cmd = parse_args(&argv(
+            "run --rounds 1 --clients 4 --epochs 1 --csv /nonexistent-dir/x.csv",
+        ))
+        .unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.contains("cannot write"));
+    }
+
+    #[test]
+    fn info_reports_partition() {
+        let cmd = parse_args(&argv("info --dataset cifar10 --clients 6 --seed 2")).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("CIFAR-10*"));
+        assert!(out.contains("mean labels per client"));
+        // Header row + one row per client.
+        let rows = out.lines().filter(|l| l.starts_with("| ")).count();
+        assert_eq!(rows, 7);
+    }
+
+    #[test]
+    fn dataset_flag_reaches_the_run() {
+        let out = quick_run("--dataset emnist --algo fedavg");
+        assert!(out.contains(DatasetKind::Emnist.label()));
+    }
+}

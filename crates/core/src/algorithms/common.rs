@@ -1,0 +1,52 @@
+//! Helpers shared by the algorithm implementations.
+
+use crate::{Federation, History, RoundRecord};
+
+/// Whether `round` (1-based) is an evaluation round.
+pub(crate) fn is_eval_round(fed: &Federation, round: usize) -> bool {
+    round.is_multiple_of(fed.config().eval_every) || round == fed.config().rounds
+}
+
+/// Evaluates every client's flat model (when due) and appends the round
+/// record.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_round(
+    history: &mut History,
+    fed: &Federation,
+    round: usize,
+    flats: &[Vec<f32>],
+    cum_bytes: u64,
+    avg_pruned_params: f32,
+    avg_pruned_channels: f32,
+    per_client_pruned: Vec<f32>,
+) {
+    let (avg_acc, per_client_acc) = if is_eval_round(fed, round) {
+        let accs = fed.evaluate_clients(flats);
+        let mean = accs.iter().sum::<f32>() / accs.len() as f32;
+        (Some(mean), accs)
+    } else {
+        (None, Vec::new())
+    };
+    history.push(RoundRecord {
+        round,
+        avg_acc,
+        per_client_acc,
+        per_client_pruned,
+        cum_bytes,
+        avg_pruned_params,
+        avg_pruned_channels,
+    });
+}
+
+/// Applies a flat 0/1 mask to a flat parameter vector in place.
+pub(crate) fn apply_flat_mask(flat: &mut [f32], mask: &[f32]) {
+    debug_assert_eq!(flat.len(), mask.len());
+    for (v, &m) in flat.iter_mut().zip(mask.iter()) {
+        *v *= m;
+    }
+}
+
+/// Number of kept (non-zero) entries of a flat mask.
+pub(crate) fn kept_count(mask: &[f32]) -> usize {
+    mask.iter().filter(|&&m| m != 0.0).count()
+}

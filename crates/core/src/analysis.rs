@@ -1,0 +1,282 @@
+//! Post-hoc analysis of personalized subnetworks — the tooling behind the
+//! paper's **Client Subnetwork Observation** (§3.1): clients with similar
+//! labels end up with similar masks, without sharing data.
+
+use subfed_data::stats::label_jaccard;
+use subfed_data::ClientData;
+use subfed_nn::ModelMask;
+use subfed_pruning::ChannelMask;
+
+/// Jaccard similarity of two clients' kept-channel sets (the structured
+/// analogue of [`mask_jaccard`], for Sub-FedAvg (Hy) runs).
+///
+/// # Panics
+///
+/// Panics if the block structures differ.
+pub fn channel_jaccard(a: &ChannelMask, b: &ChannelMask) -> f32 {
+    assert_eq!(a.keep().len(), b.keep().len(), "block count mismatch");
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (ba, bb) in a.keep().iter().zip(b.keep()) {
+        assert_eq!(ba.len(), bb.len(), "channel count mismatch");
+        for (&x, &y) in ba.iter().zip(bb) {
+            if x && y {
+                inter += 1;
+            }
+            if x || y {
+                union += 1;
+            }
+        }
+    }
+    if union == 0 {
+        0.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+/// Jaccard similarity of two masks' kept weight sets, restricted to the
+/// prunable weights (conv + FC kernels).
+///
+/// # Panics
+///
+/// Panics if the masks have different layouts.
+pub fn mask_jaccard(a: &ModelMask, b: &ModelMask) -> f32 {
+    assert_eq!(a.tensors().len(), b.tensors().len(), "mask layout mismatch");
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for ((ta, tb), &kind) in a.tensors().iter().zip(b.tensors()).zip(a.kinds()) {
+        if !kind.is_prunable_weight() {
+            continue;
+        }
+        for (&x, &y) in ta.data().iter().zip(tb.data()) {
+            let (kx, ky) = (x != 0.0, y != 0.0);
+            if kx && ky {
+                inter += 1;
+            }
+            if kx || ky {
+                union += 1;
+            }
+        }
+    }
+    if union == 0 {
+        0.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+/// Full pairwise mask-similarity matrix (symmetric, unit diagonal for
+/// non-empty masks).
+pub fn mask_similarity_matrix(masks: &[ModelMask]) -> Vec<Vec<f32>> {
+    let n = masks.len();
+    let mut m = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let v = mask_jaccard(&masks[i], &masks[j]);
+            m[i][j] = v;
+            m[j][i] = v;
+        }
+    }
+    m
+}
+
+/// Summary of how well subnetworks separate label-overlapping client pairs
+/// from disjoint ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartnerSeparation {
+    /// Mean mask similarity over pairs sharing at least one label.
+    pub mean_overlap_similarity: f32,
+    /// Mean mask similarity over pairs with disjoint label sets.
+    pub mean_disjoint_similarity: f32,
+    /// Number of overlapping pairs compared.
+    pub overlap_pairs: usize,
+    /// Number of disjoint pairs compared.
+    pub disjoint_pairs: usize,
+}
+
+impl PartnerSeparation {
+    /// Whether the paper's observation holds: overlapping pairs share more
+    /// subnetwork than disjoint pairs.
+    pub fn observation_holds(&self) -> bool {
+        self.overlap_pairs > 0
+            && self.disjoint_pairs > 0
+            && self.mean_overlap_similarity > self.mean_disjoint_similarity
+    }
+}
+
+/// Computes [`PartnerSeparation`] for a federation's final masks.
+///
+/// Pairs where either client barely pruned (below `min_pruned` over the
+/// prunable weights) are skipped: unpruned masks are trivially identical
+/// and would wash out the signal.
+///
+/// # Panics
+///
+/// Panics if `clients` and `masks` have different lengths.
+pub fn partner_separation(
+    clients: &[ClientData],
+    masks: &[ModelMask],
+    min_pruned: f32,
+) -> PartnerSeparation {
+    assert_eq!(clients.len(), masks.len(), "one mask per client required");
+    let pruned: Vec<f32> =
+        masks.iter().map(|m| m.pruned_fraction(|k| k.is_prunable_weight())).collect();
+    let mut overlap = (0.0f64, 0usize);
+    let mut disjoint = (0.0f64, 0usize);
+    for i in 0..clients.len() {
+        for j in i + 1..clients.len() {
+            if pruned[i] < min_pruned || pruned[j] < min_pruned {
+                continue;
+            }
+            let sim = mask_jaccard(&masks[i], &masks[j]) as f64;
+            if label_jaccard(&clients[i], &clients[j]) > 0.0 {
+                overlap.0 += sim;
+                overlap.1 += 1;
+            } else {
+                disjoint.0 += sim;
+                disjoint.1 += 1;
+            }
+        }
+    }
+    PartnerSeparation {
+        mean_overlap_similarity: if overlap.1 > 0 {
+            (overlap.0 / overlap.1 as f64) as f32
+        } else {
+            0.0
+        },
+        mean_disjoint_similarity: if disjoint.1 > 0 {
+            (disjoint.0 / disjoint.1 as f64) as f32
+        } else {
+            0.0
+        },
+        overlap_pairs: overlap.1,
+        disjoint_pairs: disjoint.1,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use subfed_nn::models::ModelSpec;
+    use subfed_tensor::init::SeededRng;
+
+    fn model() -> subfed_nn::Sequential {
+        ModelSpec::cnn5(1, 16, 16, 4).build(&mut SeededRng::new(0))
+    }
+
+    #[test]
+    fn identical_masks_have_unit_jaccard() {
+        let m = model();
+        let a = ModelMask::ones_for(&m);
+        assert_eq!(mask_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_masks_have_zero_jaccard() {
+        let m = model();
+        let mut a = ModelMask::ones_for(&m);
+        let mut b = ModelMask::ones_for(&m);
+        // a keeps even entries, b keeps odd entries of every tensor.
+        for (ta, tb) in a.tensors_mut().iter_mut().zip(b.tensors_mut().iter_mut()) {
+            for (i, (x, y)) in ta.data_mut().iter_mut().zip(tb.data_mut()).enumerate() {
+                if i % 2 == 0 {
+                    *y = 0.0;
+                } else {
+                    *x = 0.0;
+                }
+            }
+        }
+        assert_eq!(mask_jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_between_zero_and_one() {
+        let m = model();
+        let a = ModelMask::ones_for(&m);
+        let mut b = ModelMask::ones_for(&m);
+        let n = b.tensors()[0].len();
+        for i in 0..n / 2 {
+            b.tensors_mut()[0].data_mut()[i] = 0.0;
+        }
+        let j = mask_jaccard(&a, &b);
+        assert!(j > 0.0 && j < 1.0, "{j}");
+    }
+
+    #[test]
+    fn similarity_matrix_is_symmetric_with_unit_diagonal() {
+        let m = model();
+        let mut masks = vec![ModelMask::ones_for(&m); 3];
+        masks[1].tensors_mut()[0].data_mut()[0] = 0.0;
+        masks[2].tensors_mut()[0].data_mut()[1] = 0.0;
+        let s = mask_similarity_matrix(&masks);
+        for i in 0..3 {
+            assert_eq!(s[i][i], 1.0);
+            for j in 0..3 {
+                assert_eq!(s[i][j], s[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn channel_jaccard_counts_shared_channels() {
+        let full = ChannelMask::from_keep(vec![vec![true; 4], vec![true; 6]]);
+        assert_eq!(channel_jaccard(&full, &full), 1.0);
+        let half = ChannelMask::from_keep(vec![
+            vec![true, true, false, false],
+            vec![true; 6],
+        ]);
+        // Intersection 8 kept-in-both, union 10.
+        let j = channel_jaccard(&full, &half);
+        assert!((j - 0.8).abs() < 1e-6, "{j}");
+        let disjoint_a = ChannelMask::from_keep(vec![vec![true, false], vec![true, false]]);
+        let disjoint_b = ChannelMask::from_keep(vec![vec![false, true], vec![false, true]]);
+        assert_eq!(channel_jaccard(&disjoint_a, &disjoint_b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block count mismatch")]
+    fn channel_jaccard_rejects_mismatched_blocks() {
+        let a = ChannelMask::from_keep(vec![vec![true; 2]]);
+        let b = ChannelMask::from_keep(vec![vec![true; 2], vec![true; 2]]);
+        let _ = channel_jaccard(&a, &b);
+    }
+
+    #[test]
+    fn partner_separation_skips_unpruned() {
+        use subfed_data::{partition_pathological, PartitionConfig, SynthConfig, SynthVision};
+        let data = SynthVision::generate(SynthConfig {
+            channels: 1,
+            height: 8,
+            width: 8,
+            classes: 4,
+            train_per_class: 20,
+            test_per_class: 4,
+            noise_std: 0.05,
+            shift: 0,
+            grid: 3,
+            seed: 2,
+        });
+        let clients = partition_pathological(
+            data.train(),
+            data.test(),
+            &PartitionConfig {
+                num_clients: 4,
+                shard_size: 10,
+                shards_per_client: 2,
+                val_fraction: 0.1,
+                seed: 2,
+            },
+        );
+        let m = model();
+        let masks = vec![ModelMask::ones_for(&m); 4];
+        // Nothing pruned -> every pair skipped.
+        let sep = partner_separation(&clients, &masks, 0.1);
+        assert_eq!(sep.overlap_pairs + sep.disjoint_pairs, 0);
+        assert!(!sep.observation_holds());
+        // min_pruned 0 admits all pairs, all with similarity 1.
+        let sep0 = partner_separation(&clients, &masks, 0.0);
+        assert!(sep0.overlap_pairs + sep0.disjoint_pairs == 6);
+    }
+}

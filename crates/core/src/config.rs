@@ -1,0 +1,128 @@
+use serde::{Deserialize, Serialize};
+
+/// Shared federation hyper-parameters.
+///
+/// Defaults are the paper's (§4.1): 5 local epochs, batch size 10, SGD with
+/// learning rate 0.01 and momentum 0.5, 10% of clients sampled per round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedConfig {
+    /// Number of communication rounds.
+    pub rounds: usize,
+    /// Fraction of clients sampled each round (`K` in Algorithm 1).
+    pub sample_frac: f32,
+    /// Local epochs per round.
+    pub local_epochs: usize,
+    /// Local mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Master seed: model init, client sampling, and batch shuffling all
+    /// derive from it, so runs are exactly reproducible.
+    pub seed: u64,
+    /// Evaluate all clients every `eval_every` rounds (the final round is
+    /// always evaluated).
+    pub eval_every: usize,
+    /// Worker threads for parallel client training (1 = sequential).
+    pub threads: usize,
+    /// Failure-injection: probability that a sampled client drops out of
+    /// the round before returning its update (`0.0` = reliable clients,
+    /// the paper's setting). Dropout is deterministic in
+    /// `(seed, round, client)`.
+    pub dropout_prob: f32,
+}
+
+impl Default for FedConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 20,
+            sample_frac: 0.5,
+            local_epochs: 5,
+            batch_size: 10,
+            lr: 0.01,
+            momentum: 0.5,
+            seed: 42,
+            eval_every: 1,
+            threads: 1,
+            dropout_prob: 0.0,
+        }
+    }
+}
+
+impl FedConfig {
+    /// Validates ranges; called by the engine constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values (zero rounds/epochs/batch, sampling
+    /// fraction outside `(0, 1]`, non-positive learning rate).
+    pub fn validate(&self) {
+        assert!(self.rounds > 0, "rounds must be positive");
+        assert!(
+            self.sample_frac > 0.0 && self.sample_frac <= 1.0,
+            "sample_frac must be in (0, 1], got {}",
+            self.sample_frac
+        );
+        assert!(self.local_epochs > 0, "local_epochs must be positive");
+        assert!(self.batch_size > 0, "batch_size must be positive");
+        assert!(self.lr > 0.0, "lr must be positive");
+        assert!((0.0..1.0).contains(&self.momentum), "momentum must be in [0, 1)");
+        assert!(self.eval_every > 0, "eval_every must be positive");
+        assert!(self.threads > 0, "threads must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.dropout_prob),
+            "dropout_prob must be in [0, 1), got {}",
+            self.dropout_prob
+        );
+    }
+
+    /// Number of clients sampled per round for a federation of size `n`
+    /// (at least one).
+    pub fn clients_per_round(&self, n: usize) -> usize {
+        ((self.sample_frac * n as f32).round() as usize).clamp(1, n.max(1))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = FedConfig::default();
+        assert_eq!(c.local_epochs, 5);
+        assert_eq!(c.batch_size, 10);
+        assert_eq!(c.lr, 0.01);
+        assert_eq!(c.momentum, 0.5);
+        c.validate();
+    }
+
+    #[test]
+    fn clients_per_round_rounds_and_clamps() {
+        let mut c = FedConfig::default();
+        c.sample_frac = 0.1;
+        assert_eq!(c.clients_per_round(100), 10);
+        assert_eq!(c.clients_per_round(5), 1); // 0.5 rounds to 1
+        assert_eq!(c.clients_per_round(1), 1);
+        c.sample_frac = 1.0;
+        assert_eq!(c.clients_per_round(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_frac")]
+    fn zero_sampling_rejected() {
+        let mut c = FedConfig::default();
+        c.sample_frac = 0.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds must be positive")]
+    fn zero_rounds_rejected() {
+        let mut c = FedConfig::default();
+        c.rounds = 0;
+        c.validate();
+    }
+}

@@ -1,0 +1,410 @@
+//! The round engine: client sampling, local training, parallel execution,
+//! and personalized evaluation shared by every algorithm.
+
+use crate::FedConfig;
+use subfed_data::{ClientData, Dataset};
+use subfed_nn::loss::softmax_cross_entropy;
+use subfed_nn::models::ModelSpec;
+use subfed_nn::optim::Sgd;
+use subfed_nn::{Mode, ModelMask, Sequential};
+use subfed_tensor::init::SeededRng;
+use subfed_tensor::reduce::argmax_rows;
+
+/// A federation: one model architecture, a set of clients, and shared
+/// hyper-parameters. Algorithms consume a `Federation` and drive rounds on
+/// top of its helpers.
+#[derive(Debug, Clone)]
+pub struct Federation {
+    spec: ModelSpec,
+    clients: Vec<ClientData>,
+    config: FedConfig,
+}
+
+impl Federation {
+    /// Creates a federation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty or the config fails validation.
+    pub fn new(spec: ModelSpec, clients: Vec<ClientData>, config: FedConfig) -> Self {
+        config.validate();
+        assert!(!clients.is_empty(), "federation needs at least one client");
+        Self { spec, clients, config }
+    }
+
+    /// The model architecture.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The clients.
+    pub fn clients(&self) -> &[ClientData] {
+        &self.clients
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &FedConfig {
+        &self.config
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Builds an uninitialised model skeleton (weights are overwritten by
+    /// `load_flat` before use).
+    pub fn build_model(&self) -> Sequential {
+        self.spec.build(&mut SeededRng::new(self.config.seed))
+    }
+
+    /// The server's initial global parameters (θ_g, deterministic in the
+    /// seed).
+    pub fn init_global(&self) -> Vec<f32> {
+        self.build_model().flatten()
+    }
+
+    /// Samples the participant set for `round` (1-based), deterministic in
+    /// `(seed, round)` — independent of call order, so different
+    /// algorithms see identical schedules.
+    pub fn sample_round(&self, round: usize) -> Vec<usize> {
+        let k = self.config.clients_per_round(self.num_clients());
+        let mut rng = SeededRng::new(self.config.seed ^ (round as u64).wrapping_mul(0x9E37));
+        let mut ids = rng.sample_indices(self.num_clients(), k);
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Failure injection: filters a sampled participant set down to the
+    /// clients that survive the round, each dropping independently with
+    /// `config.dropout_prob`. Deterministic in `(seed, round, client)`,
+    /// so identical runs see identical failures. Returns the input
+    /// unchanged when dropout is disabled.
+    pub fn survivors(&self, round: usize, ids: &[usize]) -> Vec<usize> {
+        if self.config.dropout_prob <= 0.0 {
+            return ids.to_vec();
+        }
+        ids.iter()
+            .copied()
+            .filter(|&i| {
+                let mut rng = SeededRng::new(
+                    self.config
+                        .seed
+                        .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                        .wrapping_add((round as u64) << 20)
+                        .wrapping_add(i as u64),
+                );
+                rng.uniform_f32(0.0, 1.0) >= self.config.dropout_prob
+            })
+            .collect()
+    }
+
+    /// A per-(round, client) RNG seed for batch shuffling.
+    pub fn client_seed(&self, round: usize, client: usize) -> u64 {
+        self.config
+            .seed
+            .wrapping_mul(0x100_0000_01B3)
+            .wrapping_add((round as u64) << 32)
+            .wrapping_add(client as u64)
+    }
+
+    /// Runs `f` over `indices`, in parallel when `config.threads > 1`,
+    /// returning outputs aligned with `indices`. Results are deterministic
+    /// regardless of thread count because each call derives its own
+    /// randomness from `(round, client)`.
+    pub fn par_map<T, F>(&self, indices: &[usize], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let threads = self.config.threads.min(indices.len().max(1));
+        if threads <= 1 {
+            return indices.iter().map(|&i| f(i)).collect();
+        }
+        let mut out: Vec<Option<T>> = (0..indices.len()).map(|_| None).collect();
+        let chunk = indices.len().div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (slot_chunk, idx_chunk) in out.chunks_mut(chunk).zip(indices.chunks(chunk)) {
+                let f = &f;
+                s.spawn(move |_| {
+                    for (slot, &i) in slot_chunk.iter_mut().zip(idx_chunk) {
+                        *slot = Some(f(i));
+                    }
+                });
+            }
+        })
+        .expect("client training worker panicked");
+        out.into_iter().map(|v| v.expect("worker filled every slot")).collect()
+    }
+
+    /// Evaluates one flat parameter vector per client on that client's
+    /// personalized test set, returning per-client accuracies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flats.len()` differs from the client count.
+    pub fn evaluate_clients(&self, flats: &[Vec<f32>]) -> Vec<f32> {
+        assert_eq!(flats.len(), self.num_clients(), "one flat vector per client required");
+        let ids: Vec<usize> = (0..self.num_clients()).collect();
+        self.par_map(&ids, |i| {
+            let mut model = self.build_model();
+            model.load_flat(&flats[i]);
+            evaluate_accuracy(&mut model, &self.clients[i].test, 64)
+        })
+    }
+}
+
+/// Result of one client's local training.
+#[derive(Debug, Clone)]
+pub struct LocalOutcome {
+    /// Flat parameters at the end of the first local epoch (`θ_k^{j,fe}`).
+    pub first_epoch_flat: Vec<f32>,
+    /// Flat parameters after all local epochs (`θ_k^{j,le}`).
+    pub final_flat: Vec<f32>,
+    /// Validation accuracy of the trained model on `D_k^val` (falls back
+    /// to training accuracy when the validation split is empty).
+    pub val_acc: f32,
+    /// Mean training loss over all local batches.
+    pub mean_train_loss: f32,
+}
+
+/// Trains one client from `init_flat` for `cfg.local_epochs` epochs of
+/// masked, optionally proximal SGD, and reports the two weight snapshots
+/// Algorithms 1–2 derive masks from.
+///
+/// `prox` supplies a FedProx/MTL-style quadratic anchor as
+/// `(flat_anchor, μ)`; FedProx anchors at the downloaded global (equal to
+/// `init_flat`), federated MTL anchors at the participant mean.
+///
+/// # Panics
+///
+/// Panics if the client has no training data or shapes mismatch.
+pub fn train_client(
+    spec: &ModelSpec,
+    init_flat: &[f32],
+    data: &ClientData,
+    cfg: &FedConfig,
+    mask: Option<&ModelMask>,
+    prox: Option<(&[f32], f32)>,
+    seed: u64,
+) -> LocalOutcome {
+    assert!(!data.train.is_empty(), "client {} has no training data", data.id);
+    let mut rng = SeededRng::new(seed);
+    let mut model = spec.build(&mut rng);
+    model.load_flat(init_flat);
+    if let Some(m) = mask {
+        m.apply(&mut model);
+    }
+    let anchor = prox.map(|(flat, mu)| {
+        let mut scratch = spec.build(&mut SeededRng::new(0));
+        scratch.load_flat(flat);
+        (scratch.param_values(), mu)
+    });
+    let mut opt = Sgd::new(cfg.lr, cfg.momentum);
+    let mut first_epoch_flat = Vec::new();
+    let mut loss_sum = 0.0f32;
+    let mut loss_count = 0usize;
+    for epoch in 0..cfg.local_epochs {
+        for batch in data.train.shuffled_batches(cfg.batch_size, &mut rng) {
+            let logits = model.forward(&batch.images, Mode::Train);
+            let (loss, grad) = softmax_cross_entropy(&logits, &batch.labels);
+            loss_sum += loss;
+            loss_count += 1;
+            model.backward(&grad);
+            let prox_ref = anchor.as_ref().map(|(a, mu)| (a.as_slice(), *mu));
+            opt.step(&mut model, mask, prox_ref);
+        }
+        if epoch == 0 {
+            first_epoch_flat = model.flatten();
+        }
+    }
+    let eval_set = if data.val.is_empty() { &data.train } else { &data.val };
+    let val_acc = evaluate_accuracy(&mut model, eval_set, 64);
+    LocalOutcome {
+        first_epoch_flat,
+        final_flat: model.flatten(),
+        val_acc,
+        mean_train_loss: if loss_count > 0 { loss_sum / loss_count as f32 } else { 0.0 },
+    }
+}
+
+/// Classification accuracy of `model` on `dataset`, batched evaluation in
+/// [`Mode::Eval`]. Returns `0.0` for an empty dataset.
+pub fn evaluate_accuracy(model: &mut Sequential, dataset: &Dataset, batch: usize) -> f32 {
+    if dataset.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for b in dataset.batches(batch) {
+        let logits = model.forward(&b.images, Mode::Eval);
+        let preds = argmax_rows(&logits);
+        correct += preds.iter().zip(b.labels.iter()).filter(|(p, l)| p == l).count();
+    }
+    correct as f32 / dataset.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subfed_data::{partition_pathological, PartitionConfig, SynthVision};
+
+    fn tiny_federation(threads: usize) -> Federation {
+        let data = SynthVision::generate(subfed_data::SynthConfig {
+            channels: 1,
+            height: 16,
+            width: 16,
+            classes: 4,
+            train_per_class: 20,
+            test_per_class: 5,
+            noise_std: 0.1,
+            shift: 1,
+            grid: 4,
+            seed: 5,
+        });
+        let clients = partition_pathological(
+            data.train(),
+            data.test(),
+            &PartitionConfig {
+                num_clients: 4,
+                shard_size: 10,
+                shards_per_client: 2,
+                val_fraction: 0.2,
+                seed: 5,
+            },
+        );
+        Federation::new(
+            ModelSpec::cnn5(1, 16, 16, 4),
+            clients,
+            FedConfig { rounds: 2, local_epochs: 2, threads, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let fed = tiny_federation(1);
+        let s1 = fed.sample_round(3);
+        let s2 = fed.sample_round(3);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), fed.config().clients_per_round(4));
+        assert!(s1.iter().all(|&i| i < 4));
+        let s3 = fed.sample_round(4);
+        assert!(s1 != s3 || fed.config().sample_frac == 1.0);
+    }
+
+    #[test]
+    fn init_global_matches_model_size() {
+        let fed = tiny_federation(1);
+        let g = fed.init_global();
+        assert_eq!(g.len(), fed.build_model().num_params());
+        // Deterministic.
+        assert_eq!(g, fed.init_global());
+    }
+
+    #[test]
+    fn training_reduces_loss_and_changes_weights() {
+        let fed = tiny_federation(1);
+        let global = fed.init_global();
+        let out = train_client(
+            fed.spec(),
+            &global,
+            &fed.clients()[0],
+            fed.config(),
+            None,
+            None,
+            7,
+        );
+        assert_ne!(out.final_flat, global);
+        assert_ne!(out.first_epoch_flat, out.final_flat);
+        assert!(out.mean_train_loss.is_finite());
+        assert!((0.0..=1.0).contains(&out.val_acc));
+    }
+
+    #[test]
+    fn training_is_deterministic_in_seed() {
+        let fed = tiny_federation(1);
+        let global = fed.init_global();
+        let a = train_client(fed.spec(), &global, &fed.clients()[1], fed.config(), None, None, 3);
+        let b = train_client(fed.spec(), &global, &fed.clients()[1], fed.config(), None, None, 3);
+        assert_eq!(a.final_flat, b.final_flat);
+        let c = train_client(fed.spec(), &global, &fed.clients()[1], fed.config(), None, None, 4);
+        assert_ne!(a.final_flat, c.final_flat);
+    }
+
+    #[test]
+    fn masked_training_keeps_zeros() {
+        let fed = tiny_federation(1);
+        let global = fed.init_global();
+        let model = fed.build_model();
+        let mut mask = ModelMask::ones_for(&model);
+        // Zero half of the first conv kernel.
+        let n = mask.tensors()[0].len();
+        for i in 0..n / 2 {
+            mask.tensors_mut()[0].data_mut()[i] = 0.0;
+        }
+        let out = train_client(
+            fed.spec(),
+            &global,
+            &fed.clients()[0],
+            fed.config(),
+            Some(&mask),
+            None,
+            7,
+        );
+        let mut trained = fed.build_model();
+        trained.load_flat(&out.final_flat);
+        for i in 0..n / 2 {
+            assert_eq!(trained.params()[0].value.data()[i], 0.0, "masked weight {i} moved");
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let fed_seq = tiny_federation(1);
+        let fed_par = tiny_federation(3);
+        let ids: Vec<usize> = (0..4).collect();
+        let f = |i: usize| i * i + 1;
+        assert_eq!(fed_seq.par_map(&ids, f), fed_par.par_map(&ids, f));
+        assert_eq!(fed_par.par_map(&ids, f), vec![1, 2, 5, 10]);
+    }
+
+    #[test]
+    fn evaluate_clients_returns_per_client_scores() {
+        let fed = tiny_federation(2);
+        let flats: Vec<Vec<f32>> = (0..4).map(|_| fed.init_global()).collect();
+        let accs = fed.evaluate_clients(&flats);
+        assert_eq!(accs.len(), 4);
+        assert!(accs.iter().all(|a| (0.0..=1.0).contains(a)));
+    }
+
+    #[test]
+    fn survivors_identity_without_dropout() {
+        let fed = tiny_federation(1);
+        let ids = vec![0, 1, 3];
+        assert_eq!(fed.survivors(5, &ids), ids);
+    }
+
+    #[test]
+    fn survivors_deterministic_and_lossy_with_dropout() {
+        let fed = tiny_federation(1);
+        let mut cfg = *fed.config();
+        cfg.dropout_prob = 0.5;
+        let fed = Federation::new(*fed.spec(), fed.clients().to_vec(), cfg);
+        let ids: Vec<usize> = (0..4).collect();
+        let s1 = fed.survivors(2, &ids);
+        let s2 = fed.survivors(2, &ids);
+        assert_eq!(s1, s2, "dropout must be deterministic");
+        // Across many rounds, roughly half survive.
+        let total: usize = (1..200).map(|r| fed.survivors(r, &ids).len()).sum();
+        let frac = total as f32 / (199.0 * 4.0);
+        assert!((frac - 0.5).abs() < 0.1, "survival rate {frac}");
+        // Survivors are a subsequence of the input.
+        assert!(s1.iter().all(|i| ids.contains(i)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_federation_rejected() {
+        let fed = tiny_federation(1);
+        let _ = Federation::new(*fed.spec(), vec![], *fed.config());
+    }
+}

@@ -1,0 +1,246 @@
+//! Wire encoding of a Sub-FedAvg client update: the bit-packed mask plus
+//! the kept parameters only.
+//!
+//! The communication-cost model (`subfed_metrics::comm`) charges
+//! `32 bits × kept + 1 bit × |W|`; this module is the encoding that
+//! actually achieves those numbers (plus an 8-byte header), which the
+//! tests pin down — the accounting is not hypothetical.
+
+use bytes::{Buf, BufMut, BytesMut};
+use subfed_metrics::comm::{mask_bytes, pack_mask, unpack_mask};
+
+/// Wire-format version tag.
+const MAGIC: u16 = 0x5FA1;
+
+/// Encodes `(params, mask)` into the compact update message: header
+/// (magic + parameter count), packed mask, then the kept parameters in
+/// order.
+///
+/// # Panics
+///
+/// Panics if lengths differ or exceed `u32::MAX` entries.
+pub fn encode_update(params: &[f32], mask: &[f32]) -> Vec<u8> {
+    assert_eq!(params.len(), mask.len(), "params/mask length mismatch");
+    assert!(params.len() <= u32::MAX as usize, "model too large for wire format");
+    let kept = mask.iter().filter(|&&m| m != 0.0).count();
+    let mut buf =
+        BytesMut::with_capacity(8 + mask_bytes(mask.len()) as usize + 4 * kept);
+    buf.put_u16_le(MAGIC);
+    buf.put_u16_le(0); // reserved
+    buf.put_u32_le(params.len() as u32);
+    buf.extend_from_slice(&pack_mask(mask));
+    for (&p, &m) in params.iter().zip(mask.iter()) {
+        if m != 0.0 {
+            buf.put_f32_le(p);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Decodes an update message back into `(full_params, mask)`, with zeros
+/// at masked positions.
+///
+/// # Errors
+///
+/// Returns a message describing the corruption if the buffer is truncated
+/// or carries a wrong magic tag.
+pub fn decode_update(data: &[u8]) -> Result<(Vec<f32>, Vec<f32>), String> {
+    let mut buf = data;
+    if buf.remaining() < 8 {
+        return Err("truncated header".into());
+    }
+    let magic = buf.get_u16_le();
+    if magic != MAGIC {
+        return Err(format!("bad magic {magic:#06x}"));
+    }
+    let _reserved = buf.get_u16_le();
+    let len = buf.get_u32_le() as usize;
+    let mb = mask_bytes(len) as usize;
+    if buf.remaining() < mb {
+        return Err("truncated mask".into());
+    }
+    let mask = unpack_mask(&buf[..mb], len);
+    buf.advance(mb);
+    let kept = mask.iter().filter(|&&m| m != 0.0).count();
+    if buf.remaining() < 4 * kept {
+        return Err("truncated parameters".into());
+    }
+    let mut params = vec![0.0f32; len];
+    for (p, &m) in params.iter_mut().zip(mask.iter()) {
+        if m != 0.0 {
+            *p = buf.get_f32_le();
+        }
+    }
+    Ok((params, mask))
+}
+
+/// Size in bytes of the encoded update, without building it.
+pub fn encoded_len(num_params: usize, kept: usize) -> u64 {
+    8 + mask_bytes(num_params) + 4 * kept as u64
+}
+
+/// Affine 8-bit quantisation of a dense parameter vector — the classic
+/// *alternative* communication reducer the paper's related work cites
+/// (Konečný et al.'s sketched updates, Lin et al.'s compression). Provided
+/// so the extension experiments can compare mask-based compression
+/// (Sub-FedAvg) against value quantisation on equal footing.
+///
+/// Layout: `min: f32`, `scale: f32`, then one byte per parameter.
+pub fn encode_update_q8(params: &[f32]) -> Vec<u8> {
+    let lo = params.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = params.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let (lo, hi) = if params.is_empty() { (0.0, 0.0) } else { (lo, hi) };
+    let scale = if hi > lo { (hi - lo) / 255.0 } else { 0.0 };
+    let mut buf = BytesMut::with_capacity(8 + params.len());
+    buf.put_f32_le(lo);
+    buf.put_f32_le(scale);
+    for &p in params {
+        let q = if scale > 0.0 { ((p - lo) / scale).round().clamp(0.0, 255.0) } else { 0.0 };
+        buf.put_u8(q as u8);
+    }
+    buf.to_vec()
+}
+
+/// Decodes an 8-bit-quantised parameter vector of known length.
+///
+/// # Errors
+///
+/// Returns a description of the corruption on truncated input.
+pub fn decode_update_q8(data: &[u8], len: usize) -> Result<Vec<f32>, String> {
+    let mut buf = data;
+    if buf.remaining() < 8 + len {
+        return Err("truncated quantised update".into());
+    }
+    let lo = buf.get_f32_le();
+    let scale = buf.get_f32_le();
+    Ok((0..len).map(|_| lo + scale * buf.get_u8() as f32).collect())
+}
+
+/// Worst-case absolute reconstruction error of [`encode_update_q8`] for a
+/// value range `[lo, hi]`: half a quantisation step.
+pub fn q8_max_error(lo: f32, hi: f32) -> f32 {
+    if hi > lo {
+        (hi - lo) / 255.0 / 2.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> (Vec<f32>, Vec<f32>) {
+        let params: Vec<f32> = (0..37).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let mask: Vec<f32> = (0..37).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+        (params, mask)
+    }
+
+    #[test]
+    fn roundtrip_recovers_kept_and_zeroes_pruned() {
+        let (params, mask) = example();
+        let buf = encode_update(&params, &mask);
+        let (got_params, got_mask) = decode_update(&buf).unwrap();
+        assert_eq!(got_mask, mask);
+        for i in 0..params.len() {
+            if mask[i] != 0.0 {
+                assert_eq!(got_params[i], params[i]);
+            } else {
+                assert_eq!(got_params[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn length_matches_accounting() {
+        let (params, mask) = example();
+        let kept = mask.iter().filter(|&&m| m != 0.0).count();
+        let buf = encode_update(&params, &mask);
+        assert_eq!(buf.len() as u64, encoded_len(params.len(), kept));
+        // Header is 8 bytes; the rest is exactly the comm model's charge.
+        use subfed_metrics::comm::{mask_bytes, masked_transfer_bytes};
+        assert_eq!(
+            buf.len() as u64 - 8,
+            masked_transfer_bytes(kept) + mask_bytes(params.len())
+        );
+    }
+
+    #[test]
+    fn full_mask_roundtrip() {
+        let params = vec![1.5f32, -2.0, 0.0, 7.25];
+        let mask = vec![1.0f32; 4];
+        let (got, gmask) = decode_update(&encode_update(&params, &mask)).unwrap();
+        assert_eq!(got, params);
+        assert_eq!(gmask, mask);
+    }
+
+    #[test]
+    fn empty_mask_roundtrip() {
+        let params = vec![1.0f32; 9];
+        let mask = vec![0.0f32; 9];
+        let buf = encode_update(&params, &mask);
+        assert_eq!(buf.len() as u64, encoded_len(9, 0));
+        let (got, gmask) = decode_update(&buf).unwrap();
+        assert!(got.iter().all(|&v| v == 0.0));
+        assert!(gmask.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn corrupted_inputs_are_rejected() {
+        let (params, mask) = example();
+        let buf = encode_update(&params, &mask);
+        assert!(decode_update(&buf[..4]).unwrap_err().contains("truncated header"));
+        assert!(decode_update(&buf[..buf.len() - 1])
+            .unwrap_err()
+            .contains("truncated parameters"));
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode_update(&bad).unwrap_err().contains("bad magic"));
+        let mut short_mask = buf[..9].to_vec();
+        short_mask.truncate(9);
+        assert!(decode_update(&short_mask).unwrap_err().contains("truncated mask"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = encode_update(&[1.0], &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn q8_roundtrip_within_half_step() {
+        let params: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin() * 2.5).collect();
+        let buf = encode_update_q8(&params);
+        assert_eq!(buf.len(), 8 + 100);
+        let back = decode_update_q8(&buf, 100).unwrap();
+        let lo = params.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = params.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let bound = q8_max_error(lo, hi) + 1e-6;
+        for (a, b) in params.iter().zip(back.iter()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} exceeds {bound}");
+        }
+    }
+
+    #[test]
+    fn q8_constant_vector_is_exact() {
+        let params = vec![3.25f32; 17];
+        let back = decode_update_q8(&encode_update_q8(&params), 17).unwrap();
+        assert_eq!(back, params);
+    }
+
+    #[test]
+    fn q8_empty_and_truncation() {
+        let buf = encode_update_q8(&[]);
+        assert_eq!(decode_update_q8(&buf, 0).unwrap(), Vec::<f32>::new());
+        assert!(decode_update_q8(&buf, 1).unwrap_err().contains("truncated"));
+    }
+
+    #[test]
+    fn q8_is_4x_smaller_than_dense_float() {
+        let n = 62_000usize; // paper-scale LeNet-5
+        let params = vec![0.5f32; n];
+        let q = encode_update_q8(&params).len() as f64;
+        let dense = (n * 4) as f64;
+        assert!((dense / q - 4.0).abs() < 0.01, "compression ratio {}", dense / q);
+    }
+}

@@ -1,0 +1,191 @@
+//! Corrupted-client simulation: label-flipping attackers.
+//!
+//! The paper lists "corrupted updates by the clients" among the practical
+//! issues it scopes out (§1.1). This module supplies the data-side half of
+//! the extension experiment: a fraction of clients have their *training
+//! and validation* labels permuted (test labels stay honest — the victim
+//! is the federation, and accuracy is still measured against the truth).
+//! The server-side half is robust trimmed-mean aggregation
+//! (`subfed_core::subfedavg_aggregate_trimmed`).
+
+use crate::{ClientData, Dataset};
+use subfed_tensor::init::SeededRng;
+
+/// Which clients were corrupted and how labels were remapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptionReport {
+    /// Indices of the corrupted clients.
+    pub corrupted: Vec<usize>,
+    /// The label permutation applied (`permutation[old] = new`).
+    pub permutation: Vec<usize>,
+}
+
+fn permute_labels(ds: &Dataset, permutation: &[usize]) -> Dataset {
+    let labels: Vec<usize> = ds
+        .labels()
+        .iter()
+        .map(|&l| {
+            assert!(l < permutation.len(), "label {l} outside permutation domain");
+            permutation[l]
+        })
+        .collect();
+    Dataset::new(ds.images().clone(), labels)
+}
+
+/// Derangement-ish permutation of `0..classes`: every label maps to a
+/// different label (so flipped clients are maximally wrong), deterministic
+/// in the RNG.
+fn flip_permutation(classes: usize, rng: &mut SeededRng) -> Vec<usize> {
+    assert!(classes >= 2, "need at least two classes to flip labels");
+    loop {
+        let mut p: Vec<usize> = (0..classes).collect();
+        rng.shuffle(&mut p);
+        if p.iter().enumerate().all(|(i, &v)| i != v) {
+            return p;
+        }
+    }
+}
+
+/// Corrupts `fraction` of the clients (rounded, at least one when
+/// `fraction > 0`) by permuting their train/validation labels. Returns the
+/// corrupted federation plus a report of what happened.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]` or `classes < 2`.
+pub fn flip_labels(
+    clients: &[ClientData],
+    classes: usize,
+    fraction: f32,
+    seed: u64,
+) -> (Vec<ClientData>, CorruptionReport) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1], got {fraction}");
+    let mut rng = SeededRng::new(seed);
+    let permutation = flip_permutation(classes, &mut rng);
+    let n_corrupt = if fraction == 0.0 {
+        0
+    } else {
+        ((fraction * clients.len() as f32).round() as usize).clamp(1, clients.len())
+    };
+    let mut corrupted = rng.sample_indices(clients.len(), n_corrupt);
+    corrupted.sort_unstable();
+    let out: Vec<ClientData> = clients
+        .iter()
+        .map(|c| {
+            if corrupted.contains(&c.id) {
+                ClientData {
+                    id: c.id,
+                    train: permute_labels(&c.train, &permutation),
+                    val: permute_labels(&c.val, &permutation),
+                    // Test labels stay honest: accuracy is measured
+                    // against the truth.
+                    test: c.test.clone(),
+                    labels: c.labels.clone(),
+                }
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    (out, CorruptionReport { corrupted, permutation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{partition_pathological, PartitionConfig, SynthConfig, SynthVision};
+
+    fn clients() -> Vec<ClientData> {
+        let s = SynthVision::generate(SynthConfig {
+            channels: 1,
+            height: 8,
+            width: 8,
+            classes: 5,
+            train_per_class: 40,
+            test_per_class: 8,
+            noise_std: 0.05,
+            shift: 0,
+            grid: 3,
+            seed: 5,
+        });
+        partition_pathological(
+            s.train(),
+            s.test(),
+            &PartitionConfig {
+                num_clients: 8,
+                shard_size: 12,
+                shards_per_client: 2,
+                val_fraction: 0.1,
+                seed: 5,
+            },
+        )
+    }
+
+    #[test]
+    fn flips_the_requested_fraction() {
+        let cs = clients();
+        let (out, report) = flip_labels(&cs, 5, 0.25, 9);
+        assert_eq!(report.corrupted.len(), 2);
+        assert_eq!(out.len(), cs.len());
+    }
+
+    #[test]
+    fn permutation_is_a_derangement() {
+        let cs = clients();
+        let (_, report) = flip_labels(&cs, 5, 0.5, 11);
+        let mut sorted = report.permutation.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+        for (i, &v) in report.permutation.iter().enumerate() {
+            assert_ne!(i, v, "label {i} maps to itself");
+        }
+    }
+
+    #[test]
+    fn corrupted_clients_have_flipped_train_but_honest_test() {
+        let cs = clients();
+        let (out, report) = flip_labels(&cs, 5, 0.3, 13);
+        for (orig, new) in cs.iter().zip(out.iter()) {
+            if report.corrupted.contains(&orig.id) {
+                // Every training label went through the permutation.
+                for (a, b) in orig.train.labels().iter().zip(new.train.labels()) {
+                    assert_eq!(report.permutation[*a], *b);
+                    assert_ne!(a, b);
+                }
+                // Test untouched.
+                assert_eq!(orig.test.labels(), new.test.labels());
+                // Images untouched.
+                assert_eq!(orig.train.images().data(), new.train.images().data());
+            } else {
+                assert_eq!(orig.train.labels(), new.train.labels());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let cs = clients();
+        let (out, report) = flip_labels(&cs, 5, 0.0, 17);
+        assert!(report.corrupted.is_empty());
+        for (a, b) in cs.iter().zip(out.iter()) {
+            assert_eq!(a.train.labels(), b.train.labels());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cs = clients();
+        let (_, r1) = flip_labels(&cs, 5, 0.5, 21);
+        let (_, r2) = flip_labels(&cs, 5, 0.5, 21);
+        assert_eq!(r1, r2);
+        let (_, r3) = flip_labels(&cs, 5, 0.5, 22);
+        assert!(r1.corrupted != r3.corrupted || r1.permutation != r3.permutation);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn single_class_rejected() {
+        let cs = clients();
+        let _ = flip_labels(&cs, 1, 0.5, 1);
+    }
+}

@@ -1,0 +1,288 @@
+use subfed_tensor::init::SeededRng;
+use subfed_tensor::Tensor;
+
+/// One mini-batch: an NCHW image tensor and its labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Images, `[batch, channels, height, width]`.
+    pub images: Tensor,
+    /// Class labels, one per image.
+    pub labels: Vec<usize>,
+}
+
+/// A labelled image dataset held in memory as one NCHW tensor.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not 4-D or the label count does not match the
+    /// leading dimension.
+    pub fn new(images: Tensor, labels: Vec<usize>) -> Self {
+        assert_eq!(images.ndim(), 4, "images must be NCHW");
+        assert_eq!(images.shape()[0], labels.len(), "label count mismatch");
+        Self { images, labels }
+    }
+
+    /// An empty dataset with the given sample shape `[c, h, w]`.
+    pub fn empty(sample_shape: [usize; 3]) -> Self {
+        let [c, h, w] = sample_shape;
+        Self { images: Tensor::zeros(&[0, c, h, w]), labels: Vec::new() }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The image tensor, `[n, c, h, w]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Sample shape `[c, h, w]`.
+    pub fn sample_shape(&self) -> [usize; 3] {
+        [self.images.shape()[1], self.images.shape()[2], self.images.shape()[3]]
+    }
+
+    /// Flat length of one sample.
+    fn sample_len(&self) -> usize {
+        self.sample_shape().iter().product()
+    }
+
+    /// The distinct labels present, sorted ascending.
+    pub fn distinct_labels(&self) -> Vec<usize> {
+        let mut ls = self.labels.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        ls
+    }
+
+    /// Builds a new dataset from the given example indices (cloning rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let sl = self.sample_len();
+        let [c, h, w] = self.sample_shape();
+        let mut data = Vec::with_capacity(indices.len() * sl);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of bounds for {} examples", self.len());
+            data.extend_from_slice(&self.images.data()[i * sl..(i + 1) * sl]);
+            labels.push(self.labels[i]);
+        }
+        Self {
+            images: Tensor::from_vec(vec![indices.len(), c, h, w], data).expect("subset shape"),
+            labels,
+        }
+    }
+
+    /// Splits into `(first, second)` where `first` receives
+    /// `round(frac * len)` examples chosen at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= frac <= 1.0`.
+    pub fn split(&self, frac: f32, rng: &mut SeededRng) -> (Self, Self) {
+        assert!((0.0..=1.0).contains(&frac), "split fraction must be in [0, 1]");
+        let n = self.len();
+        let k = ((frac * n as f32).round() as usize).min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut idx);
+        let first = self.subset(&idx[..k]);
+        let second = self.subset(&idx[k..]);
+        (first, second)
+    }
+
+    /// A view keeping only examples whose label is in `keep` (sorted or
+    /// not).
+    pub fn filter_by_labels(&self, keep: &[usize]) -> Self {
+        let indices: Vec<usize> = self
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| keep.contains(l))
+            .map(|(i, _)| i)
+            .collect();
+        self.subset(&indices)
+    }
+
+    /// Produces shuffled mini-batches covering every example exactly once.
+    /// The final batch may be smaller than `batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn shuffled_batches(&self, batch_size: usize, rng: &mut SeededRng) -> Vec<Batch> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        self.batches_from(&idx, batch_size)
+    }
+
+    /// Produces sequential mini-batches (deterministic order) covering
+    /// every example exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> Vec<Batch> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let idx: Vec<usize> = (0..self.len()).collect();
+        self.batches_from(&idx, batch_size)
+    }
+
+    fn batches_from(&self, idx: &[usize], batch_size: usize) -> Vec<Batch> {
+        idx.chunks(batch_size)
+            .map(|chunk| {
+                let ds = self.subset(chunk);
+                Batch { images: ds.images, labels: ds.labels }
+            })
+            .collect()
+    }
+
+    /// Concatenates two datasets with identical sample shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sample shapes differ.
+    pub fn concat(&self, other: &Self) -> Self {
+        assert_eq!(self.sample_shape(), other.sample_shape(), "sample shape mismatch");
+        let [c, h, w] = self.sample_shape();
+        let mut data = self.images.data().to_vec();
+        data.extend_from_slice(other.images.data());
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Self {
+            images: Tensor::from_vec(vec![self.len() + other.len(), c, h, w], data)
+                .expect("concat shape"),
+            labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let images = Tensor::from_vec(
+            vec![n, 1, 2, 2],
+            (0..n * 4).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels)
+    }
+
+    #[test]
+    fn subset_copies_rows() {
+        let ds = toy(5);
+        let s = ds.subset(&[4, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[1, 0]);
+        assert_eq!(&s.images().data()[..4], &[16.0, 17.0, 18.0, 19.0]);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let ds = toy(10);
+        let mut rng = SeededRng::new(1);
+        let (a, b) = ds.split(0.3, &mut rng);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 7);
+        // Together they hold every original row exactly once (match on the
+        // unique first pixel of each row).
+        let mut firsts: Vec<f32> = a
+            .images()
+            .data()
+            .chunks(4)
+            .chain(b.images().data().chunks(4))
+            .map(|c| c[0])
+            .collect();
+        firsts.sort_by(f32::total_cmp);
+        let expected: Vec<f32> = (0..10).map(|i| (i * 4) as f32).collect();
+        assert_eq!(firsts, expected);
+    }
+
+    #[test]
+    fn filter_by_labels_keeps_only_matching() {
+        let ds = toy(9);
+        let f = ds.filter_by_labels(&[0, 2]);
+        assert!(f.labels().iter().all(|&l| l == 0 || l == 2));
+        assert_eq!(f.len(), 6);
+    }
+
+    #[test]
+    fn shuffled_batches_cover_all_examples() {
+        let ds = toy(10);
+        let mut rng = SeededRng::new(2);
+        let batches = ds.shuffled_batches(3, &mut rng);
+        assert_eq!(batches.len(), 4); // 3+3+3+1
+        assert_eq!(batches[3].labels.len(), 1);
+        let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+        assert_eq!(total, 10);
+        let mut firsts: Vec<f32> = batches
+            .iter()
+            .flat_map(|b| b.images.data().chunks(4).map(|c| c[0]).collect::<Vec<_>>())
+            .collect();
+        firsts.sort_by(f32::total_cmp);
+        let expected: Vec<f32> = (0..10).map(|i| (i * 4) as f32).collect();
+        assert_eq!(firsts, expected);
+    }
+
+    #[test]
+    fn distinct_labels_sorted_unique() {
+        let ds = toy(7);
+        assert_eq!(ds.distinct_labels(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = toy(2);
+        let b = toy(3);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.labels()[2..], b.labels()[..]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let e = Dataset::empty([1, 2, 2]);
+        assert!(e.is_empty());
+        assert_eq!(e.batches(4).len(), 0);
+        assert!(e.distinct_labels().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn mismatched_labels_rejected() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        let _ = Dataset::new(images, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        let ds = toy(3);
+        let _ = ds.batches(0);
+    }
+}

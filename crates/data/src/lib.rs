@@ -1,0 +1,30 @@
+//! # subfed-data
+//!
+//! Dataset substrate for the Sub-FedAvg reproduction:
+//!
+//! * [`Dataset`] — images + labels with batching, splitting, and
+//!   label-filtered views;
+//! * [`synth`] — the **SynthVision** class-prototype generators standing in
+//!   for MNIST / EMNIST / CIFAR-10 / CIFAR-100 (the substitution is
+//!   documented in `DESIGN.md` §2: the paper's phenomena depend on
+//!   label-skew and class-conditional structure, not on pixel semantics);
+//! * [`partition`] — the paper's pathological non-IID partitioner (§4.1):
+//!   training data is sorted by label, cut into shards, and every client
+//!   receives two shards, so most clients hold exactly two classes;
+//! * [`stats`] — partition diagnostics (label histograms, client overlap).
+
+mod dataset;
+
+pub mod corrupt;
+pub mod dirichlet;
+pub mod partition;
+pub mod stats;
+pub mod synth;
+
+pub use dataset::{Batch, Dataset};
+pub use dirichlet::{partition_dirichlet, DirichletConfig};
+pub use partition::{
+    partition_pathological, partition_quantity_skew, ClientData, PartitionConfig,
+    QuantitySkewConfig,
+};
+pub use synth::{SynthConfig, SynthVision};

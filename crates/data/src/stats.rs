@@ -1,0 +1,134 @@
+//! Partition diagnostics: label histograms and client-overlap structure.
+//!
+//! The paper's central observation ("clients with similar data (labels)
+//! share similar personal parameters") is exercised by the overlap
+//! experiment, which needs to know which client pairs share labels.
+
+use crate::ClientData;
+
+/// Per-client label histogram over `classes` classes.
+pub fn label_histogram(client: &ClientData, classes: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; classes];
+    for &l in client.train.labels().iter().chain(client.val.labels()) {
+        assert!(l < classes, "label {l} out of range for {classes} classes");
+        hist[l] += 1;
+    }
+    hist
+}
+
+/// Jaccard similarity of two clients' label sets.
+pub fn label_jaccard(a: &ClientData, b: &ClientData) -> f32 {
+    let inter = a.labels.iter().filter(|l| b.labels.contains(l)).count();
+    let union = a.labels.len() + b.labels.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+/// Full pairwise Jaccard matrix (symmetric, unit diagonal for non-empty
+/// label sets).
+pub fn overlap_matrix(clients: &[ClientData]) -> Vec<Vec<f32>> {
+    let n = clients.len();
+    let mut m = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let v = label_jaccard(&clients[i], &clients[j]);
+            m[i][j] = v;
+            m[j][i] = v;
+        }
+    }
+    m
+}
+
+/// Mean number of distinct labels per client — the headline heterogeneity
+/// statistic (2.0 for a clean pathological split).
+pub fn mean_labels_per_client(clients: &[ClientData]) -> f32 {
+    if clients.is_empty() {
+        return 0.0;
+    }
+    clients.iter().map(|c| c.labels.len() as f32).sum::<f32>() / clients.len() as f32
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition_pathological, PartitionConfig};
+    use crate::synth::{SynthConfig, SynthVision};
+
+    fn clients() -> Vec<ClientData> {
+        let s = SynthVision::generate(SynthConfig {
+            channels: 1,
+            height: 8,
+            width: 8,
+            classes: 5,
+            train_per_class: 40,
+            test_per_class: 10,
+            noise_std: 0.05,
+            shift: 0,
+            grid: 3,
+            seed: 3,
+        });
+        partition_pathological(
+            s.train(),
+            s.test(),
+            &PartitionConfig {
+                num_clients: 5,
+                shard_size: 20,
+                shards_per_client: 2,
+                val_fraction: 0.1,
+                seed: 11,
+            },
+        )
+    }
+
+    #[test]
+    fn histogram_counts_all_local_examples() {
+        let cs = clients();
+        for c in &cs {
+            let hist = label_histogram(c, 5);
+            assert_eq!(hist.iter().sum::<usize>(), c.train.len() + c.val.len());
+            // Non-owned labels have zero counts.
+            for (l, &count) in hist.iter().enumerate() {
+                assert_eq!(count > 0, c.labels.contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_is_one_on_self_and_symmetric() {
+        let cs = clients();
+        let m = overlap_matrix(&cs);
+        for i in 0..cs.len() {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..cs.len() {
+                assert_eq!(m[i][j], m[j][i]);
+                assert!((0.0..=1.0).contains(&m[i][j]));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_labels_close_to_two() {
+        let cs = clients();
+        let m = mean_labels_per_client(&cs);
+        assert!((1.0..=2.0).contains(&m), "{m}");
+        assert_eq!(mean_labels_per_client(&[]), 0.0);
+    }
+
+    #[test]
+    fn disjoint_label_sets_have_zero_jaccard() {
+        let cs = clients();
+        // Find two clients with disjoint labels (exists with 5 classes
+        // split over 5 clients x <=2 labels); if none exist, the partition
+        // itself is wrong for this dataset size.
+        let found = cs.iter().enumerate().any(|(i, a)| {
+            cs[i + 1..].iter().any(|b| {
+                a.labels.iter().all(|l| !b.labels.contains(l)) && label_jaccard(a, b) == 0.0
+            })
+        });
+        assert!(found, "expected at least one disjoint client pair");
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests of the data substrate: partition guarantees hold
+//! for arbitrary valid configurations.
+
+use proptest::prelude::*;
+use subfed_data::{
+    partition_dirichlet, partition_pathological, DirichletConfig, PartitionConfig, SynthConfig,
+    SynthVision,
+};
+use subfed_tensor::init::SeededRng;
+
+fn synth(classes: usize, per_class: usize, seed: u64) -> SynthVision {
+    SynthVision::generate(SynthConfig {
+        channels: 1,
+        height: 8,
+        width: 8,
+        classes,
+        train_per_class: per_class,
+        test_per_class: 4,
+        noise_std: 0.05,
+        shift: 0,
+        grid: 3,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pathological_partition_covers_and_separates(
+        classes in 3usize..6,
+        clients in 2usize..6,
+        shard_size in 5usize..15,
+        seed in 0u64..500,
+    ) {
+        let per_class = clients * shard_size; // guarantees enough shards
+        let s = synth(classes, per_class, seed);
+        let cfg = PartitionConfig {
+            num_clients: clients,
+            shard_size,
+            shards_per_client: 2,
+            val_fraction: 0.1,
+            seed,
+        };
+        let parts = partition_pathological(s.train(), s.test(), &cfg);
+        prop_assert_eq!(parts.len(), clients);
+        let mut total = 0usize;
+        for c in &parts {
+            let n = c.train.len() + c.val.len();
+            prop_assert_eq!(n, 2 * shard_size, "client {} has {} examples", c.id, n);
+            total += n;
+            // Labels recorded match the data.
+            let mut seen: Vec<usize> = c
+                .train.labels().iter().chain(c.val.labels()).copied().collect();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(&seen, &c.labels);
+            // Test view filtered to owned labels.
+            prop_assert!(c.test.labels().iter().all(|l| c.labels.contains(l)));
+        }
+        prop_assert_eq!(total, clients * 2 * shard_size);
+    }
+
+    #[test]
+    fn pathological_clients_hold_few_labels(
+        seed in 0u64..500,
+    ) {
+        // With shard_size dividing per-class counts, a shard spans at most
+        // 2 adjacent classes.
+        let s = synth(5, 40, seed);
+        let cfg = PartitionConfig {
+            num_clients: 5,
+            shard_size: 20,
+            shards_per_client: 2,
+            val_fraction: 0.1,
+            seed,
+        };
+        for c in partition_pathological(s.train(), s.test(), &cfg) {
+            prop_assert!((1..=2).contains(&c.labels.len()));
+        }
+    }
+
+    #[test]
+    fn dirichlet_partition_covers_everything(
+        alpha in 0.05f32..10.0,
+        clients in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        let s = synth(5, 60, seed);
+        let cfg = DirichletConfig {
+            num_clients: clients,
+            alpha,
+            min_per_client: 5,
+            val_fraction: 0.1,
+            seed,
+        };
+        let parts = partition_dirichlet(s.train(), s.test(), &cfg);
+        let total: usize = parts.iter().map(|c| c.train.len() + c.val.len()).sum();
+        prop_assert_eq!(total, s.train().len());
+        for c in &parts {
+            prop_assert!(c.train.len() + c.val.len() >= 5);
+            prop_assert!(c.test.labels().iter().all(|l| c.labels.contains(l)));
+        }
+    }
+
+    #[test]
+    fn split_partitions_dataset(
+        frac in 0.0f32..=1.0,
+        n in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let s = synth(2, n, seed);
+        let ds = s.train();
+        let mut rng = SeededRng::new(seed);
+        let (a, b) = ds.split(frac, &mut rng);
+        prop_assert_eq!(a.len() + b.len(), ds.len());
+        let expected = (frac * ds.len() as f32).round() as usize;
+        prop_assert_eq!(a.len(), expected.min(ds.len()));
+    }
+
+    #[test]
+    fn batches_partition_dataset(
+        batch in 1usize..17,
+        n in 1usize..30,
+        seed in 0u64..500,
+    ) {
+        let s = synth(3, n, seed);
+        let ds = s.train();
+        let mut rng = SeededRng::new(seed);
+        let batches = ds.shuffled_batches(batch, &mut rng);
+        let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+        prop_assert_eq!(total, ds.len());
+        for (i, b) in batches.iter().enumerate() {
+            if i + 1 < batches.len() {
+                prop_assert_eq!(b.labels.len(), batch);
+            } else {
+                prop_assert!(b.labels.len() <= batch && !b.labels.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn quantity_skew_covers_for_any_skew(
+        skew in 0.0f32..2.5,
+        clients in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        use subfed_data::{partition_quantity_skew, QuantitySkewConfig};
+        let s = synth(4, 50, seed);
+        let parts = partition_quantity_skew(
+            s.train(),
+            s.test(),
+            &QuantitySkewConfig {
+                num_clients: clients,
+                skew,
+                min_per_client: 5,
+                val_fraction: 0.1,
+                seed,
+            },
+        );
+        let total: usize = parts.iter().map(|c| c.train.len() + c.val.len()).sum();
+        prop_assert_eq!(total, s.train().len());
+        for c in &parts {
+            prop_assert!(c.train.len() + c.val.len() >= 5);
+        }
+        // Sizes are non-increasing in client index (power-law shares).
+        let sizes: Vec<usize> = parts.iter().map(|c| c.train.len() + c.val.len()).collect();
+        for w in sizes.windows(2) {
+            prop_assert!(w[0] + 2 >= w[1], "sizes not ordered: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn label_flipping_preserves_counts_and_images(
+        fraction in 0.0f32..=1.0,
+        seed in 0u64..500,
+    ) {
+        use subfed_data::corrupt::flip_labels;
+        use subfed_data::{partition_pathological, PartitionConfig};
+        let s = synth(4, 40, seed);
+        let clients = partition_pathological(
+            s.train(),
+            s.test(),
+            &PartitionConfig {
+                num_clients: 4,
+                shard_size: 20,
+                shards_per_client: 2,
+                val_fraction: 0.1,
+                seed,
+            },
+        );
+        let (out, report) = flip_labels(&clients, 4, fraction, seed);
+        prop_assert_eq!(out.len(), clients.len());
+        // Permutation is a derangement.
+        for (i, &v) in report.permutation.iter().enumerate() {
+            prop_assert!(i != v);
+        }
+        for (a, b) in clients.iter().zip(out.iter()) {
+            prop_assert_eq!(a.train.len(), b.train.len());
+            prop_assert_eq!(a.train.images().data(), b.train.images().data());
+            prop_assert_eq!(a.test.labels(), b.test.labels());
+        }
+        if fraction == 0.0 {
+            prop_assert!(report.corrupted.is_empty());
+        } else {
+            prop_assert!(!report.corrupted.is_empty());
+        }
+    }
+
+    #[test]
+    fn filter_by_labels_is_idempotent(
+        keep in prop::collection::vec(0usize..4, 1..4),
+        seed in 0u64..500,
+    ) {
+        let s = synth(4, 10, seed);
+        let once = s.train().filter_by_labels(&keep);
+        let twice = once.filter_by_labels(&keep);
+        prop_assert_eq!(once.len(), twice.len());
+        prop_assert_eq!(once.labels(), twice.labels());
+    }
+}

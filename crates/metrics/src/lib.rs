@@ -1,0 +1,17 @@
+//! # subfed-metrics
+//!
+//! Analytic models and reporting used by every experiment:
+//!
+//! * [`comm`] — the paper's communication-cost model
+//!   (`Cost = R × B × |W| × 2`, §4.2.2) extended to masked transfers:
+//!   unpruned parameters cost 32 bits, mask entries 1 bit;
+//! * [`flops`] — convolution/FC FLOP counting under channel masks
+//!   (structured pruning reduces FLOPs; unstructured pruning reduces
+//!   parameters only — exactly the paper's Table 2 semantics);
+//! * [`report`] — fixed-width table and series rendering shared by the
+//!   table/figure bench harnesses.
+
+pub mod comm;
+pub mod flops;
+pub mod report;
+pub mod summary;

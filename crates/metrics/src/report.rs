@@ -1,0 +1,165 @@
+//! Fixed-width table and series rendering for the bench harnesses.
+//!
+//! Every table/figure harness prints through these helpers so
+//! `bench_output.txt` has one consistent, diffable format.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, " {c:<w$} |");
+            }
+            s
+        };
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let _ = writeln!(out, "{sep}");
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        let _ = writeln!(out, "{sep}");
+        let _ = ncols;
+        out
+    }
+}
+
+/// Renders an (x, y) series as `name: x=..., y=...` lines plus a coarse
+/// ASCII sparkline, for the figure harnesses.
+pub fn render_series(name: &str, xs: &[f32], ys: &[f32]) -> String {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    let mut out = String::new();
+    let _ = writeln!(out, "-- series: {name} --");
+    for (x, y) in xs.iter().zip(ys) {
+        let _ = writeln!(out, "  {x:>10.3}  {y:>10.4}");
+    }
+    if !ys.is_empty() {
+        let lo = ys.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = ys.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let ramp = [' ', '.', ':', '-', '=', '+', '*', '#'];
+        let spark: String = ys
+            .iter()
+            .map(|&y| {
+                let t = if hi > lo { (y - lo) / (hi - lo) } else { 0.5 };
+                ramp[((t * (ramp.len() - 1) as f32).round() as usize).min(ramp.len() - 1)]
+            })
+            .collect();
+        let _ = writeln!(out, "  [{spark}]  ({lo:.3} .. {hi:.3})");
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(frac: f32) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["algo", "acc"]);
+        t.row(&["FedAvg".into(), "58.99%".into()]);
+        t.row(&["Sub-FedAvg (Un)".into(), "86.01%".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("| FedAvg          | 58.99% |"));
+        assert!(s.contains("| Sub-FedAvg (Un) | 86.01% |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_row_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn series_renders_every_point() {
+        let s = render_series("acc vs rounds", &[1.0, 2.0, 3.0], &[0.1, 0.5, 0.9]);
+        assert!(s.contains("acc vs rounds"));
+        assert_eq!(s.matches('\n').count(), 5); // header + 3 points + spark
+        assert!(s.contains("0.1000"));
+    }
+
+    #[test]
+    fn series_handles_constant_values() {
+        let s = render_series("flat", &[0.0, 1.0], &[0.5, 0.5]);
+        assert!(s.contains("0.500 .. 0.500"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.8601), "86.0%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn series_length_mismatch_panics() {
+        let _ = render_series("bad", &[1.0], &[]);
+    }
+}

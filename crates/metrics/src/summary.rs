@@ -1,0 +1,104 @@
+//! Multi-seed summary statistics: the reproduction's runs are cheap enough
+//! to repeat over seeds, and the bench harnesses report mean ± std where
+//! variance matters.
+
+use std::fmt;
+
+/// Mean and (sample) standard deviation of a set of measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub std: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl MeanStd {
+    /// Summarises a slice of measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise zero measurements");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let std = if n > 1 {
+            (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64)
+                .sqrt()
+        } else {
+            0.0
+        };
+        Self { mean, std, n }
+    }
+
+    /// Summarises `f32` measurements.
+    pub fn of_f32(values: &[f32]) -> Self {
+        let v64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Self::of(&v64)
+    }
+
+    /// Formats as a percentage, `"86.0% ± 1.2"`.
+    pub fn as_pct(&self) -> String {
+        format!("{:.1}% ± {:.1}", 100.0 * self.mean, 100.0 * self.std)
+    }
+}
+
+impl fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.std, self.n)
+    }
+}
+
+/// Runs `f` once per seed and summarises the results.
+pub fn over_seeds(seeds: &[u64], mut f: impl FnMut(u64) -> f64) -> MeanStd {
+    let values: Vec<f64> = seeds.iter().map(|&s| f(s)).collect();
+    MeanStd::of(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = MeanStd::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std of that classic set is ~2.138.
+        assert!((s.std - 2.138).abs() < 0.01, "{}", s.std);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn single_sample_has_zero_std() {
+        let s = MeanStd::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn over_seeds_runs_each_once() {
+        let mut calls = Vec::new();
+        let s = over_seeds(&[1, 2, 3], |seed| {
+            calls.push(seed);
+            seed as f64
+        });
+        assert_eq!(calls, vec![1, 2, 3]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting() {
+        let s = MeanStd::of_f32(&[0.84, 0.88]);
+        assert_eq!(s.as_pct(), "86.0% ± 2.8");
+        assert!(s.to_string().contains("n=2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero measurements")]
+    fn empty_rejected() {
+        let _ = MeanStd::of(&[]);
+    }
+}

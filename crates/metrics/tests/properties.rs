@@ -1,0 +1,97 @@
+//! Property-based tests of the communication and FLOP models.
+
+use proptest::prelude::*;
+use subfed_metrics::comm::{
+    dense_run_bytes, dense_transfer_bytes, mask_bytes, masked_transfer_bytes, pack_mask,
+    unpack_mask,
+};
+use subfed_metrics::flops::{
+    conv_flop_reduction, dense_conv_flops, masked_conv_flops, masked_trainable_params,
+};
+use subfed_nn::models::ModelSpec;
+use subfed_pruning::ChannelMask;
+
+fn lenet_mask() -> impl Strategy<Value = ChannelMask> {
+    (
+        prop::collection::vec(prop::bool::ANY, 6),
+        prop::collection::vec(prop::bool::ANY, 16),
+    )
+        .prop_map(|(mut a, mut b)| {
+            // Keep at least one channel per block (the structural invariant
+            // slimming_mask maintains).
+            if a.iter().all(|&k| !k) {
+                a[0] = true;
+            }
+            if b.iter().all(|&k| !k) {
+                b[0] = true;
+            }
+            ChannelMask::from_keep(vec![a, b])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pack_unpack_roundtrip(bits in prop::collection::vec(prop::bool::ANY, 0..200)) {
+        let mask: Vec<f32> = bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let packed = pack_mask(&mask);
+        prop_assert_eq!(packed.len() as u64, mask_bytes(mask.len()));
+        let unpacked = unpack_mask(&packed, mask.len());
+        prop_assert_eq!(unpacked, mask);
+    }
+
+    #[test]
+    fn masked_transfer_never_exceeds_dense(kept in 0usize..100_000, total in 0usize..100_000) {
+        prop_assume!(kept <= total);
+        prop_assert!(masked_transfer_bytes(kept) <= dense_transfer_bytes(total));
+    }
+
+    #[test]
+    fn dense_run_cost_is_linear_in_every_factor(
+        rounds in 1u64..1000,
+        clients in 1u64..100,
+        params in 1usize..100_000,
+    ) {
+        let base = dense_run_bytes(rounds, clients, params);
+        prop_assert_eq!(dense_run_bytes(2 * rounds, clients, params), 2 * base);
+        prop_assert_eq!(dense_run_bytes(rounds, 2 * clients, params), 2 * base);
+        prop_assert_eq!(dense_run_bytes(rounds, clients, 2 * params), 2 * base);
+        prop_assert_eq!(base, rounds * clients * params as u64 * 8);
+    }
+
+    #[test]
+    fn masked_flops_bounded_by_dense_and_monotone(mask in lenet_mask()) {
+        let spec = ModelSpec::lenet5(3, 32, 32, 10);
+        let masked = masked_conv_flops(&spec, &mask);
+        prop_assert!(masked <= dense_conv_flops(&spec));
+        prop_assert!(masked > 0);
+        prop_assert!(conv_flop_reduction(&spec, &mask) >= 1.0);
+        // Removing one more channel never increases FLOPs.
+        let keep = mask.keep().to_vec();
+        if keep[1].iter().filter(|&&k| k).count() > 1 {
+            let mut tighter = keep.clone();
+            if let Some(pos) = tighter[1].iter().position(|&k| k) {
+                tighter[1][pos] = false;
+            }
+            let tighter_mask = ChannelMask::from_keep(tighter);
+            prop_assert!(masked_conv_flops(&spec, &tighter_mask) <= masked);
+        }
+    }
+
+    #[test]
+    fn masked_params_bounded_by_dense(mask in lenet_mask()) {
+        let spec = ModelSpec::lenet5(3, 32, 32, 10);
+        let masked = masked_trainable_params(&spec, &mask);
+        prop_assert!(masked <= spec.num_trainable() as u64);
+        prop_assert!(masked > 0);
+    }
+
+    #[test]
+    fn full_mask_is_identity_for_flops_and_params(_x in 0..1) {
+        let spec = ModelSpec::lenet5(3, 32, 32, 10);
+        let full = ChannelMask::from_keep(vec![vec![true; 6], vec![true; 16]]);
+        prop_assert_eq!(masked_conv_flops(&spec, &full), dense_conv_flops(&spec));
+        prop_assert_eq!(masked_trainable_params(&spec, &full), spec.num_trainable() as u64);
+    }
+}

@@ -1,0 +1,61 @@
+use crate::Param;
+use subfed_tensor::Tensor;
+
+/// Forward-pass mode: training (batch statistics, dropout active) or
+/// evaluation (running statistics, dropout inactive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training mode.
+    Train,
+    /// Evaluation / inference mode.
+    Eval,
+}
+
+/// A differentiable layer with explicit forward and backward passes.
+///
+/// Conventions:
+///
+/// * `forward` caches whatever the subsequent `backward` needs; calling
+///   `backward` without a preceding `forward` in [`Mode::Train`] panics.
+/// * `backward` consumes the cached activations, **overwrites** each
+///   parameter's `grad` with this batch's gradient, and returns the gradient
+///   with respect to the layer input. One `forward`/`backward` pair per
+///   optimizer step — gradients are not accumulated across calls.
+/// * Layers are `Send` so the federation can train clients on worker
+///   threads.
+pub trait Layer: Send {
+    /// Human-readable layer name (used in parameter names and debugging).
+    fn name(&self) -> &'static str;
+
+    /// Computes the layer output for `input`.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Backpropagates `grad_out` (gradient w.r.t. the layer output),
+    /// returning the gradient w.r.t. the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-mode `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// The layer's parameters (possibly empty), in a stable order.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable access to the layer's parameters, in the same order as
+    /// [`Layer::params`].
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Clones the layer into a boxed trait object (activation caches
+    /// included; clones are cheap because caches are small tensors).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}

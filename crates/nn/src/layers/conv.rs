@@ -1,0 +1,245 @@
+use crate::{Layer, Mode, Param, ParamKind};
+use subfed_tensor::conv::{col2im, im2col, ConvGeom};
+use subfed_tensor::init::{kaiming_uniform, SeededRng};
+use subfed_tensor::linalg::{matmul, matmul_nt, matmul_tn};
+use subfed_tensor::Tensor;
+
+/// 2-D convolution with square kernels, implemented via `im2col` + matmul.
+///
+/// Weight layout is `[out_ch, in_ch, kh, kw]`; input/output are NCHW.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    /// One `[col_rows, col_cols]` patch matrix per batch sample.
+    cols: Vec<Tensor>,
+    geom: ConvGeom,
+    batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-uniform initialisation
+    /// (`fan_in = in_ch * k²`), matching the reference implementation.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        let fan_in = in_ch * kernel * kernel;
+        let weight = Param::new(
+            ParamKind::ConvWeight,
+            kaiming_uniform(&[out_ch, in_ch, kernel, kernel], fan_in, rng),
+        );
+        let bias = Param::new(ParamKind::ConvBias, kaiming_uniform(&[out_ch], fan_in, rng));
+        Self { weight, bias, in_ch, out_ch, kernel, stride, pad, cache: None }
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    fn geom_for(&self, h: usize, w: usize) -> ConvGeom {
+        ConvGeom {
+            channels: self.in_ch,
+            height: h,
+            width: w,
+            kh: self.kernel,
+            kw: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.ndim(), 4, "conv2d expects NCHW input, got {:?}", input.shape());
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        assert_eq!(c, self.in_ch, "conv2d: expected {} input channels, got {c}", self.in_ch);
+        let geom = self.geom_for(h, w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let col_rows = geom.col_rows();
+        let col_cols = geom.col_cols();
+        let wmat = self
+            .weight
+            .value
+            .reshape(&[self.out_ch, col_rows])
+            .expect("conv weight reshape");
+        let mut out = vec![0.0f32; n * self.out_ch * oh * ow];
+        let img_len = c * h * w;
+        let out_len = self.out_ch * oh * ow;
+        let mut cols_cache = Vec::with_capacity(n);
+        for i in 0..n {
+            let img = &input.data()[i * img_len..(i + 1) * img_len];
+            let mut cols = vec![0.0f32; col_rows * col_cols];
+            im2col(img, &geom, &mut cols);
+            let cols_t = Tensor::from_vec(vec![col_rows, col_cols], cols).expect("cols shape");
+            let prod = matmul(&wmat, &cols_t);
+            let dst = &mut out[i * out_len..(i + 1) * out_len];
+            dst.copy_from_slice(prod.data());
+            for oc in 0..self.out_ch {
+                let b = self.bias.value.data()[oc];
+                for v in &mut dst[oc * col_cols..(oc + 1) * col_cols] {
+                    *v += b;
+                }
+            }
+            cols_cache.push(cols_t);
+        }
+        if mode == Mode::Train {
+            self.cache = Some(Cache { cols: cols_cache, geom, batch: n });
+        } else {
+            self.cache = None;
+        }
+        Tensor::from_vec(vec![n, self.out_ch, oh, ow], out).expect("conv output shape")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("conv2d backward without forward");
+        let geom = cache.geom;
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let col_rows = geom.col_rows();
+        let col_cols = geom.col_cols();
+        let n = cache.batch;
+        assert_eq!(
+            grad_out.shape(),
+            &[n, self.out_ch, oh, ow],
+            "conv2d backward: unexpected grad shape"
+        );
+        let wmat = self
+            .weight
+            .value
+            .reshape(&[self.out_ch, col_rows])
+            .expect("conv weight reshape");
+        let mut dw = Tensor::zeros(&[self.out_ch, col_rows]);
+        let mut db = vec![0.0f32; self.out_ch];
+        let img_len = geom.channels * geom.height * geom.width;
+        let out_len = self.out_ch * oh * ow;
+        let mut dx = vec![0.0f32; n * img_len];
+        for i in 0..n {
+            let go = &grad_out.data()[i * out_len..(i + 1) * out_len];
+            let go_t =
+                Tensor::from_vec(vec![self.out_ch, col_cols], go.to_vec()).expect("grad shape");
+            // dW += dOut · colsᵀ
+            dw.add_assign(&matmul_nt(&go_t, &cache.cols[i]));
+            // db += rowwise sum of dOut
+            for oc in 0..self.out_ch {
+                db[oc] += go[oc * col_cols..(oc + 1) * col_cols].iter().sum::<f32>();
+            }
+            // dcols = Wᵀ · dOut, scattered back by col2im
+            let dcols = matmul_tn(&wmat, &go_t);
+            col2im(dcols.data(), &geom, &mut dx[i * img_len..(i + 1) * img_len]);
+        }
+        self.weight.grad = dw
+            .reshape(&[self.out_ch, self.in_ch, self.kernel, self.kernel])
+            .expect("conv grad reshape");
+        self.bias.grad = Tensor::from_vec(vec![self.out_ch], db).expect("bias grad shape");
+        Tensor::from_vec(vec![n, geom.channels, geom.height, geom.width], dx)
+            .expect("conv input grad shape")
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subfed_tensor::conv::direct_conv2d_single;
+    use subfed_tensor::init::uniform;
+
+    #[test]
+    fn forward_matches_direct_convolution() {
+        let mut rng = SeededRng::new(1);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = uniform(&[2, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 3, 6, 6]);
+        let geom = conv.geom_for(6, 6);
+        for i in 0..2 {
+            let img = &x.data()[i * 72..(i + 1) * 72];
+            let direct =
+                direct_conv2d_single(img, &conv.weight.value, Some(conv.bias.value.data()), &geom);
+            subfed_tensor::assert_slice_close(
+                &y.data()[i * 108..(i + 1) * 108],
+                &direct,
+                1e-4,
+                1e-4,
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_pass_finite_difference_check() {
+        let mut rng = SeededRng::new(2);
+        let conv = Conv2d::new(1, 2, 3, 1, 0, &mut rng);
+        crate::gradcheck::check_layer(Box::new(conv), &[2, 1, 5, 5], 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn strided_gradients_pass_finite_difference_check() {
+        let mut rng = SeededRng::new(3);
+        let conv = Conv2d::new(2, 2, 3, 2, 1, &mut rng);
+        crate::gradcheck::check_layer(Box::new(conv), &[1, 2, 6, 6], 1e-2, 2e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward without forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = SeededRng::new(4);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng);
+        let _ = conv.backward(&Tensor::zeros(&[1, 1, 3, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn wrong_channel_count_panics() {
+        let mut rng = SeededRng::new(5);
+        let mut conv = Conv2d::new(3, 1, 3, 1, 0, &mut rng);
+        let _ = conv.forward(&Tensor::zeros(&[1, 2, 5, 5]), Mode::Eval);
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache() {
+        let mut rng = SeededRng::new(6);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng);
+        let _ = conv.forward(&Tensor::zeros(&[1, 1, 5, 5]), Mode::Eval);
+        assert!(conv.cache.is_none());
+    }
+}

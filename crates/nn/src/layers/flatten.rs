@@ -1,0 +1,66 @@
+use crate::{Layer, Mode};
+use subfed_tensor::Tensor;
+
+/// Flattens NCHW feature maps into `[batch, features]` rows.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert!(input.ndim() >= 2, "flatten expects at least 2 dimensions");
+        let batch = input.shape()[0];
+        let features: usize = input.shape()[1..].iter().product();
+        if mode == Mode::Train {
+            self.in_shape = Some(input.shape().to_vec());
+        } else {
+            self.in_shape = None;
+        }
+        input.reshape(&[batch, features]).expect("flatten reshape")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.in_shape.take().expect("flatten backward without forward");
+        grad_out.reshape(&shape).expect("flatten backward reshape")
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(vec![2, 3, 2, 2], (0..24).map(|v| v as f32).collect()).unwrap();
+        let y = f.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 12]);
+        assert_eq!(y.data(), x.data());
+        let dx = f.backward(&y);
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dx.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward without forward")]
+    fn backward_without_forward_panics() {
+        let mut f = Flatten::new();
+        let _ = f.backward(&Tensor::zeros(&[1, 4]));
+    }
+}

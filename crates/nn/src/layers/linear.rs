@@ -1,0 +1,144 @@
+use crate::{Layer, Mode, Param, ParamKind};
+use subfed_tensor::init::{kaiming_uniform, SeededRng};
+use subfed_tensor::linalg::{matmul, matmul_tn};
+use subfed_tensor::reduce::sum_rows;
+use subfed_tensor::Tensor;
+
+/// Fully-connected layer: `y = x·Wᵀ + b` with `W: [out, in]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform initialisation
+    /// (`fan_in = in_features`).
+    pub fn new(in_features: usize, out_features: usize, rng: &mut SeededRng) -> Self {
+        let weight = Param::new(
+            ParamKind::FcWeight,
+            kaiming_uniform(&[out_features, in_features], in_features, rng),
+        );
+        let bias = Param::new(ParamKind::FcBias, kaiming_uniform(&[out_features], in_features, rng));
+        Self { weight, bias, in_features, out_features, cache: None }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.ndim(), 2, "linear expects [batch, features], got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "linear: expected {} input features, got {}",
+            self.in_features,
+            input.shape()[1]
+        );
+        let n = input.shape()[0];
+        // y = x·Wᵀ (+ b): matmul_nt(x [n,in], W [out,in]) -> [n,out]
+        let mut y = subfed_tensor::linalg::matmul_nt(input, &self.weight.value);
+        for i in 0..n {
+            let row = &mut y.data_mut()[i * self.out_features..(i + 1) * self.out_features];
+            for (v, &b) in row.iter_mut().zip(self.bias.value.data()) {
+                *v += b;
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(input.clone());
+        } else {
+            self.cache = None;
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.take().expect("linear backward without forward");
+        assert_eq!(grad_out.shape()[0], x.shape()[0], "linear backward batch mismatch");
+        assert_eq!(grad_out.shape()[1], self.out_features, "linear backward feature mismatch");
+        // dW = dyᵀ·x : matmul_tn(dy [n,out], x [n,in]) -> [out,in]
+        self.weight.grad = matmul_tn(grad_out, &x);
+        self.bias.grad = sum_rows(grad_out);
+        // dx = dy·W : matmul(dy [n,out], W [out,in]) -> [n,in]
+        matmul(grad_out, &self.weight.value)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = SeededRng::new(1);
+        let mut lin = Linear::new(2, 3, &mut rng);
+        lin.weight.value =
+            Tensor::from_vec(vec![3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        lin.bias.value = Tensor::from_vec(vec![3], vec![0.5, -0.5, 0.0]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![2.0, 3.0]).unwrap();
+        let y = lin.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[2.5, 2.5, 5.0]);
+    }
+
+    #[test]
+    fn gradients_pass_finite_difference_check() {
+        let mut rng = SeededRng::new(2);
+        let lin = Linear::new(4, 3, &mut rng);
+        crate::gradcheck::check_layer(Box::new(lin), &[3, 4], 1e-2, 1e-2);
+    }
+
+    #[test]
+    fn bias_gradient_is_row_sum() {
+        let mut rng = SeededRng::new(3);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let x = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let _ = lin.forward(&x, Mode::Train);
+        let dy = Tensor::from_vec(vec![2, 2], vec![1.0, 10.0, 2.0, 20.0]).unwrap();
+        let _ = lin.backward(&dy);
+        assert_eq!(lin.bias.grad.data(), &[3.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward without forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = SeededRng::new(4);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let _ = lin.backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "input features")]
+    fn wrong_feature_count_panics() {
+        let mut rng = SeededRng::new(5);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        let _ = lin.forward(&Tensor::zeros(&[1, 4]), Mode::Eval);
+    }
+}

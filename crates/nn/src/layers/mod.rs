@@ -1,0 +1,18 @@
+//! The layer zoo: every building block of the paper's CNN-5 and LeNet-5
+//! architectures.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod dropout;
+mod flatten;
+mod linear;
+mod pool;
+
+pub use activation::{LeakyReLU, ReLU, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, MaxPool2d};

@@ -1,0 +1,321 @@
+//! The pruning schedules of Algorithms 1 and 2: *when* a client prunes.
+//!
+//! Both algorithms derive a candidate mask at the end of the first local
+//! epoch and another at the end of the last local epoch, then prune only if
+//! all three gates pass:
+//!
+//! 1. validation accuracy ≥ `acc_threshold` (don't prune an unconverged
+//!    model),
+//! 2. the target pruning rate has not been reached yet,
+//! 3. the Hamming distance Δ between the two candidate masks ≥ ε (the mask
+//!    is still *moving* — once it stabilises below ε the subnetwork is
+//!    considered found).
+//!
+//! In the hybrid algorithm the structured and unstructured tracks are gated
+//! independently (Algorithm 2, line 19: "if **any** of the conditions
+//! Δ_s ≥ ε or Δ_us ≥ ε hold, apply its corresponding mask").
+
+use crate::structured::{expand_channel_mask, slimming_mask, ChannelMask};
+use crate::unstructured::{magnitude_mask, pruned_fraction, PruneScope, Ranking};
+use serde::{Deserialize, Serialize};
+use subfed_nn::models::channel_graph;
+use subfed_nn::{ModelMask, Sequential};
+
+/// Client-side controller for Sub-FedAvg (Un) — Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnstructuredController {
+    /// Fraction of remaining weights pruned per accepted step (`r_us`,
+    /// paper: 5–10% per iteration).
+    pub rate: f32,
+    /// Target overall pruned fraction (`p_us`, paper: 30/50/70%).
+    pub target: f32,
+    /// Validation-accuracy gate (`Acc_th`).
+    pub acc_threshold: f32,
+    /// Mask-distance gate (`ε_us`, paper: 1e-4).
+    pub eps: f32,
+    /// Which weights to prune.
+    pub scope: PruneScope,
+    /// Magnitude ranking strategy.
+    pub ranking: Ranking,
+}
+
+impl UnstructuredController {
+    /// The paper's hyper-parameters for Sub-FedAvg (Un) at a given target.
+    pub fn paper_defaults(target: f32) -> Self {
+        Self {
+            rate: 0.1,
+            target,
+            acc_threshold: 0.5,
+            eps: 1e-4,
+            scope: PruneScope::AllWeights,
+            ranking: Ranking::LayerWise,
+        }
+    }
+
+    /// Derives the candidate mask for the current weights (one geometric
+    /// pruning step below `current`).
+    pub fn candidate(&self, model: &Sequential, current: &ModelMask) -> ModelMask {
+        magnitude_mask(model, current, self.rate, self.scope, self.ranking)
+    }
+
+    /// Evaluates the three gates of Algorithm 1 (line 14).
+    pub fn should_prune(&self, val_acc: f32, current: &ModelMask, mask_distance: f32) -> bool {
+        val_acc >= self.acc_threshold
+            && pruned_fraction(current, self.scope) < self.target
+            && mask_distance >= self.eps
+    }
+
+    /// One full client-side pruning decision: derive candidates from the
+    /// first-epoch and last-epoch weights, gate on Δ, and return the new
+    /// mask (the last-epoch candidate) if pruning fires.
+    pub fn step(
+        &self,
+        model_first_epoch: &Sequential,
+        model_last_epoch: &Sequential,
+        current: &ModelMask,
+        val_acc: f32,
+    ) -> Option<ModelMask> {
+        let m_fe = self.candidate(model_first_epoch, current);
+        let m_le = self.candidate(model_last_epoch, current);
+        let delta = m_fe.hamming_distance(&m_le, |k| self.scope.includes(k));
+        if self.should_prune(val_acc, current, delta) {
+            Some(m_le)
+        } else {
+            None
+        }
+    }
+}
+
+/// Decision of one hybrid step: which tracks fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructuredGate {
+    /// The structured (channel) track pruned this round.
+    pub structured_fired: bool,
+    /// The unstructured (FC) track pruned this round.
+    pub unstructured_fired: bool,
+}
+
+/// Full outcome of one hybrid pruning step.
+#[derive(Debug, Clone)]
+pub struct HybridStep {
+    /// Updated channel mask (structured track state).
+    pub channels: ChannelMask,
+    /// Updated FC-only unstructured base mask.
+    pub unstructured: ModelMask,
+    /// The combined parameter mask: `expand(channels) ∧ unstructured`.
+    pub mask: ModelMask,
+    /// Which tracks fired.
+    pub gate: StructuredGate,
+}
+
+/// Client-side controller for Sub-FedAvg (Hy) — Algorithm 2: structured
+/// pruning on conv channels (via BN |γ|) plus unstructured pruning on FC
+/// weights, independently gated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridController {
+    /// Channel-pruning fraction per accepted step (`r_s`).
+    pub structured_rate: f32,
+    /// Target fraction of channels pruned (`p_s`).
+    pub structured_target: f32,
+    /// Channel mask-distance gate (`ε_s`, paper: 0.05).
+    pub structured_eps: f32,
+    /// The FC-scoped unstructured track.
+    pub unstructured: UnstructuredController,
+    /// Validation-accuracy gate shared by both tracks (`Acc_th`).
+    pub acc_threshold: f32,
+}
+
+impl HybridController {
+    /// The paper's hyper-parameters for Sub-FedAvg (Hy) at the given
+    /// channel/weight targets.
+    pub fn paper_defaults(structured_target: f32, unstructured_target: f32) -> Self {
+        Self {
+            structured_rate: 0.1,
+            structured_target,
+            structured_eps: 0.05,
+            unstructured: UnstructuredController {
+                rate: 0.1,
+                target: unstructured_target,
+                acc_threshold: 0.5,
+                eps: 1e-4,
+                scope: PruneScope::FcOnly,
+                ranking: Ranking::LayerWise,
+            },
+            acc_threshold: 0.5,
+        }
+    }
+
+    /// One full client-side hybrid pruning decision (Algorithm 2 lines
+    /// 14–23). The returned parameter mask is always the expansion of the
+    /// (possibly unchanged) channel mask over the (possibly unchanged)
+    /// unstructured base.
+    pub fn step(
+        &self,
+        model_first_epoch: &Sequential,
+        model_last_epoch: &Sequential,
+        current_channels: &ChannelMask,
+        current_unstructured: &ModelMask,
+        val_acc: f32,
+    ) -> HybridStep {
+        let mut channels = current_channels.clone();
+        let mut unstructured = current_unstructured.clone();
+        let mut gate = StructuredGate { structured_fired: false, unstructured_fired: false };
+
+        let acc_ok = val_acc >= self.acc_threshold;
+
+        // Structured track.
+        if acc_ok && current_channels.pruned_fraction() < self.structured_target {
+            let c_fe = slimming_mask(model_first_epoch, current_channels, self.structured_rate);
+            let c_le = slimming_mask(model_last_epoch, current_channels, self.structured_rate);
+            let delta_s = c_fe.hamming_distance(&c_le);
+            if delta_s >= self.structured_eps {
+                channels = c_le;
+                gate.structured_fired = true;
+            }
+        }
+
+        // Unstructured (FC) track — independent gating.
+        if acc_ok
+            && pruned_fraction(current_unstructured, self.unstructured.scope)
+                < self.unstructured.target
+        {
+            let m_fe = self.unstructured.candidate(model_first_epoch, current_unstructured);
+            let m_le = self.unstructured.candidate(model_last_epoch, current_unstructured);
+            let delta_us =
+                m_fe.hamming_distance(&m_le, |k| self.unstructured.scope.includes(k));
+            if delta_us >= self.unstructured.eps {
+                unstructured = m_le;
+                gate.unstructured_fired = true;
+            }
+        }
+
+        let mask = expand_channel_mask(model_last_epoch, &channels, &unstructured);
+        HybridStep { channels, unstructured, mask, gate }
+    }
+
+    /// Builds the initial (all-ones) channel mask for a model.
+    pub fn initial_channels(model: &Sequential) -> ChannelMask {
+        ChannelMask::ones_for(&channel_graph(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subfed_nn::models::ModelSpec;
+    use subfed_tensor::init::SeededRng;
+
+    fn model(seed: u64) -> Sequential {
+        let mut m = ModelSpec::lenet5(1, 16, 16, 4).build(&mut SeededRng::new(seed));
+        // Fresh models all carry γ = 1; randomise them as local training
+        // would, so channel importances (and thus candidate masks) differ
+        // between "first epoch" and "last epoch" snapshots.
+        let mut rng = SeededRng::new(seed ^ 0xABCD);
+        for p in m.params_mut() {
+            if p.kind == subfed_nn::ParamKind::BnGamma {
+                for v in p.value.data_mut() {
+                    *v = rng.uniform_f32(0.1, 2.0);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn gates_all_must_pass() {
+        let c = UnstructuredController::paper_defaults(0.5);
+        let m = model(1);
+        let ones = ModelMask::ones_for(&m);
+        // All pass.
+        assert!(c.should_prune(0.9, &ones, 0.01));
+        // Accuracy too low.
+        assert!(!c.should_prune(0.4, &ones, 0.01));
+        // Distance below eps.
+        assert!(!c.should_prune(0.9, &ones, 0.0));
+        // Target reached: craft a mask at 50%.
+        let half = magnitude_mask(&m, &ones, 0.5, PruneScope::AllWeights, Ranking::LayerWise);
+        assert!(!c.should_prune(0.9, &half, 0.01));
+    }
+
+    #[test]
+    fn step_prunes_when_weights_moved() {
+        let c = UnstructuredController::paper_defaults(0.7);
+        // Two different models (simulating first vs last epoch weights)
+        // produce different candidate masks -> distance above eps.
+        let m_fe = model(1);
+        let m_le = model(2);
+        let current = ModelMask::ones_for(&m_fe);
+        let next = c.step(&m_fe, &m_le, &current, 0.9).expect("should prune");
+        let frac = pruned_fraction(&next, PruneScope::AllWeights);
+        assert!((frac - c.rate).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn step_skips_when_mask_stable() {
+        let c = UnstructuredController::paper_defaults(0.7);
+        // Identical models -> identical candidates -> Δ = 0 < ε.
+        let m = model(3);
+        let current = ModelMask::ones_for(&m);
+        assert!(c.step(&m, &m, &current, 0.9).is_none());
+    }
+
+    #[test]
+    fn hybrid_tracks_fire_independently() {
+        let hc = HybridController::paper_defaults(0.5, 0.5);
+        let m_fe = model(4);
+        let m_le = model(5);
+        let channels = HybridController::initial_channels(&m_fe);
+        let unstructured = ModelMask::ones_for(&m_fe);
+        let step = hc.step(&m_fe, &m_le, &channels, &unstructured, 0.9);
+        // Different models: both tracks should fire.
+        assert!(step.gate.structured_fired);
+        assert!(step.gate.unstructured_fired);
+        assert!(step.channels.pruned_fraction() > 0.0);
+        // Param mask reflects both.
+        assert!(step.mask.pruned_fraction(|k| k == subfed_nn::ParamKind::FcWeight) > 0.0);
+        assert!(step.mask.pruned_fraction(|k| k == subfed_nn::ParamKind::ConvWeight) > 0.0);
+        // The unstructured base only touches FC weights.
+        assert_eq!(step.unstructured.pruned_fraction(|k| k == subfed_nn::ParamKind::ConvWeight), 0.0);
+    }
+
+    #[test]
+    fn hybrid_respects_low_accuracy() {
+        let hc = HybridController::paper_defaults(0.5, 0.5);
+        let m_fe = model(6);
+        let m_le = model(7);
+        let channels = HybridController::initial_channels(&m_fe);
+        let unstructured = ModelMask::ones_for(&m_fe);
+        let step = hc.step(&m_fe, &m_le, &channels, &unstructured, 0.1);
+        assert!(!step.gate.structured_fired && !step.gate.unstructured_fired);
+        assert_eq!(step.channels, channels);
+        assert_eq!(step.mask.pruned_fraction(|_| true), 0.0);
+    }
+
+    #[test]
+    fn hybrid_structured_stops_at_target() {
+        let hc = HybridController::paper_defaults(0.2, 0.9);
+        let m_fe = model(8);
+        let m_le = model(9);
+        let mut channels = HybridController::initial_channels(&m_fe);
+        let mut unstructured = ModelMask::ones_for(&m_fe);
+        for _ in 0..30 {
+            let step = hc.step(&m_fe, &m_le, &channels, &unstructured, 0.9);
+            channels = step.channels;
+            unstructured = step.unstructured;
+        }
+        // Channel pruning stops once past the 20% target (one extra step
+        // can overshoot by at most one rate increment).
+        assert!(channels.pruned_fraction() <= 0.2 + hc.structured_rate + 1e-6);
+        assert!(channels.pruned_fraction() >= 0.15);
+    }
+
+    #[test]
+    fn paper_defaults_match_hyperparameters() {
+        let c = UnstructuredController::paper_defaults(0.3);
+        assert_eq!(c.eps, 1e-4);
+        assert_eq!(c.target, 0.3);
+        let h = HybridController::paper_defaults(0.5, 0.7);
+        assert_eq!(h.structured_eps, 0.05);
+        assert_eq!(h.unstructured.scope, PruneScope::FcOnly);
+    }
+}

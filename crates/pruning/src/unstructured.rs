@@ -1,0 +1,277 @@
+//! Unstructured magnitude pruning (Algorithm 1's mask derivation).
+//!
+//! Given the current mask, the next mask zeroes the lowest `rate` fraction
+//! (by absolute weight) of the *currently kept* prunable weights, so pruning
+//! compounds geometrically toward the target: after `n` steps at rate `r`
+//! the kept fraction is `(1-r)ⁿ`. Biases and BatchNorm parameters are never
+//! pruned (matching the reference implementation).
+
+use serde::{Deserialize, Serialize};
+use subfed_nn::{ModelMask, ParamKind, Sequential};
+
+/// Which weights unstructured pruning may remove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PruneScope {
+    /// All conv and FC kernels — Sub-FedAvg (Un).
+    AllWeights,
+    /// FC kernels only — the unstructured half of Sub-FedAvg (Hy).
+    FcOnly,
+}
+
+impl PruneScope {
+    /// Whether `kind` falls inside this scope.
+    pub fn includes(self, kind: ParamKind) -> bool {
+        match self {
+            PruneScope::AllWeights => kind.is_prunable_weight(),
+            PruneScope::FcOnly => kind == ParamKind::FcWeight,
+        }
+    }
+}
+
+/// How weights are ranked for removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ranking {
+    /// Rank within each parameter tensor independently (the reference
+    /// implementation's behaviour).
+    LayerWise,
+    /// Rank across all in-scope weights jointly (ablation).
+    Global,
+}
+
+/// Derives the next unstructured mask: prunes the lowest `rate` fraction of
+/// the currently kept in-scope weights of `model`.
+///
+/// Returns a mask that is a subset of `current` (monotone shrink). At least
+/// one weight per tensor survives layer-wise ranking; global ranking keeps
+/// at least one weight overall.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1)` or `current` does not match the
+/// model layout.
+pub fn magnitude_mask(
+    model: &Sequential,
+    current: &ModelMask,
+    rate: f32,
+    scope: PruneScope,
+    ranking: Ranking,
+) -> ModelMask {
+    assert!((0.0..1.0).contains(&rate), "prune rate must be in [0, 1), got {rate}");
+    let params = model.params();
+    assert_eq!(params.len(), current.tensors().len(), "mask does not match model");
+    let mut next = current.clone();
+    match ranking {
+        Ranking::LayerWise => {
+            for (i, p) in params.iter().enumerate() {
+                if !scope.includes(p.kind) {
+                    continue;
+                }
+                let mask = &mut next.tensors_mut()[i];
+                prune_lowest(p.value.data(), mask.data_mut(), rate);
+            }
+        }
+        Ranking::Global => {
+            // Collect (|w|, param index, offset) of all kept in-scope
+            // weights.
+            let mut kept: Vec<(f32, usize, usize)> = Vec::new();
+            for (i, p) in params.iter().enumerate() {
+                if !scope.includes(p.kind) {
+                    continue;
+                }
+                for (j, (&w, &m)) in
+                    p.value.data().iter().zip(current.tensors()[i].data()).enumerate()
+                {
+                    if m != 0.0 {
+                        kept.push((w.abs(), i, j));
+                    }
+                }
+            }
+            let n_prune = ((kept.len() as f32 * rate).floor() as usize)
+                .min(kept.len().saturating_sub(1));
+            kept.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for &(_, i, j) in kept.iter().take(n_prune) {
+                next.tensors_mut()[i].data_mut()[j] = 0.0;
+            }
+        }
+    }
+    next
+}
+
+/// Zeroes the lowest-`rate` fraction (by |w|) of the kept entries of one
+/// tensor's mask, keeping at least one entry.
+fn prune_lowest(weights: &[f32], mask: &mut [f32], rate: f32) {
+    let mut kept: Vec<(f32, usize)> = weights
+        .iter()
+        .zip(mask.iter())
+        .enumerate()
+        .filter(|(_, (_, &m))| m != 0.0)
+        .map(|(j, (&w, _))| (w.abs(), j))
+        .collect();
+    if kept.is_empty() {
+        return;
+    }
+    let n_prune = ((kept.len() as f32 * rate).floor() as usize).min(kept.len() - 1);
+    kept.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for &(_, j) in kept.iter().take(n_prune) {
+        mask[j] = 0.0;
+    }
+}
+
+/// Fraction of in-scope weights pruned under `mask`.
+pub fn pruned_fraction(mask: &ModelMask, scope: PruneScope) -> f32 {
+    mask.pruned_fraction(|k| scope.includes(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subfed_nn::models::ModelSpec;
+    use subfed_tensor::init::SeededRng;
+
+    fn model() -> Sequential {
+        ModelSpec::cnn5(1, 16, 16, 4).build(&mut SeededRng::new(9))
+    }
+
+    #[test]
+    fn prunes_requested_fraction_layer_wise() {
+        let m = model();
+        let current = ModelMask::ones_for(&m);
+        let next = magnitude_mask(&m, &current, 0.3, PruneScope::AllWeights, Ranking::LayerWise);
+        let frac = pruned_fraction(&next, PruneScope::AllWeights);
+        // floor() per tensor keeps it within one weight per tensor of 0.3.
+        assert!((frac - 0.3).abs() < 0.01, "pruned {frac}");
+        // Non-weights untouched.
+        assert_eq!(next.pruned_fraction(|k| k == ParamKind::FcBias), 0.0);
+        assert_eq!(next.pruned_fraction(|k| k == ParamKind::BnGamma), 0.0);
+    }
+
+    #[test]
+    fn prunes_smallest_magnitudes_first() {
+        let m = model();
+        let current = ModelMask::ones_for(&m);
+        let next = magnitude_mask(&m, &current, 0.5, PruneScope::AllWeights, Ranking::LayerWise);
+        // In every prunable tensor the max pruned |w| <= min kept |w|.
+        for (i, p) in m.params().iter().enumerate() {
+            if !p.kind.is_prunable_weight() {
+                continue;
+            }
+            let mut max_pruned = 0.0f32;
+            let mut min_kept = f32::INFINITY;
+            for (&w, &mk) in p.value.data().iter().zip(next.tensors()[i].data()) {
+                if mk == 0.0 {
+                    max_pruned = max_pruned.max(w.abs());
+                } else {
+                    min_kept = min_kept.min(w.abs());
+                }
+            }
+            assert!(max_pruned <= min_kept + 1e-7, "{max_pruned} vs {min_kept}");
+        }
+    }
+
+    #[test]
+    fn shrink_is_monotone() {
+        let m = model();
+        let m1 = magnitude_mask(
+            &m,
+            &ModelMask::ones_for(&m),
+            0.2,
+            PruneScope::AllWeights,
+            Ranking::LayerWise,
+        );
+        let m2 = magnitude_mask(&m, &m1, 0.2, PruneScope::AllWeights, Ranking::LayerWise);
+        for (a, b) in m1.tensors().iter().zip(m2.tensors()) {
+            for (&x, &y) in a.data().iter().zip(b.data()) {
+                assert!(y <= x, "mask grew back");
+            }
+        }
+        // Compounding: (1-0.2)^2 = 0.64 kept.
+        let frac = pruned_fraction(&m2, PruneScope::AllWeights);
+        assert!((frac - 0.36).abs() < 0.02, "pruned {frac}");
+    }
+
+    #[test]
+    fn fc_only_scope_leaves_conv_untouched() {
+        let m = model();
+        let next = magnitude_mask(
+            &m,
+            &ModelMask::ones_for(&m),
+            0.5,
+            PruneScope::FcOnly,
+            Ranking::LayerWise,
+        );
+        assert_eq!(next.pruned_fraction(|k| k == ParamKind::ConvWeight), 0.0);
+        let fc = next.pruned_fraction(|k| k == ParamKind::FcWeight);
+        assert!((fc - 0.5).abs() < 0.01, "{fc}");
+    }
+
+    #[test]
+    fn global_ranking_prunes_same_total_fraction() {
+        let m = model();
+        let next = magnitude_mask(
+            &m,
+            &ModelMask::ones_for(&m),
+            0.4,
+            PruneScope::AllWeights,
+            Ranking::Global,
+        );
+        let frac = pruned_fraction(&next, PruneScope::AllWeights);
+        assert!((frac - 0.4).abs() < 0.001, "{frac}");
+        // Global threshold: every pruned weight <= every kept weight
+        // across all tensors.
+        let mut max_pruned = 0.0f32;
+        let mut min_kept = f32::INFINITY;
+        for (i, p) in m.params().iter().enumerate() {
+            if !p.kind.is_prunable_weight() {
+                continue;
+            }
+            for (&w, &mk) in p.value.data().iter().zip(next.tensors()[i].data()) {
+                if mk == 0.0 {
+                    max_pruned = max_pruned.max(w.abs());
+                } else {
+                    min_kept = min_kept.min(w.abs());
+                }
+            }
+        }
+        assert!(max_pruned <= min_kept + 1e-7);
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let m = model();
+        let current = ModelMask::ones_for(&m);
+        let next =
+            magnitude_mask(&m, &current, 0.0, PruneScope::AllWeights, Ranking::LayerWise);
+        assert_eq!(next, current);
+    }
+
+    #[test]
+    fn never_prunes_everything() {
+        let m = model();
+        let mut mask = ModelMask::ones_for(&m);
+        for _ in 0..60 {
+            mask = magnitude_mask(&m, &mask, 0.5, PruneScope::AllWeights, Ranking::LayerWise);
+        }
+        // At least one weight survives per prunable tensor.
+        for (i, p) in m.params().iter().enumerate() {
+            if p.kind.is_prunable_weight() {
+                assert!(
+                    mask.tensors()[i].data().iter().any(|&v| v != 0.0),
+                    "tensor {i} fully pruned"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prune rate must be in")]
+    fn rate_one_rejected() {
+        let m = model();
+        let _ = magnitude_mask(
+            &m,
+            &ModelMask::ones_for(&m),
+            1.0,
+            PruneScope::AllWeights,
+            Ranking::LayerWise,
+        );
+    }
+}

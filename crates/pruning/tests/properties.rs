@@ -1,0 +1,191 @@
+//! Property-based tests of the pruning invariants DESIGN.md §7 calls out.
+
+use proptest::prelude::*;
+use subfed_nn::models::{channel_graph, ModelSpec};
+use subfed_nn::{ModelMask, ParamKind, Sequential};
+use subfed_pruning::structured::{expand_channel_mask, slimming_mask};
+use subfed_pruning::unstructured::{magnitude_mask, pruned_fraction};
+use subfed_pruning::{ChannelMask, PruneScope, Ranking};
+use subfed_tensor::init::SeededRng;
+
+fn model(seed: u64) -> Sequential {
+    ModelSpec::lenet5(1, 16, 16, 4).build(&mut SeededRng::new(seed))
+}
+
+/// A random mask over a model's prunable weights: keep each with prob `p`.
+fn random_mask(m: &Sequential, keep_prob: f32, seed: u64) -> ModelMask {
+    let mut rng = SeededRng::new(seed);
+    let mut mask = ModelMask::ones_for(m);
+    let kinds = mask.kinds().to_vec();
+    for (t, kind) in mask.tensors_mut().iter_mut().zip(kinds) {
+        if !kind.is_prunable_weight() {
+            continue;
+        }
+        for v in t.data_mut() {
+            if rng.uniform_f32(0.0, 1.0) > keep_prob {
+                *v = 0.0;
+            }
+        }
+        // Ensure at least one kept entry per tensor.
+        if t.data().iter().all(|&v| v == 0.0) {
+            t.data_mut()[0] = 1.0;
+        }
+    }
+    mask
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn magnitude_mask_is_monotone_shrink(
+        seed in 0u64..500,
+        rate in 0.0f32..0.9,
+        keep in 0.3f32..1.0,
+        ranking in prop::sample::select(vec![Ranking::LayerWise, Ranking::Global]),
+    ) {
+        let m = model(seed);
+        let current = random_mask(&m, keep, seed ^ 1);
+        let next = magnitude_mask(&m, &current, rate, PruneScope::AllWeights, ranking);
+        for (a, b) in current.tensors().iter().zip(next.tensors()) {
+            for (&x, &y) in a.data().iter().zip(b.data()) {
+                prop_assert!(y <= x, "mask entry grew back");
+            }
+        }
+    }
+
+    #[test]
+    fn magnitude_mask_hits_requested_fraction(
+        seed in 0u64..500,
+        rate in 0.05f32..0.8,
+    ) {
+        let m = model(seed);
+        let current = ModelMask::ones_for(&m);
+        let next = magnitude_mask(&m, &current, rate, PruneScope::AllWeights, Ranking::Global);
+        let frac = pruned_fraction(&next, PruneScope::AllWeights);
+        // Global floor() truncation: within one weight.
+        let total = next.total_count(|k| k.is_prunable_weight()) as f32;
+        prop_assert!((frac - rate).abs() <= 1.0 / total + 1e-6, "{frac} vs {rate}");
+    }
+
+    #[test]
+    fn magnitude_mask_never_touches_non_weights(
+        seed in 0u64..500,
+        rate in 0.0f32..0.9,
+    ) {
+        let m = model(seed);
+        let next = magnitude_mask(
+            &m, &ModelMask::ones_for(&m), rate, PruneScope::AllWeights, Ranking::LayerWise,
+        );
+        for kind in [ParamKind::ConvBias, ParamKind::BnGamma, ParamKind::BnBeta,
+                     ParamKind::BnMean, ParamKind::BnVar, ParamKind::FcBias] {
+            prop_assert_eq!(next.pruned_fraction(|k| k == kind), 0.0);
+        }
+    }
+
+    #[test]
+    fn compounding_matches_geometric_decay(
+        seed in 0u64..200,
+        rate in 0.1f32..0.5,
+        steps in 1usize..5,
+    ) {
+        let m = model(seed);
+        let mut mask = ModelMask::ones_for(&m);
+        for _ in 0..steps {
+            mask = magnitude_mask(&m, &mask, rate, PruneScope::AllWeights, Ranking::Global);
+        }
+        let kept = 1.0 - pruned_fraction(&mask, PruneScope::AllWeights);
+        let expected = (1.0 - rate).powi(steps as i32);
+        // floor() truncation accumulates at most `steps` weights of error.
+        prop_assert!((kept - expected).abs() < 0.02, "kept {kept} vs expected {expected}");
+    }
+
+    #[test]
+    fn hamming_distance_is_a_metric(
+        seed in 0u64..300,
+        ka in 0.2f32..1.0,
+        kb in 0.2f32..1.0,
+        kc in 0.2f32..1.0,
+    ) {
+        let m = model(seed);
+        let a = random_mask(&m, ka, seed ^ 10);
+        let b = random_mask(&m, kb, seed ^ 20);
+        let c = random_mask(&m, kc, seed ^ 30);
+        let all = |_k: ParamKind| true;
+        // Identity and symmetry.
+        prop_assert_eq!(a.hamming_distance(&a, all), 0.0);
+        prop_assert_eq!(a.hamming_distance(&b, all), b.hamming_distance(&a, all));
+        // Triangle inequality.
+        let ab = a.hamming_distance(&b, all);
+        let bc = b.hamming_distance(&c, all);
+        let ac = a.hamming_distance(&c, all);
+        prop_assert!(ac <= ab + bc + 1e-6, "triangle violated: {ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn slimming_never_empties_blocks(
+        seed in 0u64..300,
+        rate in 0.05f32..0.9,
+        steps in 1usize..6,
+    ) {
+        let m = model(seed);
+        let graph = channel_graph(&m);
+        let mut mask = ChannelMask::ones_for(&graph);
+        for _ in 0..steps {
+            mask = slimming_mask(&m, &mask, rate);
+        }
+        for b in 0..graph.blocks.len() {
+            prop_assert!(mask.kept_in_block(b) >= 1, "block {b} emptied");
+        }
+    }
+
+    #[test]
+    fn expansion_intersects_base(
+        seed in 0u64..300,
+        keep in 0.3f32..1.0,
+        rate in 0.1f32..0.6,
+    ) {
+        let m = model(seed);
+        let graph = channel_graph(&m);
+        let base = random_mask(&m, keep, seed ^ 7);
+        let channels = slimming_mask(&m, &ChannelMask::ones_for(&graph), rate);
+        let expanded = expand_channel_mask(&m, &channels, &base);
+        // Expansion only removes: expanded ⊆ base.
+        for (e, b) in expanded.tensors().iter().zip(base.tensors()) {
+            for (&x, &y) in e.data().iter().zip(b.data()) {
+                prop_assert!(x <= y);
+            }
+        }
+        // And pruned channel fraction translates into pruned params.
+        if channels.pruned_fraction() > 0.0 {
+            prop_assert!(
+                expanded.pruned_fraction(|k| k == ParamKind::ConvWeight)
+                    >= base.pruned_fraction(|k| k == ParamKind::ConvWeight)
+            );
+        }
+    }
+
+    #[test]
+    fn channel_hamming_counts_flips(
+        flips in prop::collection::vec(0usize..22, 0..8),
+    ) {
+        let m = model(0);
+        let graph = channel_graph(&m);
+        let a = ChannelMask::ones_for(&graph);
+        let mut keep = a.keep().to_vec();
+        let mut unique = flips.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        for &f in &unique {
+            // LeNet-5: block 0 has 6 channels, block 1 has 16.
+            if f < 6 {
+                keep[0][f] = false;
+            } else {
+                keep[1][f - 6] = false;
+            }
+        }
+        let b = ChannelMask::from_keep(keep);
+        let d = a.hamming_distance(&b);
+        prop_assert!((d - unique.len() as f32 / 22.0).abs() < 1e-6);
+    }
+}

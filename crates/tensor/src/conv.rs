@@ -1,0 +1,312 @@
+//! `im2col`/`col2im` lowering for 2-D convolutions.
+//!
+//! Convolution forward is implemented as one matrix multiply per batch
+//! sample: the input patch matrix produced by [`im2col`] has shape
+//! `[C·KH·KW, Hout·Wout]`, and the kernel matrix `[Cout, C·KH·KW]` multiplies
+//! it. [`col2im`] is the exact adjoint (scatter-add) used for the input
+//! gradient, which the property tests verify via the inner-product identity
+//! `⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩`.
+
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution / pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height after the convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn out_h(&self) -> usize {
+        let padded = self.height + 2 * self.pad;
+        assert!(padded >= self.kh, "kernel height {} larger than padded input {}", self.kh, padded);
+        (padded - self.kh) / self.stride + 1
+    }
+
+    /// Output width after the convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn out_w(&self) -> usize {
+        let padded = self.width + 2 * self.pad;
+        assert!(padded >= self.kw, "kernel width {} larger than padded input {}", self.kw, padded);
+        (padded - self.kw) / self.stride + 1
+    }
+
+    /// Rows of the patch matrix: `channels * kh * kw`.
+    pub fn col_rows(&self) -> usize {
+        self.channels * self.kh * self.kw
+    }
+
+    /// Columns of the patch matrix: `out_h * out_w`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+}
+
+/// Lowers one image `[C, H, W]` (given as a flat slice) into a patch matrix
+/// `[C·KH·KW, Hout·Wout]` written into `cols`.
+///
+/// # Panics
+///
+/// Panics if `image` or `cols` have the wrong length.
+pub fn im2col(image: &[f32], geom: &ConvGeom, cols: &mut [f32]) {
+    let (c, h, w) = (geom.channels, geom.height, geom.width);
+    assert_eq!(image.len(), c * h * w, "image length mismatch");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    assert_eq!(cols.len(), geom.col_rows() * geom.col_cols(), "cols length mismatch");
+    let pad = geom.pad as isize;
+    let stride = geom.stride;
+    let n_cols = oh * ow;
+    for ch in 0..c {
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let row = (ch * geom.kh + ky) * geom.kw + kx;
+                let out_base = row * n_cols;
+                for oy in 0..oh {
+                    let iy = (oy * stride) as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        for ox in 0..ow {
+                            cols[out_base + oy * ow + ox] = 0.0;
+                        }
+                        continue;
+                    }
+                    let img_row = (ch * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * stride) as isize + kx as isize - pad;
+                        cols[out_base + oy * ow + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            image[img_row + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-adds a patch-matrix gradient back onto an
+/// image gradient `[C, H, W]`. `image_grad` is accumulated into (callers
+/// zero it first when appropriate).
+///
+/// # Panics
+///
+/// Panics if `cols` or `image_grad` have the wrong length.
+pub fn col2im(cols: &[f32], geom: &ConvGeom, image_grad: &mut [f32]) {
+    let (c, h, w) = (geom.channels, geom.height, geom.width);
+    assert_eq!(image_grad.len(), c * h * w, "image_grad length mismatch");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    assert_eq!(cols.len(), geom.col_rows() * geom.col_cols(), "cols length mismatch");
+    let pad = geom.pad as isize;
+    let stride = geom.stride;
+    let n_cols = oh * ow;
+    for ch in 0..c {
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let row = (ch * geom.kh + ky) * geom.kw + kx;
+                let col_base = row * n_cols;
+                for oy in 0..oh {
+                    let iy = (oy * stride) as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let img_row = (ch * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * stride) as isize + kx as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        image_grad[img_row + ix as usize] += cols[col_base + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Direct (quadruple-loop) convolution of one image, used as a test oracle
+/// for the im2col fast path. `weight` is `[Cout, C, KH, KW]` flat; output is
+/// `[Cout, Hout, Wout]` flat.
+pub fn direct_conv2d_single(
+    image: &[f32],
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    geom: &ConvGeom,
+) -> Vec<f32> {
+    let cout = weight.shape()[0];
+    assert_eq!(weight.shape()[1], geom.channels);
+    assert_eq!(weight.shape()[2], geom.kh);
+    assert_eq!(weight.shape()[3], geom.kw);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let (c, h, w) = (geom.channels, geom.height, geom.width);
+    let mut out = vec![0.0f32; cout * oh * ow];
+    let wd = weight.data();
+    for oc in 0..cout {
+        let b = bias.map_or(0.0, |bs| bs[oc]);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b;
+                for ic in 0..c {
+                    for ky in 0..geom.kh {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..geom.kw {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let wv = wd[((oc * c + ic) * geom.kh + ky) * geom.kw + kx];
+                            let iv = image[(ic * h + iy as usize) * w + ix as usize];
+                            acc += wv * iv;
+                        }
+                    }
+                }
+                out[(oc * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{uniform, SeededRng};
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, stride: usize, pad: usize) -> ConvGeom {
+        ConvGeom { channels: c, height: h, width: w, kh: k, kw: k, stride, pad }
+    }
+
+    #[test]
+    fn output_dims() {
+        let g = geom(1, 28, 28, 5, 1, 0);
+        assert_eq!(g.out_h(), 24);
+        assert_eq!(g.out_w(), 24);
+        let g2 = geom(3, 32, 32, 5, 1, 2);
+        assert_eq!(g2.out_h(), 32);
+        let g3 = geom(1, 8, 8, 2, 2, 0);
+        assert_eq!(g3.out_h(), 4);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: cols should equal the image.
+        let g = geom(2, 3, 3, 1, 1, 0);
+        let img: Vec<f32> = (0..18).map(|v| v as f32).collect();
+        let mut cols = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&img, &g, &mut cols);
+        assert_eq!(cols, img);
+    }
+
+    #[test]
+    fn im2col_known_patches() {
+        // 2x2 image, 2x2 kernel -> a single column containing the image.
+        let g = geom(1, 2, 2, 2, 1, 0);
+        let img = vec![1.0, 2.0, 3.0, 4.0];
+        let mut cols = vec![0.0; 4];
+        im2col(&img, &g, &mut cols);
+        assert_eq!(cols, img);
+    }
+
+    #[test]
+    fn im2col_padding_zeros() {
+        let g = geom(1, 1, 1, 3, 1, 1);
+        let img = vec![5.0];
+        let mut cols = vec![-1.0; g.col_rows() * g.col_cols()];
+        im2col(&img, &g, &mut cols);
+        // Only the center tap sees the pixel.
+        let center = 4; // row index (ky=1, kx=1) in a 3x3 kernel
+        for (row, chunk) in cols.chunks(g.col_cols()).enumerate() {
+            if row == center {
+                assert_eq!(chunk, &[5.0]);
+            } else {
+                assert_eq!(chunk, &[0.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let mut rng = SeededRng::new(21);
+        for &(c, h, w, k, s, p) in &[(1, 6, 6, 3, 1, 0), (2, 8, 7, 3, 2, 1), (3, 5, 5, 5, 1, 2)] {
+            let g = geom_full(c, h, w, k, s, p);
+            let x = uniform(&[c * h * w], -1.0, 1.0, &mut rng);
+            let y = uniform(&[g.col_rows() * g.col_cols()], -1.0, 1.0, &mut rng);
+            let mut cols = vec![0.0; y.len()];
+            im2col(x.data(), &g, &mut cols);
+            let lhs: f32 = cols.iter().zip(y.data()).map(|(a, b)| a * b).sum();
+            let mut xg = vec![0.0; x.len()];
+            col2im(y.data(), &g, &mut xg);
+            let rhs: f32 = x.data().iter().zip(xg.iter()).map(|(a, b)| a * b).sum();
+            assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch {lhs} vs {rhs}");
+        }
+    }
+
+    fn geom_full(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> ConvGeom {
+        ConvGeom { channels: c, height: h, width: w, kh: k, kw: k, stride: s, pad: p }
+    }
+
+    #[test]
+    fn direct_conv_delta_kernel_is_identity() {
+        // A delta kernel (1 at center, pad to keep size) reproduces the input.
+        let g = geom(1, 4, 4, 3, 1, 1);
+        let img: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let mut wdata = vec![0.0; 9];
+        wdata[4] = 1.0;
+        let w = Tensor::from_vec(vec![1, 1, 3, 3], wdata).unwrap();
+        let out = direct_conv2d_single(&img, &w, None, &g);
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn im2col_matmul_matches_direct_conv() {
+        let mut rng = SeededRng::new(31);
+        let g = geom(2, 7, 7, 3, 1, 1);
+        let cout = 4;
+        let img = uniform(&[2 * 7 * 7], -1.0, 1.0, &mut rng);
+        let w = uniform(&[cout, 2, 3, 3], -0.5, 0.5, &mut rng);
+        let bias = uniform(&[cout], -0.1, 0.1, &mut rng);
+        let mut cols = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(img.data(), &g, &mut cols);
+        let cols_t = Tensor::from_vec(vec![g.col_rows(), g.col_cols()], cols).unwrap();
+        let wmat = w.reshape(&[cout, g.col_rows()]).unwrap();
+        let mut fast = crate::linalg::matmul(&wmat, &cols_t).into_vec();
+        for oc in 0..cout {
+            for v in &mut fast[oc * g.col_cols()..(oc + 1) * g.col_cols()] {
+                *v += bias.data()[oc];
+            }
+        }
+        let direct = direct_conv2d_single(img.data(), &w, Some(bias.data()), &g);
+        crate::assert_slice_close(&fast, &direct, 1e-4, 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "image length mismatch")]
+    fn im2col_rejects_bad_image() {
+        let g = geom(1, 4, 4, 3, 1, 0);
+        let mut cols = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&[0.0; 3], &g, &mut cols);
+    }
+}

@@ -1,0 +1,47 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing or combining tensors with incompatible
+/// shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error with a human-readable description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// The description of the mismatch.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ShapeError::new("expected [2, 3], got [3, 2]");
+        assert!(e.to_string().contains("expected [2, 3]"));
+        assert_eq!(e.message(), "expected [2, 3], got [3, 2]");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ShapeError>();
+    }
+}

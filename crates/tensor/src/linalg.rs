@@ -1,0 +1,219 @@
+//! Matrix multiplication kernels.
+//!
+//! Three variants cover everything layer-wise backprop needs without ever
+//! materialising a transposed copy:
+//!
+//! * [`matmul`]:   `C = A · B`      with `A: [m,k]`, `B: [k,n]`
+//! * [`matmul_tn`]: `C = Aᵀ · B`    with `A: [k,m]`, `B: [k,n]`
+//! * [`matmul_nt`]: `C = A · Bᵀ`    with `A: [m,k]`, `B: [n,k]`
+//!
+//! The kernels are written i-k-j (or the equivalent) so the inner loop is a
+//! contiguous axpy, which the compiler auto-vectorises; this matters because
+//! the reproduction runs on plain CPUs.
+
+use crate::Tensor;
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.ndim(), 2, "{what} must be 2-D, got shape {:?}", t.shape());
+    (t.shape()[0], t.shape()[1])
+}
+
+/// `C = A · B` for `A: [m, k]` and `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out).expect("matmul output shape")
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]` and `B: [k, n]` (no transposed copy).
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the leading dimensions disagree.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_tn lhs");
+    let (k2, n) = dims2(b, "matmul_tn rhs");
+    assert_eq!(k, k2, "matmul_tn: leading dims {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out).expect("matmul_tn output shape")
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]` and `B: [n, k]` (no transposed copy).
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the trailing dimensions disagree.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_nt lhs");
+    let (n, k2) = dims2(b, "matmul_nt rhs");
+    assert_eq!(k, k2, "matmul_nt: trailing dims {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(vec![m, n], out).expect("matmul_nt output shape")
+}
+
+/// Transposes a 2-D tensor.
+///
+/// # Panics
+///
+/// Panics if the input is not 2-D.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = dims2(a, "transpose");
+    let ad = a.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = ad[i * n + j];
+        }
+    }
+    Tensor::from_vec(vec![n, m], out).expect("transpose output shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_slice_close;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape.to_vec(), data.to_vec()).unwrap()
+    }
+
+    /// Naive triple-loop reference multiply.
+    fn reference_matmul(a: &Tensor, b: &Tensor) -> Vec<f32> {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.data()[i * k + p] * b.data()[p * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[3, 2], &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let id = t(&[2, 2], &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &id).data(), a.data());
+        assert_eq!(matmul(&id, &a).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_matches_reference_random() {
+        let mut rng = crate::init::SeededRng::new(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (8, 8, 8), (5, 17, 3)] {
+            let a = crate::init::uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = crate::init::uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let c = matmul(&a, &b);
+            assert_slice_close(c.data(), &reference_matmul(&a, &b), 1e-4, 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = crate::init::SeededRng::new(11);
+        let a = crate::init::uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let b = crate::init::uniform(&[4, 5], -1.0, 1.0, &mut rng);
+        let via_tn = matmul_tn(&a, &b);
+        let via_t = matmul(&transpose(&a), &b);
+        assert_eq!(via_tn.shape(), &[3, 5]);
+        assert_slice_close(via_tn.data(), via_t.data(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = crate::init::SeededRng::new(13);
+        let a = crate::init::uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let b = crate::init::uniform(&[5, 3], -1.0, 1.0, &mut rng);
+        let via_nt = matmul_nt(&a, &b);
+        let via_t = matmul(&a, &transpose(&b));
+        assert_eq!(via_nt.shape(), &[4, 5]);
+        assert_slice_close(via_nt.data(), via_t.data(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let tt = transpose(&transpose(&a));
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 2-D")]
+    fn matmul_rejects_non_2d() {
+        let a = Tensor::zeros(&[2, 3, 4]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+}

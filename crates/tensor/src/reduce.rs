@@ -1,0 +1,157 @@
+//! Reductions and probability utilities over 2-D batches.
+//!
+//! The classification head works on `[batch, classes]` logits, so most
+//! helpers here operate row-wise on 2-D tensors.
+
+use crate::Tensor;
+
+/// Row-wise argmax of a `[rows, cols]` tensor.
+///
+/// Ties resolve to the lowest index, matching common ML framework behaviour.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 2-D or has zero columns.
+pub fn argmax_rows(t: &Tensor) -> Vec<usize> {
+    assert_eq!(t.ndim(), 2, "argmax_rows needs a 2-D tensor");
+    let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    assert!(cols > 0, "argmax over zero columns");
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &t.data()[r * cols..(r + 1) * cols];
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        out.push(best);
+    }
+    out
+}
+
+/// Numerically-stable row-wise softmax of a `[rows, cols]` tensor.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 2-D or has zero columns.
+pub fn softmax_rows(t: &Tensor) -> Tensor {
+    assert_eq!(t.ndim(), 2, "softmax_rows needs a 2-D tensor");
+    let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    assert!(cols > 0, "softmax over zero columns");
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &t.data()[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let orow = &mut out[r * cols..(r + 1) * cols];
+        let mut z = 0.0;
+        for (o, &v) in orow.iter_mut().zip(row.iter()) {
+            let e = (v - m).exp();
+            *o = e;
+            z += e;
+        }
+        for o in orow.iter_mut() {
+            *o /= z;
+        }
+    }
+    Tensor::from_vec(vec![rows, cols], out).expect("softmax shape")
+}
+
+/// Sums a `[rows, cols]` tensor over rows, producing a length-`cols` vector.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 2-D.
+pub fn sum_rows(t: &Tensor) -> Tensor {
+    assert_eq!(t.ndim(), 2, "sum_rows needs a 2-D tensor");
+    let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    let mut out = vec![0.0f32; cols];
+    for r in 0..rows {
+        let row = &t.data()[r * cols..(r + 1) * cols];
+        for (o, &v) in out.iter_mut().zip(row.iter()) {
+            *o += v;
+        }
+    }
+    Tensor::from_vec(vec![cols], out).expect("sum_rows shape")
+}
+
+/// Fraction of rows where the argmax equals the label (classification
+/// accuracy). Returns `0.0` for an empty batch.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the number of rows.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.shape()[0], labels.len(), "label count must match rows");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = argmax_rows(logits);
+    let correct = preds.iter().zip(labels.iter()).filter(|(p, l)| p == l).count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(rows: usize, cols: usize, data: &[f32]) -> Tensor {
+        Tensor::from_vec(vec![rows, cols], data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn argmax_basic_and_ties() {
+        let t = t2(3, 3, &[1.0, 5.0, 2.0, 7.0, 0.0, 7.0, -1.0, -2.0, -0.5]);
+        assert_eq!(argmax_rows(&t), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let t = t2(2, 3, &[1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let s = softmax_rows(&t);
+        for r in 0..2 {
+            let row = &s.data()[r * 3..(r + 1) * 3];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(row[0] < row[1] && row[1] < row[2]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = t2(1, 3, &[1.0, 2.0, 3.0]);
+        let b = t2(1, 3, &[1001.0, 1002.0, 1003.0]);
+        let sa = softmax_rows(&a);
+        let sb = softmax_rows(&b);
+        crate::assert_slice_close(sa.data(), sb.data(), 1e-6, 0.0);
+        assert!(sb.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sum_rows_known() {
+        let t = t2(2, 3, &[1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+        assert_eq!(sum_rows(&t).data(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = t2(4, 2, &[2.0, 1.0, 0.0, 1.0, 3.0, -1.0, 0.5, 0.6]);
+        // preds: 0, 1, 0, 1
+        assert_eq!(accuracy(&logits, &[0, 1, 0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 1, 0, 1]), 0.75);
+        assert_eq!(accuracy(&logits, &[1, 0, 1, 0]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_empty_batch_is_zero() {
+        let logits = Tensor::zeros(&[0, 3]);
+        assert_eq!(accuracy(&logits, &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn accuracy_label_mismatch_panics() {
+        let logits = Tensor::zeros(&[2, 3]);
+        let _ = accuracy(&logits, &[0]);
+    }
+}

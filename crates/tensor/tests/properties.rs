@@ -1,0 +1,155 @@
+//! Property-based tests of the tensor substrate's algebraic invariants.
+
+use proptest::prelude::*;
+use subfed_tensor::conv::{col2im, im2col, ConvGeom};
+use subfed_tensor::linalg::{matmul, matmul_nt, matmul_tn, transpose};
+use subfed_tensor::reduce::{argmax_rows, softmax_rows};
+use subfed_tensor::Tensor;
+
+fn tensor2(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(vec![rows, cols], data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor2(4, 5),
+        b in tensor2(5, 3),
+        c in tensor2(5, 3),
+    ) {
+        let lhs = matmul(&a, &b.add(&c));
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+        subfed_tensor::assert_slice_close(lhs.data(), rhs.data(), 1e-2, 1e-3);
+    }
+
+    #[test]
+    fn matmul_scalar_commutes(a in tensor2(3, 4), b in tensor2(4, 2), s in -3.0f32..3.0) {
+        let lhs = matmul(&a.scale(s), &b);
+        let rhs = matmul(&a, &b).scale(s);
+        subfed_tensor::assert_slice_close(lhs.data(), rhs.data(), 1e-2, 1e-3);
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in tensor2(5, 7)) {
+        prop_assert_eq!(transpose(&transpose(&a)), a);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in tensor2(4, 6), b in tensor2(6, 3)) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let lhs = transpose(&matmul(&a, &b));
+        let rhs = matmul(&transpose(&b), &transpose(&a));
+        subfed_tensor::assert_slice_close(lhs.data(), rhs.data(), 1e-3, 1e-4);
+    }
+
+    #[test]
+    fn tn_and_nt_agree_with_explicit_transpose(a in tensor2(5, 4), b in tensor2(5, 3)) {
+        let tn = matmul_tn(&a, &b);
+        let explicit = matmul(&transpose(&a), &b);
+        subfed_tensor::assert_slice_close(tn.data(), explicit.data(), 1e-3, 1e-4);
+        let c = transpose(&b); // [3, 5]
+        let nt = matmul_nt(&transpose(&a), &c); // Aᵀ: [4,5] x cᵀ -> [4, 3]
+        subfed_tensor::assert_slice_close(nt.data(), explicit.data(), 1e-3, 1e-4);
+    }
+
+    #[test]
+    fn softmax_rows_live_on_the_simplex(a in tensor2(6, 5)) {
+        let s = softmax_rows(&a);
+        for r in 0..6 {
+            let row = &s.data()[r * 5..(r + 1) * 5];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(a in tensor2(4, 6)) {
+        let before = argmax_rows(&a);
+        let after = argmax_rows(&softmax_rows(&a));
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(a in tensor2(3, 4), shift in -50.0f32..50.0) {
+        let s1 = softmax_rows(&a);
+        let s2 = softmax_rows(&a.add_scalar(shift));
+        subfed_tensor::assert_slice_close(s1.data(), s2.data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn axpy_matches_definition(
+        a in tensor2(3, 3),
+        b in tensor2(3, 3),
+        alpha in -2.0f32..2.0,
+    ) {
+        let mut x = a.clone();
+        x.axpy(alpha, &b);
+        let expected = a.add(&b.scale(alpha));
+        subfed_tensor::assert_slice_close(x.data(), expected.data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in tensor2(4, 6)) {
+        let r = a.reshape(&[2, 12]).unwrap();
+        prop_assert!((r.sum() - a.sum()).abs() < 1e-3);
+        prop_assert_eq!(r.data(), a.data());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn im2col_col2im_adjoint_random_geometry(
+        c in 1usize..3,
+        h in 4usize..9,
+        w in 4usize..9,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let geom = ConvGeom { channels: c, height: h, width: w, kh: k, kw: k, stride, pad };
+        let mut rng = subfed_tensor::init::SeededRng::new(seed);
+        let x = subfed_tensor::init::uniform(&[c * h * w], -1.0, 1.0, &mut rng);
+        let y = subfed_tensor::init::uniform(
+            &[geom.col_rows() * geom.col_cols()], -1.0, 1.0, &mut rng,
+        );
+        let mut cols = vec![0.0; y.len()];
+        im2col(x.data(), &geom, &mut cols);
+        let lhs: f32 = cols.iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let mut xg = vec![0.0; x.len()];
+        col2im(y.data(), &geom, &mut xg);
+        let rhs: f32 = x.data().iter().zip(xg.iter()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "adjoint identity broken: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_is_linear(
+        seed in 0u64..1000,
+        alpha in -2.0f32..2.0,
+    ) {
+        let geom = ConvGeom { channels: 2, height: 6, width: 6, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let mut rng = subfed_tensor::init::SeededRng::new(seed);
+        let x1 = subfed_tensor::init::uniform(&[72], -1.0, 1.0, &mut rng);
+        let x2 = subfed_tensor::init::uniform(&[72], -1.0, 1.0, &mut rng);
+        let n = geom.col_rows() * geom.col_cols();
+        let mut c1 = vec![0.0; n];
+        let mut c2 = vec![0.0; n];
+        let mut c12 = vec![0.0; n];
+        im2col(x1.data(), &geom, &mut c1);
+        im2col(x2.data(), &geom, &mut c2);
+        let combined: Vec<f32> =
+            x1.data().iter().zip(x2.data()).map(|(a, b)| a + alpha * b).collect();
+        im2col(&combined, &geom, &mut c12);
+        for i in 0..n {
+            prop_assert!((c12[i] - (c1[i] + alpha * c2[i])).abs() < 1e-4);
+        }
+    }
+}

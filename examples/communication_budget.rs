@@ -1,0 +1,94 @@
+//! Communication efficiency (§4.2.2): how many bytes does each algorithm
+//! spend, and what does a megabyte of uplink buy in accuracy?
+//!
+//! Prints each algorithm's accuracy-vs-communication trajectory plus the
+//! paper's analytic costs at full paper scale (LeNet-5, 100 clients,
+//! 10/round) so the scaled simulation can be compared against the exact
+//! Table-1 numbers.
+//!
+//! ```sh
+//! cargo run --release --example communication_budget
+//! ```
+
+use sub_fedavg::core::{
+    algorithms::{FedAvg, FedMtl, LgFedAvg, SubFedAvgUn},
+    FedConfig, FederatedAlgorithm, Federation,
+};
+use sub_fedavg::data::{partition_pathological, PartitionConfig, SynthVision};
+use sub_fedavg::metrics::comm::{dense_run_bytes, human_bytes, mtl_run_bytes};
+use sub_fedavg::metrics::report::{render_series, Table};
+use sub_fedavg::nn::models::ModelSpec;
+
+fn federation(rounds: usize) -> Federation {
+    let dataset = SynthVision::mnist_like(23, 1);
+    let clients = partition_pathological(
+        dataset.train(),
+        dataset.test(),
+        &PartitionConfig { num_clients: 12, shard_size: 25, ..Default::default() },
+    );
+    Federation::new(
+        ModelSpec::cnn5(1, 16, 16, 10),
+        clients,
+        FedConfig { rounds, sample_frac: 0.5, eval_every: 2, ..Default::default() },
+    )
+}
+
+fn main() {
+    let rounds = 8;
+    let mut algos: Vec<Box<dyn FederatedAlgorithm>> = vec![
+        Box::new(FedAvg::new(federation(rounds))),
+        Box::new(LgFedAvg::new(federation(rounds))),
+        Box::new(FedMtl::new(federation(rounds), 0.1)),
+        Box::new(SubFedAvgUn::new(federation(rounds), 0.5)),
+    ];
+
+    let mut table = Table::new(
+        "Measured communication (scaled simulation, MNIST stand-in)",
+        &["algorithm", "total bytes", "final accuracy"],
+    );
+    println!("accuracy vs cumulative communication:");
+    for algo in &mut algos {
+        let name = algo.name();
+        let h = algo.run();
+        let xs: Vec<f32> = h
+            .records
+            .iter()
+            .filter(|r| r.avg_acc.is_some())
+            .map(|r| r.cum_bytes as f32 / 1e6)
+            .collect();
+        let ys: Vec<f32> =
+            h.records.iter().filter_map(|r| r.avg_acc).collect();
+        print!("{}", render_series(&format!("{name} (x = MB transferred)"), &xs, &ys));
+        table.row(&[
+            name,
+            human_bytes(h.total_bytes()),
+            format!("{:.1}%", 100.0 * h.final_avg_acc()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // The paper-scale analytic costs (Table 1, CIFAR-10 column).
+    let mut paper = Table::new(
+        "Analytic paper-scale costs (LeNet-5, |W| = 62k, 10 clients/round)",
+        &["algorithm", "rounds", "cost", "paper reports"],
+    );
+    paper.row(&[
+        "FedAvg".into(),
+        "500".into(),
+        human_bytes(dense_run_bytes(500, 10, 62_000)),
+        "2.48 GB".into(),
+    ]);
+    paper.row(&[
+        "MTL".into(),
+        "500".into(),
+        human_bytes(mtl_run_bytes(500, 10, 62_000)),
+        "16.12 GB".into(),
+    ]);
+    paper.row(&[
+        "Sub-FedAvg (Un) 50% (≈half kept)".into(),
+        "500".into(),
+        human_bytes(dense_run_bytes(500, 10, 62_000) * 3 / 4),
+        "1.88 GB".into(),
+    ]);
+    println!("{}", paper.render());
+}

@@ -1,0 +1,89 @@
+//! Sub-FedAvg (Hy): hybrid pruning — structured channel pruning on conv
+//! blocks (network slimming via BatchNorm |γ|) plus unstructured pruning
+//! on the FC layers — and the FLOP reduction it buys (Remark-3).
+//!
+//! ```sh
+//! cargo run --release --example hybrid_pruning
+//! ```
+
+use sub_fedavg::core::analysis::channel_jaccard;
+use sub_fedavg::core::{algorithms::SubFedAvgHy, FedConfig, FederatedAlgorithm, Federation};
+use sub_fedavg::data::stats::label_jaccard;
+use sub_fedavg::data::{partition_pathological, PartitionConfig, SynthVision};
+use sub_fedavg::metrics::comm::human_bytes;
+use sub_fedavg::metrics::flops::{conv_flop_reduction, dense_conv_flops};
+use sub_fedavg::nn::models::ModelSpec;
+use sub_fedavg::pruning::{ChannelMask, HybridController};
+
+fn main() {
+    let dataset = SynthVision::cifar10_like(19, 1);
+    let clients = partition_pathological(
+        dataset.train(),
+        dataset.test(),
+        &PartitionConfig { num_clients: 12, shard_size: 25, ..Default::default() },
+    );
+    let spec = ModelSpec::lenet5(3, 16, 16, 10);
+    let fed = Federation::new(
+        spec,
+        clients.clone(),
+        FedConfig { rounds: 10, sample_frac: 0.5, eval_every: 5, ..Default::default() },
+    );
+
+    // Aim for half the channels and 70% of the FC weights, with a faster
+    // per-round rate than the paper so the target is reachable in 10
+    // rounds.
+    let mut controller = HybridController::paper_defaults(0.5, 0.7);
+    controller.structured_rate = 0.15;
+    controller.unstructured.rate = 0.15;
+    let mut algo = SubFedAvgHy::with_controller(fed, controller);
+    println!("running {} ...", algo.name());
+    let h = algo.run();
+
+    println!(
+        "final: accuracy {:.1}%, channels pruned {:.0}%, weights pruned {:.0}%, comm {}",
+        100.0 * h.final_avg_acc(),
+        100.0 * h.final_pruned_channels(),
+        100.0 * h.final_pruned_params(),
+        human_bytes(h.total_bytes()),
+    );
+
+    // What does that channel rate buy in inference FLOPs? (Remark-3: the
+    // paper reports up to 2.4x at ~50% channels on paper-scale LeNet-5.)
+    let paper_spec = ModelSpec::lenet5(3, 32, 32, 10);
+    let rate = h.final_pruned_channels();
+    let kept0 = ((1.0 - rate) * 6.0).round().max(1.0) as usize;
+    let kept1 = ((1.0 - rate) * 16.0).round().max(1.0) as usize;
+    let mask = ChannelMask::from_keep(vec![
+        (0..6).map(|c| c < kept0).collect(),
+        (0..16).map(|c| c < kept1).collect(),
+    ]);
+    println!(
+        "at paper scale (LeNet-5, 32x32): dense conv FLOPs = {}, reduction at the \
+         achieved channel rate = {:.2}x",
+        dense_conv_flops(&paper_spec),
+        conv_flop_reduction(&paper_spec, &mask),
+    );
+
+    // Partner discovery at channel level: label-overlapping clients keep
+    // more of the same channels.
+    let channels = algo.final_channels();
+    let mut overlap = Vec::new();
+    let mut disjoint = Vec::new();
+    for i in 0..clients.len() {
+        for j in i + 1..clients.len() {
+            let sim = channel_jaccard(&channels[i], &channels[j]);
+            if label_jaccard(&clients[i], &clients[j]) > 0.0 {
+                overlap.push(sim);
+            } else {
+                disjoint.push(sim);
+            }
+        }
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+    println!(
+        "channel-level partner discovery: overlapping pairs share {:.3} of their \
+         channels vs {:.3} for disjoint pairs",
+        mean(&overlap),
+        mean(&disjoint),
+    );
+}

@@ -1,0 +1,75 @@
+//! The paper's central comparison (Remark-2): under pathological non-IID,
+//! traditional FedAvg performs *worse* than clients training alone, while
+//! Sub-FedAvg beats both — so federation becomes worthwhile again.
+//!
+//! Runs Standalone, FedAvg, and Sub-FedAvg (Un) on the same federation and
+//! prints a Table-1-style summary.
+//!
+//! ```sh
+//! cargo run --release --example personalization_under_heterogeneity
+//! ```
+
+use sub_fedavg::core::{
+    algorithms::{FedAvg, Standalone, SubFedAvgUn},
+    FedConfig, FederatedAlgorithm, Federation,
+};
+use sub_fedavg::data::{partition_pathological, ClientData, PartitionConfig, SynthVision};
+use sub_fedavg::metrics::comm::human_bytes;
+use sub_fedavg::metrics::report::{pct, Table};
+use sub_fedavg::nn::models::ModelSpec;
+
+fn build_clients() -> Vec<ClientData> {
+    // A harder, CIFAR-10-like stand-in: 3 channels, more noise.
+    let dataset = SynthVision::cifar10_like(11, 1);
+    partition_pathological(
+        dataset.train(),
+        dataset.test(),
+        &PartitionConfig { num_clients: 12, shard_size: 25, ..Default::default() },
+    )
+}
+
+fn federation(rounds: usize) -> Federation {
+    Federation::new(
+        ModelSpec::lenet5(3, 16, 16, 10),
+        build_clients(),
+        FedConfig { rounds, sample_frac: 0.5, eval_every: rounds, ..Default::default() },
+    )
+}
+
+fn main() {
+    let rounds = 10;
+    let mut table = Table::new(
+        "Personalized accuracy under pathological non-IID (CIFAR-10 stand-in, LeNet-5)",
+        &["algorithm", "avg accuracy", "sparsity", "communication"],
+    );
+    let mut runs: Vec<(String, _)> = Vec::new();
+    let mut standalone = Standalone::new(federation(rounds));
+    runs.push((standalone.name(), standalone.run()));
+    let mut fedavg = FedAvg::new(federation(rounds));
+    runs.push((fedavg.name(), fedavg.run()));
+    let mut sub = SubFedAvgUn::new(federation(rounds), 0.5);
+    runs.push((sub.name(), sub.run()));
+
+    for (name, h) in &runs {
+        table.row(&[
+            name.clone(),
+            pct(h.final_avg_acc()),
+            pct(h.final_pruned_params()),
+            human_bytes(h.total_bytes()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let standalone_acc = runs[0].1.final_avg_acc();
+    let fedavg_acc = runs[1].1.final_avg_acc();
+    let sub_acc = runs[2].1.final_avg_acc();
+    println!("Remark-2 check:");
+    println!(
+        "  FedAvg {} Standalone   (paper: traditional FedAvg loses under non-IID)",
+        if fedavg_acc < standalone_acc { "<" } else { ">=" }
+    );
+    println!(
+        "  Sub-FedAvg {} Standalone (paper: pruning-personalized federation wins)",
+        if sub_acc > standalone_acc { ">" } else { "<=" }
+    );
+}

@@ -1,0 +1,58 @@
+//! # sub-fedavg
+//!
+//! A from-scratch Rust reproduction of **"Personalized Federated Learning
+//! by Structured and Unstructured Pruning under Data Heterogeneity"**
+//! (Vahidian, Morafah, Lin — ICDCS 2021).
+//!
+//! Under non-IID client data a single global model serves everyone poorly.
+//! Sub-FedAvg personalizes by letting every client iteratively prune its
+//! copy of the network — unstructured magnitude pruning (Algorithm 1) or
+//! hybrid channel + FC pruning (Algorithm 2) — while the server averages
+//! each parameter only over the clients whose subnetwork retains it.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — dense f32 tensor substrate;
+//! * [`nn`] — layers, models (CNN-5 / LeNet-5), masks, SGD;
+//! * [`data`] — synthetic vision datasets and the paper's pathological
+//!   non-IID partitioner;
+//! * [`pruning`] — unstructured / structured / hybrid pruning and the
+//!   gating controllers;
+//! * [`core`] — the federation engine, Sub-FedAvg, and every baseline;
+//! * [`metrics`] — communication-cost and FLOP models plus reporting.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use sub_fedavg::core::{algorithms::SubFedAvgUn, FedConfig, FederatedAlgorithm, Federation};
+//! use sub_fedavg::data::{partition_pathological, PartitionConfig, SynthVision};
+//! use sub_fedavg::nn::models::ModelSpec;
+//!
+//! // A 10-class MNIST stand-in, split pathologically across 16 clients.
+//! let dataset = SynthVision::mnist_like(7, 1);
+//! let clients = partition_pathological(
+//!     dataset.train(),
+//!     dataset.test(),
+//!     &PartitionConfig { num_clients: 16, shard_size: 18, ..Default::default() },
+//! );
+//! let fed = Federation::new(
+//!     ModelSpec::cnn5(1, 16, 16, 10),
+//!     clients,
+//!     FedConfig { rounds: 15, ..Default::default() },
+//! );
+//! // Sub-FedAvg (Un) with a 50% target pruning rate.
+//! let history = SubFedAvgUn::new(fed, 0.5).run();
+//! println!(
+//!     "accuracy {:.1}%, sparsity {:.0}%, comm {} bytes",
+//!     100.0 * history.final_avg_acc(),
+//!     100.0 * history.final_pruned_params(),
+//!     history.total_bytes(),
+//! );
+//! ```
+
+pub use subfed_core as core;
+pub use subfed_data as data;
+pub use subfed_metrics as metrics;
+pub use subfed_nn as nn;
+pub use subfed_pruning as pruning;
+pub use subfed_tensor as tensor;

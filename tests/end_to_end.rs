@@ -1,0 +1,140 @@
+//! End-to-end integration tests spanning every crate: data generation →
+//! partitioning → federated training → pruning → aggregation → metrics.
+
+use sub_fedavg::core::{
+    algorithms::{FedAvg, FedMtl, FedProx, LgFedAvg, Standalone, SubFedAvgHy, SubFedAvgUn},
+    FedConfig, FederatedAlgorithm, Federation, History,
+};
+use sub_fedavg::data::{partition_pathological, PartitionConfig, SynthConfig, SynthVision};
+use sub_fedavg::nn::models::ModelSpec;
+use sub_fedavg::pruning::{HybridController, UnstructuredController};
+
+fn federation(rounds: usize, seed: u64) -> Federation {
+    let data = SynthVision::generate(SynthConfig {
+        channels: 1,
+        height: 16,
+        width: 16,
+        classes: 5,
+        train_per_class: 40,
+        test_per_class: 8,
+        noise_std: 0.1,
+        shift: 1,
+        grid: 4,
+        seed,
+    });
+    let clients = partition_pathological(
+        data.train(),
+        data.test(),
+        &PartitionConfig {
+            num_clients: 5,
+            shard_size: 20,
+            shards_per_client: 2,
+            val_fraction: 0.15,
+            seed,
+        },
+    );
+    Federation::new(
+        ModelSpec::cnn5(1, 16, 16, 5),
+        clients,
+        FedConfig {
+            rounds,
+            sample_frac: 0.6,
+            local_epochs: 3,
+            eval_every: rounds,
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
+fn run_all(rounds: usize, seed: u64) -> Vec<(String, History)> {
+    let mut algos: Vec<Box<dyn FederatedAlgorithm>> = vec![
+        Box::new(Standalone::new(federation(rounds, seed))),
+        Box::new(FedAvg::new(federation(rounds, seed))),
+        Box::new(FedProx::new(federation(rounds, seed), 0.01)),
+        Box::new(LgFedAvg::new(federation(rounds, seed))),
+        Box::new(FedMtl::new(federation(rounds, seed), 0.1)),
+        Box::new(SubFedAvgUn::with_controller(federation(rounds, seed), {
+            let mut c = UnstructuredController::paper_defaults(0.5);
+            c.acc_threshold = 0.3;
+            c.rate = 0.15;
+            c
+        })),
+        Box::new(SubFedAvgHy::with_controller(federation(rounds, seed), {
+            let mut c = HybridController::paper_defaults(0.4, 0.5);
+            c.acc_threshold = 0.3;
+            c.unstructured.acc_threshold = 0.3;
+            c.structured_rate = 0.15;
+            c.unstructured.rate = 0.15;
+            c
+        })),
+    ];
+    algos.iter_mut().map(|a| (a.name(), a.run())).collect()
+}
+
+#[test]
+fn every_algorithm_completes_and_learns() {
+    for (name, h) in run_all(5, 99) {
+        assert_eq!(h.records.len(), 5, "{name}: wrong round count");
+        let acc = h.final_avg_acc();
+        // 5-class data, clients hold ~2 classes: anything clearly above
+        // the 20% chance level means learning happened.
+        assert!(acc > 0.3, "{name}: final accuracy {acc}");
+        for w in h.records.windows(2) {
+            assert!(w[1].cum_bytes >= w[0].cum_bytes, "{name}: bytes went backwards");
+        }
+    }
+}
+
+#[test]
+fn communication_ordering_matches_paper() {
+    let runs = run_all(4, 7);
+    let get = |name: &str| -> u64 {
+        runs.iter()
+            .find(|(n, _)| n.starts_with(name))
+            .unwrap_or_else(|| panic!("missing {name}"))
+            .1
+            .total_bytes()
+    };
+    // Standalone is free; MTL is the most expensive; LG-FedAvg is below
+    // FedAvg; Sub-FedAvg variants are below FedAvg.
+    assert_eq!(get("Standalone"), 0);
+    assert!(get("MTL") > get("FedAvg"));
+    assert!(get("LG-FedAvg") < get("FedAvg"));
+    assert!(get("Sub-FedAvg (Un)") < get("FedAvg"));
+    assert!(get("Sub-FedAvg (Hy)") < get("FedAvg"));
+    // FedProx communicates exactly like FedAvg.
+    assert_eq!(get("FedProx"), get("FedAvg"));
+}
+
+#[test]
+fn subfedavg_prunes_and_stays_accurate() {
+    let runs = run_all(6, 21);
+    let (_, un) = runs.iter().find(|(n, _)| n.starts_with("Sub-FedAvg (Un)")).unwrap();
+    assert!(un.final_pruned_params() > 0.2, "sparsity {}", un.final_pruned_params());
+    let (_, hy) = runs.iter().find(|(n, _)| n.starts_with("Sub-FedAvg (Hy)")).unwrap();
+    assert!(hy.final_pruned_channels() > 0.1, "channels {}", hy.final_pruned_channels());
+    // Pruned models still learn their local tasks.
+    assert!(un.final_avg_acc() > 0.4);
+    assert!(hy.final_avg_acc() > 0.4);
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let a = run_all(3, 5);
+    let b = run_all(3, 5);
+    for ((na, ha), (nb, hb)) in a.iter().zip(b.iter()) {
+        assert_eq!(na, nb);
+        assert_eq!(ha, hb, "{na} differs between identical runs");
+    }
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let a = run_all(3, 5);
+    let b = run_all(3, 6);
+    // At least the learned accuracies of FedAvg should differ across
+    // dataset/partition seeds.
+    let differs = a.iter().zip(b.iter()).any(|((_, ha), (_, hb))| ha != hb);
+    assert!(differs);
+}

@@ -1,0 +1,113 @@
+//! Failure-injection integration tests: every algorithm must survive
+//! clients dropping out mid-round — including rounds where *every* sampled
+//! client crashes — without panicking, losing determinism, or corrupting
+//! its state.
+
+use sub_fedavg::core::{
+    algorithms::{FedAvg, FedMtl, LgFedAvg, Standalone, SubFedAvgHy, SubFedAvgUn},
+    FedConfig, FederatedAlgorithm, Federation, History,
+};
+use sub_fedavg::data::{partition_pathological, PartitionConfig, SynthConfig, SynthVision};
+use sub_fedavg::nn::models::ModelSpec;
+use sub_fedavg::pruning::{HybridController, UnstructuredController};
+
+fn federation(dropout_prob: f32, seed: u64) -> Federation {
+    let data = SynthVision::generate(SynthConfig {
+        channels: 1,
+        height: 16,
+        width: 16,
+        classes: 4,
+        train_per_class: 30,
+        test_per_class: 6,
+        noise_std: 0.1,
+        shift: 1,
+        grid: 4,
+        seed,
+    });
+    let clients = partition_pathological(
+        data.train(),
+        data.test(),
+        &PartitionConfig {
+            num_clients: 4,
+            shard_size: 15,
+            shards_per_client: 2,
+            val_fraction: 0.15,
+            seed,
+        },
+    );
+    Federation::new(
+        ModelSpec::cnn5(1, 16, 16, 4),
+        clients,
+        FedConfig {
+            rounds: 5,
+            sample_frac: 0.5,
+            local_epochs: 2,
+            eval_every: 5,
+            seed,
+            dropout_prob,
+            ..Default::default()
+        },
+    )
+}
+
+fn run_all(dropout: f32, seed: u64) -> Vec<(String, History)> {
+    let mut algos: Vec<Box<dyn FederatedAlgorithm>> = vec![
+        Box::new(Standalone::new(federation(dropout, seed))),
+        Box::new(FedAvg::new(federation(dropout, seed))),
+        Box::new(LgFedAvg::new(federation(dropout, seed))),
+        Box::new(FedMtl::new(federation(dropout, seed), 0.1)),
+        Box::new(SubFedAvgUn::with_controller(federation(dropout, seed), {
+            let mut c = UnstructuredController::paper_defaults(0.5);
+            c.acc_threshold = 0.0;
+            c.rate = 0.2;
+            c
+        })),
+        Box::new(SubFedAvgHy::with_controller(federation(dropout, seed), {
+            let mut c = HybridController::paper_defaults(0.4, 0.5);
+            c.acc_threshold = 0.0;
+            c.unstructured.acc_threshold = 0.0;
+            c
+        })),
+    ];
+    algos.iter_mut().map(|a| (a.name(), a.run())).collect()
+}
+
+#[test]
+fn all_algorithms_tolerate_moderate_dropout() {
+    for (name, h) in run_all(0.3, 5) {
+        assert_eq!(h.records.len(), 5, "{name}");
+        assert!(h.final_avg_acc() > 0.25, "{name}: accuracy {}", h.final_avg_acc());
+    }
+}
+
+#[test]
+fn all_algorithms_tolerate_catastrophic_dropout() {
+    // 90% dropout on a 2-client cohort: most rounds lose every
+    // participant. Nothing may panic and histories stay complete.
+    for (name, h) in run_all(0.9, 6) {
+        assert_eq!(h.records.len(), 5, "{name}");
+        // Accuracy may be near-chance; bytes must be finite and monotone.
+        for w in h.records.windows(2) {
+            assert!(w[1].cum_bytes >= w[0].cum_bytes, "{name}: bytes went backwards");
+        }
+    }
+}
+
+#[test]
+fn dropout_runs_are_deterministic() {
+    let a = run_all(0.5, 9);
+    let b = run_all(0.5, 9);
+    for ((na, ha), (_, hb)) in a.iter().zip(b.iter()) {
+        assert_eq!(ha, hb, "{na}");
+    }
+}
+
+#[test]
+fn dropout_reduces_communication() {
+    let reliable = run_all(0.0, 11);
+    let flaky = run_all(0.6, 11);
+    // FedAvg: fewer surviving participants -> fewer transfers.
+    let rb = reliable.iter().find(|(n, _)| n == "FedAvg").unwrap().1.total_bytes();
+    let fb = flaky.iter().find(|(n, _)| n == "FedAvg").unwrap().1.total_bytes();
+    assert!(fb < rb, "flaky {fb} should cost less than reliable {rb}");
+}
