@@ -8,6 +8,8 @@
 //! > Standalone > FedAvg; MTL most expensive; Sub-FedAvg cheapest dense
 //! > exchange) is the claim under reproduction.
 
+use std::sync::Arc;
+
 use subfed_bench::{
     bench_hy_controller, bench_un_controller, federation, paper_table1, scale, DatasetKind,
 };
@@ -15,10 +17,11 @@ use subfed_core::algorithms::{FedAvg, FedMtl, FedProx, LgFedAvg, Standalone, Sub
 use subfed_core::{FederatedAlgorithm, History};
 use subfed_metrics::comm::human_bytes;
 use subfed_metrics::report::Table;
+use subfed_metrics::trace::{TraceSummary, Tracer, VecSink};
 
-fn run_algo(kind: DatasetKind, which: &str) -> History {
+fn run_algo(kind: DatasetKind, which: &str, sink: &Arc<VecSink>) -> History {
     let s = scale();
-    let fed = federation(kind, s, s.rounds, 1234);
+    let fed = federation(kind, s, s.rounds, 1234).with_tracer(Tracer::new(sink.clone()));
     let mut algo: Box<dyn FederatedAlgorithm> = match which {
         "Standalone" => Box::new(Standalone::new(fed)),
         "FedAvg" => Box::new(FedAvg::new(fed)),
@@ -60,8 +63,12 @@ fn main() {
                 "measured sparsity",
             ],
         );
+        // One trace per dataset, pooled over all algorithm runs: the phase
+        // summary below shows where the benchmark's wall-time actually
+        // goes (training dominates; see docs/OBSERVABILITY.md).
+        let sink = Arc::new(VecSink::new());
         for row in paper_table1(kind) {
-            let h = run_algo(kind, row.algo);
+            let h = run_algo(kind, row.algo, &sink);
             table.row(&[
                 row.algo.to_string(),
                 row.acc.map_or("-".into(), |a| format!("{a:.2}%")),
@@ -72,6 +79,7 @@ fn main() {
             ]);
         }
         println!("{}", table.render());
+        println!("{}", TraceSummary::from_events(&sink.snapshot()).render());
     }
     println!(
         "note: * marks synthetic stand-ins (DESIGN.md §2); compare orderings and\n\

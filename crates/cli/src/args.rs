@@ -68,6 +68,11 @@ pub struct RunSpec {
     pub coupling: f32,
     /// Optional CSV output path for the round history.
     pub csv: Option<String>,
+    /// Optional JSONL trace output path (one trace event per line; see
+    /// `docs/OBSERVABILITY.md`).
+    pub trace: Option<String>,
+    /// Print the aggregated phase-timing summary after the run.
+    pub trace_summary: bool,
 }
 
 impl Default for RunSpec {
@@ -90,6 +95,8 @@ impl Default for RunSpec {
             mu: 0.01,
             coupling: 0.1,
             csv: None,
+            trace: None,
+            trace_summary: false,
         }
     }
 }
@@ -134,6 +141,7 @@ pub fn usage() -> String {
          \x20             [--momentum F] [--seed N] [--eval-every N] [--dropout F]\n\
          \x20             [--threads N] [--target F] [--structured-target F]\n\
          \x20             [--rate F] [--mu F] [--coupling F] [--csv PATH]\n\
+         \x20             [--trace PATH] [--trace-summary]\n\
          \x20 subfed info [--dataset D] [--clients N] [--seed N]\n\
          \x20 subfed help\n\
          \n\
@@ -211,6 +219,13 @@ fn parse_run(args: &[String]) -> Result<RunSpec, String> {
             "--mu" => spec.mu = parse_value(flag, value)?,
             "--coupling" => spec.coupling = parse_value(flag, value)?,
             "--csv" => spec.csv = Some(parse_value::<String>(flag, value)?),
+            "--trace" => spec.trace = Some(parse_value::<String>(flag, value)?),
+            "--trace-summary" => {
+                // Boolean flag: takes no value.
+                spec.trace_summary = true;
+                i += 1;
+                continue;
+            }
             other => return Err(format!("unknown flag `{other}` for `subfed run`")),
         }
         i += 2;
@@ -283,7 +298,7 @@ mod tests {
              --sample-frac 0.4 --epochs 2 --batch 8 --lr 0.02 --momentum 0.4 \
              --seed 9 --eval-every 7 --dropout 0.1 --threads 2 --target 0.6 \
              --structured-target 0.3 --rate 0.15 --mu 0.05 --coupling 0.2 \
-             --csv /tmp/out.csv",
+             --csv /tmp/out.csv --trace /tmp/out.jsonl --trace-summary",
         ))
         .unwrap() else {
             panic!("expected run");
@@ -307,6 +322,24 @@ mod tests {
         assert_eq!(spec.mu, 0.05);
         assert_eq!(spec.coupling, 0.2);
         assert_eq!(spec.csv.as_deref(), Some("/tmp/out.csv"));
+        assert_eq!(spec.trace.as_deref(), Some("/tmp/out.jsonl"));
+        assert!(spec.trace_summary);
+    }
+
+    #[test]
+    fn trace_summary_is_a_bare_flag() {
+        // `--trace-summary` consumes no value: the next token is parsed
+        // as the flag it is.
+        let Command::Run(spec) =
+            parse_args(&argv("run --trace-summary --rounds 4")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert!(spec.trace_summary);
+        assert_eq!(spec.config.rounds, 4);
+        let Command::Run(spec) = parse_args(&argv("run")).unwrap() else { panic!() };
+        assert!(!spec.trace_summary);
+        assert_eq!(spec.trace, None);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Command execution: builds the federation, runs the algorithm, renders
 //! the report.
 
+use std::sync::Arc;
+
 use crate::args::{usage, AlgoKind, Command, InfoSpec, RunSpec};
 use subfed_core::algorithms::{
     FedAvg, FedMtl, FedProx, LgFedAvg, Standalone, SubFedAvgHy, SubFedAvgUn,
@@ -9,6 +11,7 @@ use subfed_core::{FederatedAlgorithm, Federation};
 use subfed_data::stats::{label_histogram, mean_labels_per_client};
 use subfed_metrics::comm::human_bytes;
 use subfed_metrics::report::Table;
+use subfed_metrics::trace::{JsonlSink, Sink, TraceSummary, Tracer, VecSink};
 use subfed_pruning::{HybridController, UnstructuredController};
 
 fn build_algorithm(spec: &RunSpec, fed: Federation) -> Box<dyn FederatedAlgorithm> {
@@ -38,10 +41,35 @@ fn build_algorithm(spec: &RunSpec, fed: Federation) -> Box<dyn FederatedAlgorith
 fn execute_run(spec: &RunSpec) -> Result<String, String> {
     let clients =
         spec.dataset.clients_with(spec.clients, spec.config.seed, spec.partition);
-    let fed = Federation::new(spec.dataset.spec(), clients, spec.config);
+    // Optional telemetry: a JSONL file sink, an in-memory sink feeding the
+    // end-of-run summary, or both.
+    let jsonl: Option<Arc<JsonlSink>> = match &spec.trace {
+        Some(path) => Some(Arc::new(
+            JsonlSink::create(path).map_err(|e| format!("cannot write {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let summary_sink: Option<Arc<VecSink>> =
+        spec.trace_summary.then(|| Arc::new(VecSink::new()));
+    let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+    if let Some(s) = &jsonl {
+        sinks.push(s.clone());
+    }
+    if let Some(s) = &summary_sink {
+        sinks.push(s.clone());
+    }
+    let tracer = Tracer::multi(sinks);
+    let fed = Federation::new(spec.dataset.spec(), clients, spec.config).with_tracer(tracer);
+    let tracer = fed.tracer().clone();
     let mut algo = build_algorithm(spec, fed);
     let name = algo.name();
     let history = algo.run();
+    tracer.flush();
+    if let (Some(sink), Some(path)) = (&jsonl, &spec.trace) {
+        if let Some(e) = sink.take_error() {
+            return Err(format!("cannot write {path}: {e}"));
+        }
+    }
     let mut out = String::new();
     out.push_str(&format!(
         "{name} on {} — {} clients, {} rounds\n\n",
@@ -67,10 +95,17 @@ fn execute_run(spec: &RunSpec) -> Result<String, String> {
         100.0 * history.final_pruned_params(),
         human_bytes(history.total_bytes()),
     ));
+    if let Some(sink) = &summary_sink {
+        out.push('\n');
+        out.push_str(&TraceSummary::from_events(&sink.snapshot()).render());
+    }
     if let Some(path) = &spec.csv {
         std::fs::write(path, history.to_csv())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         out.push_str(&format!("history written to {path}\n"));
+    }
+    if let Some(path) = &spec.trace {
+        out.push_str(&format!("trace written to {path}\n"));
     }
     Ok(out)
 }
@@ -173,6 +208,45 @@ mod tests {
     fn run_rejects_unwritable_csv() {
         let cmd = parse_args(&argv(
             "run --rounds 1 --clients 4 --epochs 1 --csv /nonexistent-dir/x.csv",
+        ))
+        .unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.contains("cannot write"));
+    }
+
+    #[test]
+    fn run_writes_parseable_jsonl_trace() {
+        use subfed_metrics::trace::TraceEvent;
+        let path = std::env::temp_dir().join("subfed_cli_test.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = quick_run(&format!("--algo un --trace {path_str}"));
+        assert!(out.contains("trace written to"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::from_json(l).expect("every line parses"))
+            .collect();
+        // Every phase of a Sub-FedAvg round is present.
+        for kind in
+            ["round_start", "train", "prune", "prune_gate", "encode", "aggregate", "round_end"]
+        {
+            assert!(events.iter().any(|e| e.kind() == kind), "missing {kind}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_prints_trace_summary() {
+        let out = quick_run("--algo un --trace-summary");
+        assert!(out.contains("trace summary"), "{out}");
+        assert!(out.contains("train"), "{out}");
+        assert!(out.contains("prune gates:"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_unwritable_trace() {
+        let cmd = parse_args(&argv(
+            "run --rounds 1 --clients 4 --epochs 1 --trace /nonexistent-dir/x.jsonl",
         ))
         .unwrap();
         let err = execute(&cmd).unwrap_err();

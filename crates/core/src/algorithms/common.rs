@@ -1,6 +1,7 @@
 //! Helpers shared by the algorithm implementations.
 
 use crate::{Federation, History, RoundRecord};
+use subfed_metrics::trace::{Span, TraceEvent};
 
 /// Whether `round` (1-based) is an evaluation round.
 pub(crate) fn is_eval_round(fed: &Federation, round: usize) -> bool {
@@ -8,7 +9,9 @@ pub(crate) fn is_eval_round(fed: &Federation, round: usize) -> bool {
 }
 
 /// Evaluates every client's flat model (when due) and appends the round
-/// record.
+/// record. `round_span` is the span opened at the top of the round; it
+/// closes here with the round's `eval` (when due) and `round_end` trace
+/// events.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn record_round(
     history: &mut History,
@@ -19,14 +22,26 @@ pub(crate) fn record_round(
     avg_pruned_params: f32,
     avg_pruned_channels: f32,
     per_client_pruned: Vec<f32>,
+    round_span: Span,
 ) {
     let (avg_acc, per_client_acc) = if is_eval_round(fed, round) {
+        let eval_span = fed.tracer().span();
         let accs = fed.evaluate_clients(flats);
         let mean = accs.iter().sum::<f32>() / accs.len() as f32;
+        fed.tracer().emit(TraceEvent::Eval {
+            round,
+            us: eval_span.elapsed_us(),
+            avg_acc: mean,
+        });
         (Some(mean), accs)
     } else {
         (None, Vec::new())
     };
+    fed.tracer().emit(TraceEvent::RoundEnd {
+        round,
+        us: round_span.elapsed_us(),
+        cum_bytes,
+    });
     history.push(RoundRecord {
         round,
         avg_acc,

@@ -9,6 +9,7 @@
 use super::common::record_round;
 use crate::{fedavg_aggregate, train_client, FederatedAlgorithm, Federation, History};
 use subfed_metrics::comm::dense_transfer_bytes;
+use subfed_metrics::trace::TraceEvent;
 
 /// Traditional FedAvg (Table 1's "FedAvg" row).
 #[derive(Debug, Clone)]
@@ -66,12 +67,16 @@ impl FederatedAlgorithm for FedAvg {
         let mut history = History::new();
         let mut cum_bytes = 0u64;
         for round in 1..=fed.config().rounds {
-            let ids = fed.survivors(round, &fed.sample_round(round));
+            let round_span = fed.tracer().span();
+            let ids = fed.begin_round(round);
             if ids.is_empty() {
                 // Every sampled client dropped: the round is lost but the
                 // federation carries on with the previous global model.
                 let flats: Vec<Vec<f32>> = vec![global.clone(); fed.num_clients()];
-                record_round(&mut history, fed, round, &flats, cum_bytes, 0.0, 0.0, Vec::new());
+                record_round(
+                    &mut history, fed, round, &flats, cum_bytes, 0.0, 0.0, Vec::new(),
+                    round_span,
+                );
                 continue;
             }
             let prox_mu = self.prox_mu;
@@ -79,7 +84,8 @@ impl FederatedAlgorithm for FedAvg {
             let download = self.maybe_quantize(&global);
             let download_ref = &download;
             let outcomes = fed.par_map(&ids, |i| {
-                train_client(
+                let span = fed.tracer().span();
+                let out = train_client(
                     fed.spec(),
                     download_ref,
                     &fed.clients()[i],
@@ -87,27 +93,45 @@ impl FederatedAlgorithm for FedAvg {
                     None,
                     prox_mu.map(|mu| (download_ref.as_slice(), mu)),
                     fed.client_seed(round, i),
-                )
+                );
+                fed.tracer().emit(TraceEvent::ClientTrain {
+                    round,
+                    client: i,
+                    us: span.elapsed_us(),
+                    val_acc: out.val_acc,
+                    train_loss: out.mean_train_loss,
+                });
+                out
             });
-            let updates: Vec<(Vec<f32>, usize)> = outcomes
-                .into_iter()
-                .zip(ids.iter())
-                .map(|(o, &i)| {
-                    (self.maybe_quantize(&o.final_flat), fed.clients()[i].train.len())
-                })
-                .collect();
-            global = fedavg_aggregate(&updates);
             let transfer = if self.quantized {
                 // 1 byte per parameter + the 8-byte affine header.
                 num_params as u64 + 8
             } else {
                 dense_transfer_bytes(num_params)
             };
+            let updates: Vec<(Vec<f32>, usize)> = outcomes
+                .into_iter()
+                .zip(ids.iter())
+                .map(|(o, &i)| {
+                    fed.tracer().emit(TraceEvent::Download { round, client: i, bytes: transfer });
+                    fed.tracer().emit(TraceEvent::Upload { round, client: i, bytes: transfer });
+                    (self.maybe_quantize(&o.final_flat), fed.clients()[i].train.len())
+                })
+                .collect();
+            let agg_span = fed.tracer().span();
+            global = fedavg_aggregate(&updates);
+            fed.tracer().emit(TraceEvent::Aggregate {
+                round,
+                us: agg_span.elapsed_us(),
+                updates: updates.len(),
+            });
             cum_bytes += ids.len() as u64 * transfer * 2;
             // Traditional FL: every client is served the single global
             // model.
             let flats: Vec<Vec<f32>> = vec![global.clone(); fed.num_clients()];
-            record_round(&mut history, fed, round, &flats, cum_bytes, 0.0, 0.0, Vec::new());
+            record_round(
+                &mut history, fed, round, &flats, cum_bytes, 0.0, 0.0, Vec::new(), round_span,
+            );
         }
         history
     }

@@ -9,6 +9,7 @@
 
 use super::common::record_round;
 use crate::{train_client, FederatedAlgorithm, Federation, History};
+use subfed_metrics::trace::TraceEvent;
 use subfed_nn::ParamKind;
 
 /// LG-FedAvg (Table 1's "LG-FedAvg" row).
@@ -60,10 +61,12 @@ impl FederatedAlgorithm for LgFedAvg {
         let mut cum_bytes = 0u64;
         let head_bytes = self.head_params() as u64 * 4;
         for round in 1..=fed.config().rounds {
-            let ids = fed.survivors(round, &fed.sample_round(round));
+            let round_span = fed.tracer().span();
+            let ids = fed.begin_round(round);
             if ids.is_empty() {
                 record_round(
                     &mut history, fed, round, &local_flats, cum_bytes, 0.0, 0.0, Vec::new(),
+                    round_span,
                 );
                 continue;
             }
@@ -77,7 +80,8 @@ impl FederatedAlgorithm for LgFedAvg {
                 for &(off, len) in head_ranges {
                     start[off..off + len].copy_from_slice(&global_ref[off..off + len]);
                 }
-                train_client(
+                let span = fed.tracer().span();
+                let out = train_client(
                     fed.spec(),
                     &start,
                     &fed.clients()[i],
@@ -85,9 +89,18 @@ impl FederatedAlgorithm for LgFedAvg {
                     None,
                     None,
                     fed.client_seed(round, i),
-                )
+                );
+                fed.tracer().emit(TraceEvent::ClientTrain {
+                    round,
+                    client: i,
+                    us: span.elapsed_us(),
+                    val_acc: out.val_acc,
+                    train_loss: out.mean_train_loss,
+                });
+                out
             });
             // Upload: average the heads, weighted by sample count.
+            let agg_span = fed.tracer().span();
             let total: usize = ids.iter().map(|&i| fed.clients()[i].train.len()).sum();
             let mut new_head = vec![0.0f32; global_head.len()];
             for (out, &i) in outcomes.iter().zip(ids.iter()) {
@@ -102,11 +115,21 @@ impl FederatedAlgorithm for LgFedAvg {
                 }
             }
             self.copy_head(&mut global_head, &new_head);
+            fed.tracer().emit(TraceEvent::Aggregate {
+                round,
+                us: agg_span.elapsed_us(),
+                updates: ids.len(),
+            });
             for (out, &i) in outcomes.into_iter().zip(ids.iter()) {
+                fed.tracer().emit(TraceEvent::Download { round, client: i, bytes: head_bytes });
+                fed.tracer().emit(TraceEvent::Upload { round, client: i, bytes: head_bytes });
                 local_flats[i] = out.final_flat;
             }
             cum_bytes += ids.len() as u64 * head_bytes * 2;
-            record_round(&mut history, fed, round, &local_flats, cum_bytes, 0.0, 0.0, Vec::new());
+            record_round(
+                &mut history, fed, round, &local_flats, cum_bytes, 0.0, 0.0, Vec::new(),
+                round_span,
+            );
         }
         history
     }

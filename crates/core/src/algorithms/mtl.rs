@@ -10,7 +10,8 @@
 
 use super::common::record_round;
 use crate::{train_client, FederatedAlgorithm, Federation, History};
-use subfed_metrics::comm::mtl_run_bytes;
+use subfed_metrics::comm::{dense_transfer_bytes, mtl_run_bytes};
+use subfed_metrics::trace::TraceEvent;
 
 /// Federated MTL (Table 1's "MTL" row).
 #[derive(Debug, Clone)]
@@ -45,10 +46,12 @@ impl FederatedAlgorithm for FedMtl {
         let mut history = History::new();
         let mut last_bytes = 0u64;
         for round in 1..=fed.config().rounds {
-            let ids = fed.survivors(round, &fed.sample_round(round));
+            let round_span = fed.tracer().span();
+            let ids = fed.begin_round(round);
             if ids.is_empty() {
                 record_round(
                     &mut history, fed, round, &local_flats, last_bytes, 0.0, 0.0, Vec::new(),
+                    round_span,
                 );
                 continue;
             }
@@ -63,7 +66,8 @@ impl FederatedAlgorithm for FedMtl {
             let mean_ref = &mean;
             let coupling = self.coupling;
             let outcomes = fed.par_map(&ids, |i| {
-                train_client(
+                let span = fed.tracer().span();
+                let out = train_client(
                     fed.spec(),
                     &locals[i],
                     &fed.clients()[i],
@@ -71,14 +75,34 @@ impl FederatedAlgorithm for FedMtl {
                     None,
                     if coupling > 0.0 { Some((mean_ref.as_slice(), coupling)) } else { None },
                     fed.client_seed(round, i),
-                )
+                );
+                fed.tracer().emit(TraceEvent::ClientTrain {
+                    round,
+                    client: i,
+                    us: span.elapsed_us(),
+                    val_acc: out.val_acc,
+                    train_loss: out.mean_train_loss,
+                });
+                out
             });
+            let dense = dense_transfer_bytes(num_params);
             for (out, &i) in outcomes.into_iter().zip(ids.iter()) {
+                // All-pairs exchange: each participant uploads its model
+                // once and downloads every cohort model.
+                fed.tracer().emit(TraceEvent::Upload { round, client: i, bytes: dense });
+                fed.tracer().emit(TraceEvent::Download {
+                    round,
+                    client: i,
+                    bytes: dense * ids.len() as u64,
+                });
                 local_flats[i] = out.final_flat;
             }
             // One round's all-pairs exchange for this cohort size.
             last_bytes += mtl_run_bytes(1, ids.len() as u64, num_params);
-            record_round(&mut history, fed, round, &local_flats, last_bytes, 0.0, 0.0, Vec::new());
+            record_round(
+                &mut history, fed, round, &local_flats, last_bytes, 0.0, 0.0, Vec::new(),
+                round_span,
+            );
         }
         history
     }

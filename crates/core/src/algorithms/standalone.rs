@@ -5,6 +5,7 @@
 
 use super::common::record_round;
 use crate::{train_client, FedConfig, FederatedAlgorithm, Federation, History};
+use subfed_metrics::trace::TraceEvent;
 
 /// Local-only training (Table 1's "Standalone" row).
 #[derive(Debug, Clone)]
@@ -37,12 +38,26 @@ impl FederatedAlgorithm for Standalone {
         let mut history = History::new();
         let all: Vec<usize> = (0..fed.num_clients()).collect();
         for round in 1..=fed.config().rounds {
+            let round_span = fed.tracer().span();
             // With failure injection a crashed client simply skips its
-            // local epochs this round.
+            // local epochs this round. Standalone bypasses cohort sampling
+            // (every client trains), so the round is opened here rather
+            // than through `Federation::begin_round`.
             let ids = fed.survivors(round, &all);
+            if fed.tracer().is_enabled() {
+                fed.tracer().emit(TraceEvent::RoundStart {
+                    round,
+                    sampled: all.clone(),
+                    survivors: ids.clone(),
+                });
+                for &client in all.iter().filter(|c| !ids.contains(c)) {
+                    fed.tracer().emit(TraceEvent::Dropout { round, client });
+                }
+            }
             let flats = &local_flats;
             let outcomes = fed.par_map(&ids, |i| {
-                train_client(
+                let span = fed.tracer().span();
+                let out = train_client(
                     fed.spec(),
                     &flats[i],
                     &fed.clients()[i],
@@ -50,12 +65,22 @@ impl FederatedAlgorithm for Standalone {
                     None,
                     None,
                     fed.client_seed(round, i),
-                )
+                );
+                fed.tracer().emit(TraceEvent::ClientTrain {
+                    round,
+                    client: i,
+                    us: span.elapsed_us(),
+                    val_acc: out.val_acc,
+                    train_loss: out.mean_train_loss,
+                });
+                out
             });
             for (out, &i) in outcomes.into_iter().zip(ids.iter()) {
                 local_flats[i] = out.final_flat;
             }
-            record_round(&mut history, fed, round, &local_flats, 0, 0.0, 0.0, Vec::new());
+            record_round(
+                &mut history, fed, round, &local_flats, 0, 0.0, 0.0, Vec::new(), round_span,
+            );
         }
         history
     }

@@ -8,11 +8,13 @@
 
 use super::common::{apply_flat_mask, kept_count, record_round};
 use crate::{
-    flatten_mask, subfedavg_aggregate, train_client, FederatedAlgorithm, Federation, History,
+    flatten_mask, subfedavg_aggregate, train_client, wire, FederatedAlgorithm, Federation,
+    History,
 };
 use subfed_metrics::comm::{mask_bytes, masked_transfer_bytes};
+use subfed_metrics::trace::TraceEvent;
 use subfed_nn::ModelMask;
-use subfed_pruning::{ChannelMask, HybridController};
+use subfed_pruning::{ChannelMask, GateDecision, HybridController};
 
 /// Per-client pruning state for the hybrid algorithm.
 #[derive(Debug, Clone)]
@@ -82,7 +84,8 @@ impl FederatedAlgorithm for SubFedAvgHy {
         let mut history = History::new();
         let mut cum_bytes = 0u64;
         for round in 1..=fed.config().rounds {
-            let ids = fed.survivors(round, &fed.sample_round(round));
+            let round_span = fed.tracer().span();
+            let ids = fed.begin_round(round);
             if ids.is_empty() {
                 let per_client_pruned: Vec<f32> = states
                     .iter()
@@ -95,14 +98,15 @@ impl FederatedAlgorithm for SubFedAvgHy {
                         / states.len() as f32;
                 record_round(
                     &mut history, fed, round, &local_flats, cum_bytes, avg, avg_ch,
-                    per_client_pruned,
+                    per_client_pruned, round_span,
                 );
                 continue;
             }
             let states_ref = &states;
             let global_ref = &global;
             let outcomes = fed.par_map(&ids, |i| {
-                train_client(
+                let span = fed.tracer().span();
+                let out = train_client(
                     fed.spec(),
                     global_ref,
                     &fed.clients()[i],
@@ -110,17 +114,28 @@ impl FederatedAlgorithm for SubFedAvgHy {
                     Some(&states_ref[i].mask),
                     None,
                     fed.client_seed(round, i),
-                )
+                );
+                fed.tracer().emit(TraceEvent::ClientTrain {
+                    round,
+                    client: i,
+                    us: span.elapsed_us(),
+                    val_acc: out.val_acc,
+                    train_loss: out.mean_train_loss,
+                });
+                out
             });
             let mut updates: Vec<(Vec<f32>, Vec<f32>)> = Vec::with_capacity(ids.len());
             for (out, &i) in outcomes.into_iter().zip(ids.iter()) {
                 let flat_mask_before = flatten_mask(&states[i].mask);
-                cum_bytes += masked_transfer_bytes(kept_count(&flat_mask_before));
+                let download = masked_transfer_bytes(kept_count(&flat_mask_before));
+                cum_bytes += download;
+                fed.tracer().emit(TraceEvent::Download { round, client: i, bytes: download });
+                let prune_span = fed.tracer().span();
                 let mut model_fe = fed.build_model();
                 model_fe.load_flat(&out.first_epoch_flat);
                 let mut model_le = fed.build_model();
                 model_le.load_flat(&out.final_flat);
-                let step = self.controller.step(
+                let (step, decision) = self.controller.step_explained(
                     &model_fe,
                     &model_le,
                     &states[i].channels,
@@ -130,17 +145,65 @@ impl FederatedAlgorithm for SubFedAvgHy {
                 let mask_changed = step.gate.structured_fired || step.gate.unstructured_fired;
                 states[i] =
                     ClientState { channels: step.channels, unstructured: step.unstructured, mask: step.mask };
+                if fed.tracer().is_enabled() {
+                    fed.tracer().emit(TraceEvent::ClientPrune {
+                        round,
+                        client: i,
+                        us: prune_span.elapsed_us(),
+                    });
+                    let gate = |track: &str, d: &GateDecision| TraceEvent::PruneGate {
+                        round,
+                        client: i,
+                        track: track.to_string(),
+                        fired: d.reason.fired(),
+                        reason: d.reason.as_str().to_string(),
+                        val_acc: out.val_acc,
+                        mask_distance: d.mask_distance,
+                        pruned_fraction: d.pruned_fraction,
+                    };
+                    fed.tracer().emit(gate("channel", &decision.structured));
+                    fed.tracer().emit(gate("un", &decision.unstructured));
+                }
                 let flat_mask = flatten_mask(&states[i].mask);
                 let mut final_flat = out.final_flat;
                 apply_flat_mask(&mut final_flat, &flat_mask);
-                cum_bytes += masked_transfer_bytes(kept_count(&flat_mask));
+                let kept = kept_count(&flat_mask);
+                let mut upload = masked_transfer_bytes(kept);
                 if mask_changed {
-                    cum_bytes += mask_bytes(flat_mask.len());
+                    upload += mask_bytes(flat_mask.len());
                 }
+                cum_bytes += upload;
                 local_flats[i] = final_flat.clone();
-                updates.push((final_flat, flat_mask));
+                // As in the unstructured algorithm, uploads go through the
+                // lossless wire codec; the decoded tuple is what the server
+                // aggregates.
+                let enc_span = fed.tracer().span();
+                let buf = wire::encode_update(&final_flat, &flat_mask);
+                fed.tracer().emit(TraceEvent::Encode {
+                    round,
+                    client: i,
+                    us: enc_span.elapsed_us(),
+                    bytes: buf.len() as u64,
+                    kept,
+                });
+                let dec_span = fed.tracer().span();
+                let decoded = wire::decode_update(&buf).expect("self-encoded update decodes");
+                fed.tracer().emit(TraceEvent::Decode {
+                    round,
+                    client: i,
+                    us: dec_span.elapsed_us(),
+                    bytes: buf.len() as u64,
+                });
+                fed.tracer().emit(TraceEvent::Upload { round, client: i, bytes: upload });
+                updates.push(decoded);
             }
+            let agg_span = fed.tracer().span();
             global = subfedavg_aggregate(&global, &updates);
+            fed.tracer().emit(TraceEvent::Aggregate {
+                round,
+                us: agg_span.elapsed_us(),
+                updates: updates.len(),
+            });
             let n = states.len() as f32;
             let per_client_pruned: Vec<f32> = states
                 .iter()
@@ -158,6 +221,7 @@ impl FederatedAlgorithm for SubFedAvgHy {
                 avg_pruned_params,
                 avg_pruned_channels,
                 per_client_pruned,
+                round_span,
             );
         }
         self.final_channels = states.into_iter().map(|s| s.channels).collect();

@@ -25,9 +25,11 @@
 use super::common::{apply_flat_mask, kept_count, record_round};
 use crate::checkpoint::Checkpoint;
 use crate::{
-    flatten_mask, subfedavg_aggregate, train_client, FederatedAlgorithm, Federation, History,
+    flatten_mask, subfedavg_aggregate, train_client, wire, FederatedAlgorithm, Federation,
+    History,
 };
 use subfed_metrics::comm::{mask_bytes, masked_transfer_bytes};
+use subfed_metrics::trace::TraceEvent;
 use subfed_nn::ModelMask;
 use subfed_pruning::UnstructuredController;
 
@@ -222,7 +224,8 @@ impl SubFedAvgUn {
                 *m = ones.clone();
             }
         }
-        let ids = fed.survivors(round, &fed.sample_round(round));
+        let round_span = fed.tracer().span();
+        let ids = fed.begin_round(round);
         if ids.is_empty() {
             let per_client_pruned = self.pruned_fractions(&state.masks);
             let avg = per_client_pruned.iter().sum::<f32>() / per_client_pruned.len() as f32;
@@ -235,6 +238,7 @@ impl SubFedAvgUn {
                 avg,
                 0.0,
                 per_client_pruned,
+                round_span,
             );
             state.next_round += 1;
             self.state = Some(state);
@@ -243,7 +247,8 @@ impl SubFedAvgUn {
         let masks_ref = &state.masks;
         let global_ref = &state.global;
         let outcomes = fed.par_map(&ids, |i| {
-            train_client(
+            let span = fed.tracer().span();
+            let out = train_client(
                 fed.spec(),
                 global_ref,
                 &fed.clients()[i],
@@ -251,24 +256,52 @@ impl SubFedAvgUn {
                 Some(&masks_ref[i]),
                 None,
                 fed.client_seed(round, i),
-            )
+            );
+            fed.tracer().emit(TraceEvent::ClientTrain {
+                round,
+                client: i,
+                us: span.elapsed_us(),
+                val_acc: out.val_acc,
+                train_loss: out.mean_train_loss,
+            });
+            out
         });
         let mut updates: Vec<(Vec<f32>, Vec<f32>)> = Vec::with_capacity(ids.len());
         for (out, &i) in outcomes.into_iter().zip(ids.iter()) {
             let flat_mask_before = flatten_mask(&state.masks[i]);
             // Download cost: the masked global.
-            state.cum_bytes += masked_transfer_bytes(kept_count(&flat_mask_before));
+            let download = masked_transfer_bytes(kept_count(&flat_mask_before));
+            state.cum_bytes += download;
+            fed.tracer().emit(TraceEvent::Download { round, client: i, bytes: download });
             // Pruning decision from the two weight snapshots.
+            let prune_span = fed.tracer().span();
             let mut model_fe = fed.build_model();
             model_fe.load_flat(&out.first_epoch_flat);
             let mut model_le = fed.build_model();
             model_le.load_flat(&out.final_flat);
+            let (new_mask, decision) =
+                controller.step_explained(&model_fe, &model_le, &state.masks[i], out.val_acc);
             let mut mask_changed = false;
-            if let Some(new_mask) =
-                controller.step(&model_fe, &model_le, &state.masks[i], out.val_acc)
-            {
+            if let Some(new_mask) = new_mask {
                 state.masks[i] = new_mask;
                 mask_changed = true;
+            }
+            if fed.tracer().is_enabled() {
+                fed.tracer().emit(TraceEvent::ClientPrune {
+                    round,
+                    client: i,
+                    us: prune_span.elapsed_us(),
+                });
+                fed.tracer().emit(TraceEvent::PruneGate {
+                    round,
+                    client: i,
+                    track: "un".to_string(),
+                    fired: decision.reason.fired(),
+                    reason: decision.reason.as_str().to_string(),
+                    val_acc: out.val_acc,
+                    mask_distance: decision.mask_distance,
+                    pruned_fraction: decision.pruned_fraction,
+                });
             }
             let flat_mask = flatten_mask(&state.masks[i]);
             // θ_k^{j+1} = θ_k^{j,le} ⊙ m_k (Algorithm 1, line 15) — or the
@@ -281,13 +314,43 @@ impl SubFedAvgUn {
             apply_flat_mask(&mut final_flat, &flat_mask);
             // Upload cost: kept parameters, plus the packed mask when it
             // changed this round.
-            state.cum_bytes += masked_transfer_bytes(kept_count(&flat_mask));
+            let kept = kept_count(&flat_mask);
+            let mut upload = masked_transfer_bytes(kept);
             if mask_changed {
-                state.cum_bytes += mask_bytes(flat_mask.len());
+                upload += mask_bytes(flat_mask.len());
             }
+            state.cum_bytes += upload;
             state.local_flats[i] = final_flat.clone();
-            updates.push((final_flat, flat_mask));
+            // The upload really goes through the wire codec: encode the
+            // masked update, then decode the buffer on the "server" side
+            // and aggregate the decoded tuple. The codec is lossless (bit
+            // round-trip of kept f32s), so this does not perturb the
+            // training trajectory; `History` byte accounting stays on the
+            // analytical `comm` model above, while the trace reports the
+            // real buffer length.
+            let enc_span = fed.tracer().span();
+            let buf = wire::encode_update(&final_flat, &flat_mask);
+            fed.tracer().emit(TraceEvent::Encode {
+                round,
+                client: i,
+                us: enc_span.elapsed_us(),
+                bytes: buf.len() as u64,
+                kept,
+            });
+            let dec_span = fed.tracer().span();
+            let (dec_params, dec_mask) =
+                wire::decode_update(&buf).expect("self-encoded update decodes");
+            fed.tracer().emit(TraceEvent::Decode {
+                round,
+                client: i,
+                us: dec_span.elapsed_us(),
+                bytes: buf.len() as u64,
+            });
+            fed.tracer().emit(TraceEvent::Upload { round, client: i, bytes: upload });
+            updates.push((dec_params, dec_mask));
         }
+        let agg_span = fed.tracer().span();
+        let num_updates = updates.len();
         state.global = if options.plain_average {
             let dense: Vec<(Vec<f32>, usize)> =
                 updates.into_iter().map(|(p, _)| (p, 1)).collect();
@@ -297,6 +360,11 @@ impl SubFedAvgUn {
         } else {
             subfedavg_aggregate(&state.global, &updates)
         };
+        fed.tracer().emit(TraceEvent::Aggregate {
+            round,
+            us: agg_span.elapsed_us(),
+            updates: num_updates,
+        });
         let per_client_pruned = self.pruned_fractions(&state.masks);
         let avg_pruned = per_client_pruned.iter().sum::<f32>() / per_client_pruned.len() as f32;
         record_round(
@@ -308,6 +376,7 @@ impl SubFedAvgUn {
             avg_pruned,
             0.0,
             per_client_pruned,
+            round_span,
         );
         state.next_round += 1;
         self.state = Some(state);
@@ -416,10 +485,15 @@ mod tests {
         let mut plain = SubFedAvgUn::with_controller(fed, test_controller(0.5))
             .with_options(SubFedAvgOptions { plain_average: true, ..Default::default() });
         let hp = plain.run();
-        let (_, hi) = run_with_target(0.5, 4);
+        let (inter, hi) = run_with_target(0.5, 4);
         // Same comm pattern class, different aggregation -> different
-        // trajectories.
-        assert_ne!(hp, hi);
+        // global models. (The coarse per-client accuracies in `History`
+        // can coincide on a federation this tiny, so compare θ_g, the
+        // aggregation rule's direct output.)
+        assert_eq!(hp.records.len(), hi.records.len());
+        let global_plain = &plain.state.as_ref().expect("ran").global;
+        let global_inter = &inter.state.as_ref().expect("ran").global;
+        assert_ne!(global_plain, global_inter);
         // Fresh masks never accumulate sparsity beyond one step.
         let fed2 = tiny_federation(4, 4);
         let mut fresh = SubFedAvgUn::with_controller(fed2, test_controller(0.5))

@@ -7,6 +7,7 @@ use subfed_nn::loss::softmax_cross_entropy;
 use subfed_nn::models::ModelSpec;
 use subfed_nn::optim::Sgd;
 use subfed_nn::{Mode, ModelMask, Sequential};
+use subfed_metrics::trace::{TraceEvent, Tracer};
 use subfed_tensor::init::SeededRng;
 use subfed_tensor::reduce::argmax_rows;
 
@@ -18,10 +19,12 @@ pub struct Federation {
     spec: ModelSpec,
     clients: Vec<ClientData>,
     config: FedConfig,
+    tracer: Tracer,
 }
 
 impl Federation {
-    /// Creates a federation.
+    /// Creates a federation (telemetry disabled; see
+    /// [`Federation::with_tracer`]).
     ///
     /// # Panics
     ///
@@ -29,7 +32,20 @@ impl Federation {
     pub fn new(spec: ModelSpec, clients: Vec<ClientData>, config: FedConfig) -> Self {
         config.validate();
         assert!(!clients.is_empty(), "federation needs at least one client");
-        Self { spec, clients, config }
+        Self { spec, clients, config, tracer: Tracer::disabled() }
+    }
+
+    /// Attaches a telemetry tracer: every algorithm driving this
+    /// federation emits round/phase [`TraceEvent`]s through it.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The telemetry handle (disabled unless set via
+    /// [`Federation::with_tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The model architecture.
@@ -97,6 +113,26 @@ impl Federation {
                 rng.uniform_f32(0.0, 1.0) >= self.config.dropout_prob
             })
             .collect()
+    }
+
+    /// Samples the round's participants and applies failure injection in
+    /// one step, emitting the round's `round_start` trace event (and one
+    /// `dropout` event per lost client). Equivalent to
+    /// `survivors(round, &sample_round(round))`.
+    pub fn begin_round(&self, round: usize) -> Vec<usize> {
+        let sampled = self.sample_round(round);
+        let survivors = self.survivors(round, &sampled);
+        if self.tracer.is_enabled() {
+            self.tracer.emit(TraceEvent::RoundStart {
+                round,
+                sampled: sampled.clone(),
+                survivors: survivors.clone(),
+            });
+            for &client in sampled.iter().filter(|c| !survivors.contains(c)) {
+                self.tracer.emit(TraceEvent::Dropout { round, client });
+            }
+        }
+        survivors
     }
 
     /// A per-(round, client) RNG seed for batch shuffling.

@@ -1,10 +1,14 @@
 //! Wire encoding of a Sub-FedAvg client update: the bit-packed mask plus
 //! the kept parameters only.
 //!
-//! The communication-cost model (`subfed_metrics::comm`) charges
-//! `32 bits × kept + 1 bit × |W|`; this module is the encoding that
-//! actually achieves those numbers (plus an 8-byte header), which the
-//! tests pin down — the accounting is not hypothetical.
+//! The byte layout (magic, reserved, count, packed mask, kept f32s), the
+//! error taxonomy, and the exact relation to the
+//! `subfed_metrics::comm` cost model are specified in
+//! `docs/WIRE_FORMAT.md`. In short: the cost model charges
+//! `32 bits × kept + 1 bit × |W|` (mask bits only in mask-changed
+//! rounds); this module is the encoding that actually achieves those
+//! numbers plus an 8-byte header, which the tests pin down — the
+//! accounting is not hypothetical.
 
 use bytes::{Buf, BufMut, BytesMut};
 use subfed_metrics::comm::{mask_bytes, pack_mask, unpack_mask};

@@ -10,7 +10,12 @@
 //!   label-skew and class-conditional structure, not on pixel semantics);
 //! * [`partition`] — the paper's pathological non-IID partitioner (§4.1):
 //!   training data is sorted by label, cut into shards, and every client
-//!   receives two shards, so most clients hold exactly two classes;
+//!   receives two shards, so most clients hold exactly two classes — plus
+//!   a quantity-skew partitioner for the heterogeneity extensions;
+//! * [`dirichlet`] — Dirichlet label-skew partitioning (the smoother
+//!   heterogeneity model used by the extension benches);
+//! * [`corrupt`] — label-flipping corruption injection for the
+//!   robust-aggregation extension;
 //! * [`stats`] — partition diagnostics (label histograms, client overlap).
 
 mod dataset;

@@ -9,9 +9,13 @@
 //!   (structured pruning reduces FLOPs; unstructured pruning reduces
 //!   parameters only — exactly the paper's Table 2 semantics);
 //! * [`report`] — fixed-width table and series rendering shared by the
-//!   table/figure bench harnesses.
+//!   table/figure bench harnesses;
+//! * [`trace`] — round-level structured telemetry: typed trace events,
+//!   span timers, JSONL/in-memory sinks, and end-of-run phase summaries
+//!   (schema documented in `docs/OBSERVABILITY.md`).
 
 pub mod comm;
 pub mod flops;
 pub mod report;
 pub mod summary;
+pub mod trace;

@@ -21,6 +21,53 @@ use serde::{Deserialize, Serialize};
 use subfed_nn::models::channel_graph;
 use subfed_nn::{ModelMask, Sequential};
 
+/// Why a pruning gate fired or held — the observable outcome of the
+/// three-gate decision (Algorithm 1 line 14 / Algorithm 2 lines 14–23),
+/// reported in reading order of the gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateReason {
+    /// Every gate passed; the mask advanced.
+    Pruned,
+    /// Validation accuracy below `Acc_th` (don't prune an unconverged
+    /// model).
+    AccuracyBelowThreshold,
+    /// The target pruned fraction is already reached.
+    TargetReached,
+    /// Candidate-mask Hamming distance Δ below ε: the subnetwork has
+    /// stabilised.
+    MaskStable,
+}
+
+impl GateReason {
+    /// Whether this outcome means the mask advanced.
+    pub fn fired(self) -> bool {
+        self == GateReason::Pruned
+    }
+
+    /// Stable kebab-case tag, as it appears in trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GateReason::Pruned => "pruned",
+            GateReason::AccuracyBelowThreshold => "acc-below-threshold",
+            GateReason::TargetReached => "target-reached",
+            GateReason::MaskStable => "mask-stable",
+        }
+    }
+}
+
+/// The measured detail behind one gate decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateDecision {
+    /// The outcome and, when held, the first gate that stopped it.
+    pub reason: GateReason,
+    /// Hamming distance Δ between the first- and last-epoch candidate
+    /// masks (0 when the decision was made before Δ was computed).
+    pub mask_distance: f32,
+    /// Pruned fraction of the (possibly advanced) mask over the
+    /// controller's scope.
+    pub pruned_fraction: f32,
+}
+
 /// Client-side controller for Sub-FedAvg (Un) — Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct UnstructuredController {
@@ -75,13 +122,41 @@ impl UnstructuredController {
         current: &ModelMask,
         val_acc: f32,
     ) -> Option<ModelMask> {
+        self.step_explained(model_first_epoch, model_last_epoch, current, val_acc).0
+    }
+
+    /// [`UnstructuredController::step`] plus the gate decision that
+    /// produced it: which gate held (in the order of Algorithm 1 line 14)
+    /// or that pruning fired, with the measured Δ and the resulting
+    /// pruned fraction. Used by the telemetry layer.
+    pub fn step_explained(
+        &self,
+        model_first_epoch: &Sequential,
+        model_last_epoch: &Sequential,
+        current: &ModelMask,
+        val_acc: f32,
+    ) -> (Option<ModelMask>, GateDecision) {
         let m_fe = self.candidate(model_first_epoch, current);
         let m_le = self.candidate(model_last_epoch, current);
         let delta = m_fe.hamming_distance(&m_le, |k| self.scope.includes(k));
-        if self.should_prune(val_acc, current, delta) {
-            Some(m_le)
+        let reason = if val_acc < self.acc_threshold {
+            GateReason::AccuracyBelowThreshold
+        } else if pruned_fraction(current, self.scope) >= self.target {
+            GateReason::TargetReached
+        } else if delta < self.eps {
+            GateReason::MaskStable
         } else {
-            None
+            GateReason::Pruned
+        };
+        if reason.fired() {
+            let frac = pruned_fraction(&m_le, self.scope);
+            (
+                Some(m_le),
+                GateDecision { reason, mask_distance: delta, pruned_fraction: frac },
+            )
+        } else {
+            let frac = pruned_fraction(current, self.scope);
+            (None, GateDecision { reason, mask_distance: delta, pruned_fraction: frac })
         }
     }
 }
@@ -93,6 +168,15 @@ pub struct StructuredGate {
     pub structured_fired: bool,
     /// The unstructured (FC) track pruned this round.
     pub unstructured_fired: bool,
+}
+
+/// The per-track gate decisions behind one hybrid step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridDecision {
+    /// The structured (channel) track's decision.
+    pub structured: GateDecision,
+    /// The unstructured (FC) track's decision.
+    pub unstructured: GateDecision,
 }
 
 /// Full outcome of one hybrid pruning step.
@@ -157,6 +241,27 @@ impl HybridController {
         current_unstructured: &ModelMask,
         val_acc: f32,
     ) -> HybridStep {
+        self.step_explained(
+            model_first_epoch,
+            model_last_epoch,
+            current_channels,
+            current_unstructured,
+            val_acc,
+        )
+        .0
+    }
+
+    /// [`HybridController::step`] plus each track's gate decision: which
+    /// gate held it (or that it fired), with the measured Δ and resulting
+    /// pruned fraction. Used by the telemetry layer.
+    pub fn step_explained(
+        &self,
+        model_first_epoch: &Sequential,
+        model_last_epoch: &Sequential,
+        current_channels: &ChannelMask,
+        current_unstructured: &ModelMask,
+        val_acc: f32,
+    ) -> (HybridStep, HybridDecision) {
         let mut channels = current_channels.clone();
         let mut unstructured = current_unstructured.clone();
         let mut gate = StructuredGate { structured_fired: false, unstructured_fired: false };
@@ -164,33 +269,79 @@ impl HybridController {
         let acc_ok = val_acc >= self.acc_threshold;
 
         // Structured track.
-        if acc_ok && current_channels.pruned_fraction() < self.structured_target {
+        let structured = if !acc_ok {
+            GateDecision {
+                reason: GateReason::AccuracyBelowThreshold,
+                mask_distance: 0.0,
+                pruned_fraction: current_channels.pruned_fraction(),
+            }
+        } else if current_channels.pruned_fraction() >= self.structured_target {
+            GateDecision {
+                reason: GateReason::TargetReached,
+                mask_distance: 0.0,
+                pruned_fraction: current_channels.pruned_fraction(),
+            }
+        } else {
             let c_fe = slimming_mask(model_first_epoch, current_channels, self.structured_rate);
             let c_le = slimming_mask(model_last_epoch, current_channels, self.structured_rate);
             let delta_s = c_fe.hamming_distance(&c_le);
             if delta_s >= self.structured_eps {
                 channels = c_le;
                 gate.structured_fired = true;
+                GateDecision {
+                    reason: GateReason::Pruned,
+                    mask_distance: delta_s,
+                    pruned_fraction: channels.pruned_fraction(),
+                }
+            } else {
+                GateDecision {
+                    reason: GateReason::MaskStable,
+                    mask_distance: delta_s,
+                    pruned_fraction: current_channels.pruned_fraction(),
+                }
             }
-        }
+        };
 
         // Unstructured (FC) track — independent gating.
-        if acc_ok
-            && pruned_fraction(current_unstructured, self.unstructured.scope)
-                < self.unstructured.target
-        {
+        let scope = self.unstructured.scope;
+        let unstructured_decision = if !acc_ok {
+            GateDecision {
+                reason: GateReason::AccuracyBelowThreshold,
+                mask_distance: 0.0,
+                pruned_fraction: pruned_fraction(current_unstructured, scope),
+            }
+        } else if pruned_fraction(current_unstructured, scope) >= self.unstructured.target {
+            GateDecision {
+                reason: GateReason::TargetReached,
+                mask_distance: 0.0,
+                pruned_fraction: pruned_fraction(current_unstructured, scope),
+            }
+        } else {
             let m_fe = self.unstructured.candidate(model_first_epoch, current_unstructured);
             let m_le = self.unstructured.candidate(model_last_epoch, current_unstructured);
-            let delta_us =
-                m_fe.hamming_distance(&m_le, |k| self.unstructured.scope.includes(k));
+            let delta_us = m_fe.hamming_distance(&m_le, |k| scope.includes(k));
             if delta_us >= self.unstructured.eps {
                 unstructured = m_le;
                 gate.unstructured_fired = true;
+                GateDecision {
+                    reason: GateReason::Pruned,
+                    mask_distance: delta_us,
+                    pruned_fraction: pruned_fraction(&unstructured, scope),
+                }
+            } else {
+                GateDecision {
+                    reason: GateReason::MaskStable,
+                    mask_distance: delta_us,
+                    pruned_fraction: pruned_fraction(current_unstructured, scope),
+                }
             }
-        }
+        };
 
         let mask = expand_channel_mask(model_last_epoch, &channels, &unstructured);
-        HybridStep { channels, unstructured, mask, gate }
+        (
+            HybridStep { channels, unstructured, mask, gate },
+            HybridDecision { structured, unstructured: unstructured_decision },
+        )
     }
 
     /// Builds the initial (all-ones) channel mask for a model.
@@ -307,6 +458,58 @@ mod tests {
         // can overshoot by at most one rate increment).
         assert!(channels.pruned_fraction() <= 0.2 + hc.structured_rate + 1e-6);
         assert!(channels.pruned_fraction() >= 0.15);
+    }
+
+    #[test]
+    fn step_explained_reports_the_first_holding_gate() {
+        let c = UnstructuredController::paper_defaults(0.5);
+        let m_fe = model(1);
+        let m_le = model(2);
+        let ones = ModelMask::ones_for(&m_fe);
+        let (mask, d) = c.step_explained(&m_fe, &m_le, &ones, 0.9);
+        assert!(mask.is_some());
+        assert_eq!(d.reason, GateReason::Pruned);
+        assert!(d.reason.fired());
+        assert!(d.mask_distance > 0.0);
+        assert!((d.pruned_fraction - c.rate).abs() < 0.01);
+        let (none, d) = c.step_explained(&m_fe, &m_le, &ones, 0.1);
+        assert!(none.is_none());
+        assert_eq!(d.reason, GateReason::AccuracyBelowThreshold);
+        assert!(!d.reason.fired());
+        let (_, d) = c.step_explained(&m_fe, &m_fe, &ones, 0.9);
+        assert_eq!(d.reason, GateReason::MaskStable);
+        let half = magnitude_mask(&m_fe, &ones, 0.5, PruneScope::AllWeights, Ranking::LayerWise);
+        let (_, d) = c.step_explained(&m_fe, &m_le, &half, 0.9);
+        assert_eq!(d.reason, GateReason::TargetReached);
+        assert_eq!(d.reason.as_str(), "target-reached");
+    }
+
+    #[test]
+    fn step_explained_matches_step() {
+        let c = UnstructuredController::paper_defaults(0.5);
+        let m_fe = model(1);
+        let m_le = model(2);
+        let ones = ModelMask::ones_for(&m_fe);
+        assert_eq!(c.step(&m_fe, &m_le, &ones, 0.9), c.step_explained(&m_fe, &m_le, &ones, 0.9).0);
+    }
+
+    #[test]
+    fn hybrid_step_explained_reports_both_tracks() {
+        let hc = HybridController::paper_defaults(0.5, 0.5);
+        let m_fe = model(4);
+        let m_le = model(5);
+        let channels = HybridController::initial_channels(&m_fe);
+        let unstructured = ModelMask::ones_for(&m_fe);
+        let (step, d) = hc.step_explained(&m_fe, &m_le, &channels, &unstructured, 0.9);
+        assert_eq!(step.gate.structured_fired, d.structured.reason.fired());
+        assert_eq!(step.gate.unstructured_fired, d.unstructured.reason.fired());
+        assert_eq!(d.structured.reason, GateReason::Pruned);
+        assert_eq!(d.unstructured.reason, GateReason::Pruned);
+        // Accuracy gate is shared and reported per track.
+        let (_, held) = hc.step_explained(&m_fe, &m_le, &channels, &unstructured, 0.1);
+        assert_eq!(held.structured.reason, GateReason::AccuracyBelowThreshold);
+        assert_eq!(held.unstructured.reason, GateReason::AccuracyBelowThreshold);
+        assert_eq!(held.structured.mask_distance, 0.0);
     }
 
     #[test]

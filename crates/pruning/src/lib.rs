@@ -22,7 +22,10 @@ pub mod controller;
 pub mod structured;
 pub mod unstructured;
 
-pub use controller::{HybridController, HybridStep, StructuredGate, UnstructuredController};
+pub use controller::{
+    GateDecision, GateReason, HybridController, HybridDecision, HybridStep, StructuredGate,
+    UnstructuredController,
+};
 pub use structured::ChannelMask;
 pub use unstructured::{PruneScope, Ranking};
 

@@ -1,0 +1,203 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! Implements only the surface this workspace uses: `BytesMut` as a
+//! growable byte buffer with little-endian `put_*` writers, and the
+//! `Buf` reader trait implemented for `&[u8]`.
+
+/// Growable byte buffer with little-endian primitive writers.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { inner: Vec::with_capacity(cap) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+/// Little-endian writer interface (as in the real crate, the `put_*`
+/// methods live here, not on `BytesMut` inherently).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u16` in little-endian order.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends an `f32` in little-endian order.
+    fn put_f32_le(&mut self, v: f32);
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v)
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.inner.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src)
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v)
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Self {
+        b.inner
+    }
+}
+
+/// Sequential little-endian reader over a byte source.
+///
+/// # Panics
+///
+/// As in the real crate, the `get_*`/`advance` methods panic when the
+/// source has fewer bytes than requested; callers guard with
+/// [`Buf::remaining`].
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self[..2].try_into().unwrap());
+        *self = &self[2..];
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().unwrap());
+        *self = &self[4..];
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().unwrap());
+        *self = &self[8..];
+        v
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        let v = f32::from_le_bytes(self[..4].try_into().unwrap());
+        *self = &self[4..];
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(7);
+        b.put_u16_le(0x5FA1);
+        b.put_u32_le(123_456);
+        b.put_f32_le(-1.5);
+        b.extend_from_slice(&[1, 2, 3]);
+        let v = b.to_vec();
+        let mut r: &[u8] = &v;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0x5FA1);
+        assert_eq!(r.get_u32_le(), 123_456);
+        assert_eq!(r.get_f32_le(), -1.5);
+        assert_eq!(r.remaining(), 3);
+        r.advance(3);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/builder surface this workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion` builder methods,
+//! `Bencher::iter`/`iter_batched`) backed by a simple mean-of-samples
+//! timer printed to stdout. No statistical analysis, plotting, or
+//! baseline storage.
+//!
+//! When the binary receives a `--test` argument (as `cargo test` passes
+//! to bench targets), every benchmark runs exactly once so test runs
+//! stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Returns `x` opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the stub times one
+/// input per sample regardless of the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to each registered function.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls
+    /// `iter`/`iter_batched` with the routine to time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{name}: ok (test mode, 1 iteration)");
+        } else if let Some(mean) = b.mean() {
+            println!("{name:<44} time: {}", format_duration(mean));
+        } else {
+            println!("{name}: no measurements recorded");
+        }
+        self
+    }
+}
+
+/// Collects timing samples for one benchmark routine.
+pub struct Bencher {
+    test_mode: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the measurement
+    /// budget or sample count is exhausted.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.run(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+
+    fn run<F: FnMut() -> Duration>(&mut self, mut timed_once: F) {
+        if self.test_mode {
+            timed_once();
+            return;
+        }
+        // Warm up for the configured duration (at least one call).
+        let warm_start = Instant::now();
+        loop {
+            timed_once();
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Sample until both the sample count and the measurement budget
+        // are satisfied, bounded to avoid pathological runtimes.
+        let measure_start = Instant::now();
+        while self.samples.len() < self.sample_size
+            || (measure_start.elapsed() < self.measurement_time
+                && self.samples.len() < self.sample_size * 100)
+        {
+            self.samples.push(timed_once());
+        }
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: Duration = self.samples.iter().sum();
+        Some(total / self.samples.len() as u32)
+    }
+}
+
+/// Human-friendly duration formatting (ns/µs/ms/s).
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: a function that runs every target
+/// against a configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default().sample_size(3).warm_up_time(Duration::ZERO)
+            .measurement_time(Duration::ZERO);
+        c.test_mode = false;
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(2).warm_up_time(Duration::ZERO)
+            .measurement_time(Duration::ZERO);
+        c.test_mode = false;
+        let mut seen = Vec::new();
+        let mut next = 0usize;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |input| seen.push(input),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(seen.len() >= 2);
+        assert!(seen.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -1,0 +1,57 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). The spawned-closure
+//! signature matches crossbeam's `|_| ...` convention; the scope
+//! argument passed to workers is a unit placeholder.
+
+pub mod thread {
+    /// Handle passed to the `scope` closure; spawns scoped workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker thread that may borrow from the enclosing
+        /// scope. The closure receives a unit placeholder where
+        /// crossbeam passes a nested scope handle.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Runs `f` with a scope handle, joining all spawned threads before
+    /// returning. Unlike crossbeam (which collects worker panics into
+    /// `Err`), a worker panic propagates directly out of this call —
+    /// equivalent observable behaviour to crossbeam followed by
+    /// `.expect(...)`, which is how this workspace uses it.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_fill_borrowed_slots() {
+        let mut out = vec![0usize; 8];
+        super::thread::scope(|s| {
+            for (i, chunk) in out.chunks_mut(3).enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i + 1;
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        assert_eq!(out, vec![1, 1, 1, 2, 2, 2, 3, 3]);
+    }
+}

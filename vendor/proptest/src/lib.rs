@@ -1,0 +1,430 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Covers the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range and
+//! tuple strategies, `prop::collection::vec`, `prop::bool::ANY`,
+//! `prop::sample::select`, `.prop_map`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! regression files: each test runs `cases` deterministic random cases
+//! (seeded from the test's module path and name), and a failing case
+//! fails the test with the standard assert message. That keeps the
+//! property suites meaningful — broad randomized coverage, fully
+//! reproducible — at a fraction of the real crate's machinery.
+
+pub mod test_runner {
+    //! Case-count configuration and the deterministic per-case RNG.
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeded from the test name and
+    /// case index, so every property sees the same inputs on every run
+    /// and thread count.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test identified by `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut rng = Self { state: h ^ (u64::from(case) << 32) };
+            rng.next_u64(); // discard the correlated first output
+            rng
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, span)`; `span > 0`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            // Multiply-shift; bias is irrelevant at test scale.
+            (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (self.start as i128, self.end as i128);
+                    assert!(lo < hi, "empty range strategy");
+                    (lo + rng.below((hi - lo) as u64) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    (lo + rng.below((hi - lo + 1) as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start
+                        + rng.unit_f64() as $t * (self.end - self.start);
+                    if v >= self.end {
+                        self.start.max(<$t>::from_bits(self.end.to_bits() - 1))
+                    } else {
+                        v.max(self.start)
+                    }
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    self.start() + rng.unit_f64() as $t * (self.end() - self.start())
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident.$idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating `true`/`false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit value lists.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy picking uniformly from `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select from empty list");
+        Select { items }
+    }
+
+    /// Strategy produced by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                // Run the case body in a closure so `prop_assume!` can
+                // skip the case via early return.
+                let __case_fn = move || -> () { $body };
+                __case_fn();
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (Vec<f32>, usize)> {
+        (prop::collection::vec(-1.0f32..1.0, 0..10), 1usize..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+        fn ranges_respect_bounds(x in 3usize..10, y in -2.0f32..2.0, z in 0u64..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(z <= 4);
+        }
+
+        fn vec_and_tuple_strategies((xs, k) in pair(), flag in prop::bool::ANY) {
+            prop_assert!(xs.len() < 10);
+            prop_assert!((1..5).contains(&k));
+            prop_assert!(xs.iter().all(|v| (-1.0..1.0).contains(v)));
+            let _ = flag;
+        }
+
+        fn select_and_map(v in prop::sample::select(vec![2usize, 4, 8]).prop_map(|x| x * 10)) {
+            prop_assert!(v == 20 || v == 40 || v == 80);
+        }
+
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = prop::collection::vec(0u64..1000, 0..20);
+        let a: Vec<Vec<u64>> = (0..5)
+            .map(|c| s.generate(&mut crate::test_runner::TestRng::for_case("t", c)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..5)
+            .map(|c| s.generate(&mut crate::test_runner::TestRng::for_case("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

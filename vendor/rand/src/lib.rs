@@ -1,0 +1,422 @@
+//! Minimal offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Provides [`rngs::StdRng`] (a SplitMix64 generator — high quality for
+//! simulation seeding, not the real crate's ChaCha12), the
+//! [`RngCore`]/[`SeedableRng`]/[`Rng`] traits, uniform range sampling
+//! over the integer and float types this workspace draws, and the
+//! [`distributions`] module with [`distributions::Uniform`] and
+//! [`distributions::Standard`].
+//!
+//! Streams are deterministic in the seed, which is the only property
+//! the workspace's tests pin — no test asserts specific draw values.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Error type returned by [`RngCore::try_fill_bytes`]. The stub's
+/// generators are infallible, so this is never constructed.
+#[derive(Debug)]
+pub struct Error {
+    _private: (),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core random-number generation interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible [`RngCore::fill_bytes`]; infallible for every stub
+    /// generator.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Fixed-size seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a 64-bit seed (the only constructor
+    /// this workspace uses).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for (chunk, byte) in seed.as_mut().chunks_mut(8).zip(0u64..) {
+            let v = state.wrapping_add(byte.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let bytes = v.to_le_bytes();
+            let n = chunk.len().min(8);
+            chunk[..n].copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`hi` inclusive when `inclusive`).
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+/// Debiased multiply-shift rejection sampling (Lemire) of a value in
+/// `[0, span)`; `span == 0` means the full `u64` domain.
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        if (m as u64) >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $to_w:expr, $from_w:expr);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Order-preserving map into u64.
+                let to_w = $to_w;
+                let from_w = $from_w;
+                let (lo_w, hi_w): (u64, u64) = (to_w(lo), to_w(hi));
+                assert!(
+                    lo_w < hi_w || (inclusive && lo_w == hi_w),
+                    "empty sampling range"
+                );
+                let span = (hi_w - lo_w).wrapping_add(u64::from(inclusive));
+                from_w(lo_w.wrapping_add(sample_u64_below(rng, span)))
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => |x: u8| x as u64, |w: u64| w as u8;
+    u16 => |x: u16| x as u64, |w: u64| w as u16;
+    u32 => |x: u32| x as u64, |w: u64| w as u32;
+    u64 => |x: u64| x, |w: u64| w;
+    usize => |x: usize| x as u64, |w: u64| w as usize;
+    // Offset encoding keeps signed types monotone in u64.
+    i32 => |x: i32| (x as i64 as u64) ^ (1 << 63), |w: u64| (w ^ (1 << 63)) as i64 as i32;
+    i64 => |x: i64| (x as u64) ^ (1 << 63), |w: u64| (w ^ (1 << 63)) as i64;
+    isize => |x: isize| (x as i64 as u64) ^ (1 << 63), |w: u64| ((w ^ (1 << 63)) as i64) as isize;
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($t:ty, $unit:ident) => {
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(lo < hi, "empty sampling range");
+                let v = lo + $unit(rng) * (hi - lo);
+                // Guard the half-open upper bound against rounding.
+                if v >= hi {
+                    lo.max(<$t>::from_bits(hi.to_bits() - 1))
+                } else {
+                    v.max(lo)
+                }
+            }
+        }
+    };
+}
+
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl_sample_uniform_float!(f32, unit_f32);
+impl_sample_uniform_float!(f64, unit_f64);
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value via the [`distributions::Standard`] distribution
+    /// (for floats: uniform in `[0, 1)`).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, U>(&mut self, range: U) -> T
+    where
+        T: SampleUniform,
+        U: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Draws a bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64. Statistically
+    /// strong for simulation workloads and deterministic in the seed;
+    /// unlike the real crate's `StdRng` it is **not** cryptographic.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut state = 0u64;
+            for chunk in seed.chunks(8) {
+                let mut bytes = [0u8; 8];
+                bytes[..chunk.len()].copy_from_slice(chunk);
+                state ^= u64::from_le_bytes(bytes).rotate_left(17);
+            }
+            Self { state }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            // Pre-mix so small seeds (0, 1, 2, ...) start well apart.
+            let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            Self { state: z ^ (z >> 31) }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Distribution sampling.
+
+    use super::{unit_f32, unit_f64, RngCore, SampleUniform};
+
+    /// A sampling distribution over `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution: uniform `[0, 1)` for floats, full
+    /// domain for integers.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            unit_f32(rng)
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng)
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    /// Uniform distribution over `[lo, hi)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+        inclusive: bool,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over the half-open range `[lo, hi)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        pub fn new(lo: T, hi: T) -> Self {
+            assert!(lo < hi, "Uniform::new requires lo < hi");
+            Self { lo, hi, inclusive: false }
+        }
+
+        /// Uniform over the closed range `[lo, hi]`.
+        pub fn new_inclusive(lo: T, hi: T) -> Self {
+            assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+            Self { lo, hi, inclusive: true }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_range(rng, self.lo, self.hi, self.inclusive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn determinism_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, (0..16).map(|_| StdRng::seed_from_u64(8).next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen_range(-0.25f32..0.5);
+            assert!((-0.25..0.5).contains(&v));
+            let u: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            let e: f32 = rng.gen_range(f32::EPSILON..1.0);
+            assert!(e >= f32::EPSILON && e < 1.0);
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(0..5);
+            seen[v] = true;
+            let w: usize = rng.gen_range(0..=4);
+            assert!(w <= 4);
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn uniform_distribution_mean_is_centred() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = Uniform::new(-1.0f32, 1.0);
+        let n = 20_000;
+        let mean: f32 = (0..n).map(|_| dist.sample(&mut rng)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_nonzero() {
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        let mut ba = [0u8; 13];
+        let mut bb = [0u8; 13];
+        a.fill_bytes(&mut ba);
+        b.try_fill_bytes(&mut bb).unwrap();
+        assert_eq!(ba, bb);
+        assert!(ba.iter().any(|&x| x != 0));
+    }
+}

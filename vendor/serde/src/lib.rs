@@ -1,0 +1,21 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-looking
+//! markers but performs no serde-based (de)serialization — persistence
+//! and the network wire format are hand-rolled byte codecs in
+//! `subfed-core`. These marker traits carry blanket implementations so
+//! generic `T: Serialize` bounds stay satisfiable, and the re-exported
+//! derives (from the stub `serde_derive`) expand to nothing.
+
+/// Marker for serializable types. Blanket-implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for every type.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
