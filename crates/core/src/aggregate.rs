@@ -6,7 +6,7 @@
 //! global value. With all-ones masks it reduces exactly to FedAvg — a
 //! property the tests pin down.
 
-use subfed_nn::ModelMask;
+use subfed_nn::{is_kept, ModelMask};
 
 /// Flattens a [`ModelMask`] into one 0/1 vector aligned with
 /// `Sequential::flatten` order.
@@ -57,14 +57,20 @@ pub fn subfedavg_aggregate(global: &[f32], updates: &[(Vec<f32>, Vec<f32>)]) -> 
     for (params, mask) in updates {
         assert_eq!(params.len(), len, "update length mismatch");
         assert_eq!(mask.len(), len, "mask length mismatch");
-        for i in 0..len {
-            if mask[i] != 0.0 {
-                sum[i] += params[i];
-                count[i] += 1.0;
+        for (((s, c), &p), &m) in
+            sum.iter_mut().zip(count.iter_mut()).zip(params.iter()).zip(mask.iter())
+        {
+            if is_kept(m) {
+                *s += p;
+                *c += 1.0;
             }
         }
     }
-    (0..len).map(|i| if count[i] > 0.0 { sum[i] / count[i] } else { global[i] }).collect()
+    sum.iter()
+        .zip(count.iter())
+        .zip(global.iter())
+        .map(|((&s, &c), &g)| if c > 0.0 { s / c } else { g })
+        .collect()
 }
 
 /// Robust variant of [`subfedavg_aggregate`]: at every position held by
@@ -95,8 +101,9 @@ pub fn subfedavg_aggregate_trimmed(
         .map(|i| {
             scratch.clear();
             for (params, mask) in updates {
-                if mask[i] != 0.0 {
-                    scratch.push(params[i]);
+                // `i < len` and both slices were length-checked above.
+                if is_kept(mask[i]) { // lint: allow(unchecked-index)
+                    scratch.push(params[i]); // lint: allow(unchecked-index)
                 }
             }
             if scratch.is_empty() {

@@ -63,5 +63,5 @@ pub(crate) fn apply_flat_mask(flat: &mut [f32], mask: &[f32]) {
 
 /// Number of kept (non-zero) entries of a flat mask.
 pub(crate) fn kept_count(mask: &[f32]) -> usize {
-    mask.iter().filter(|&&m| m != 0.0).count()
+    mask.iter().filter(|&&m| subfed_nn::is_kept(m)).count()
 }

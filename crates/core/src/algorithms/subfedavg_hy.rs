@@ -8,8 +8,8 @@
 
 use super::common::{apply_flat_mask, kept_count, record_round};
 use crate::{
-    flatten_mask, subfedavg_aggregate, train_client, wire, FederatedAlgorithm, Federation,
-    History,
+    flatten_mask, invariants, subfedavg_aggregate, train_client, wire, FederatedAlgorithm,
+    Federation, History,
 };
 use subfed_metrics::comm::{mask_bytes, masked_transfer_bytes};
 use subfed_metrics::trace::TraceEvent;
@@ -142,6 +142,11 @@ impl FederatedAlgorithm for SubFedAvgHy {
                     &states[i].unstructured,
                     out.val_acc,
                 );
+                // Gate boundary: both tracks' Δ must live in [0, 1].
+                invariants::enforce_with(fed.tracer(), round, &format!("gate client {i}"), || {
+                    invariants::check_hamming_domain(decision.structured.mask_distance)?;
+                    invariants::check_hamming_domain(decision.unstructured.mask_distance)
+                });
                 let mask_changed = step.gate.structured_fired || step.gate.unstructured_fired;
                 states[i] =
                     ClientState { channels: step.channels, unstructured: step.unstructured, mask: step.mask };
@@ -187,7 +192,15 @@ impl FederatedAlgorithm for SubFedAvgHy {
                     kept,
                 });
                 let dec_span = fed.tracer().span();
+                // Produced by `encode_update` two lines up; failure here is
+                // a codec bug, not a recoverable condition.
+                // lint: allow(no-unwrap)
                 let decoded = wire::decode_update(&buf).expect("self-encoded update decodes");
+                // Decode boundary: model-sized update, strictly binary mask.
+                invariants::enforce_with(fed.tracer(), round, &format!("decode client {i}"), || {
+                    invariants::check_update_shape(&decoded.0, &decoded.1, flat_mask.len())?;
+                    invariants::check_mask_binary(&decoded.1)
+                });
                 fed.tracer().emit(TraceEvent::Decode {
                     round,
                     client: i,
@@ -198,6 +211,10 @@ impl FederatedAlgorithm for SubFedAvgHy {
                 updates.push(decoded);
             }
             let agg_span = fed.tracer().span();
+            // Aggregate boundary: the cohort must cover >= 1 position.
+            invariants::enforce_with(fed.tracer(), round, "aggregate", || {
+                invariants::check_aggregation_coverage(&updates, global.len())
+            });
             global = subfedavg_aggregate(&global, &updates);
             fed.tracer().emit(TraceEvent::Aggregate {
                 round,

@@ -25,8 +25,8 @@
 use super::common::{apply_flat_mask, kept_count, record_round};
 use crate::checkpoint::Checkpoint;
 use crate::{
-    flatten_mask, subfedavg_aggregate, train_client, wire, FederatedAlgorithm, Federation,
-    History,
+    flatten_mask, invariants, subfedavg_aggregate, train_client, wire, FederatedAlgorithm,
+    Federation, History,
 };
 use subfed_metrics::comm::{mask_bytes, masked_transfer_bytes};
 use subfed_metrics::trace::TraceEvent;
@@ -122,6 +122,9 @@ impl SubFedAvgUn {
     ///
     /// Panics if no round has been executed yet.
     pub fn checkpoint(&self) -> Checkpoint {
+        // Documented panic: checkpointing an un-run federation is a driver
+        // bug, not a recoverable condition.
+        // lint: allow(no-unwrap)
         let s = self.state.as_ref().expect("checkpoint before any round");
         Checkpoint {
             round: (s.next_round - 1) as u32,
@@ -198,7 +201,10 @@ impl SubFedAvgUn {
                 history: History::new(),
             });
         }
-        self.state.as_mut().expect("state just ensured")
+        match self.state.as_mut() {
+            Some(s) => s,
+            None => unreachable!("state initialised just above"),
+        }
     }
 
     fn pruned_fractions(&self, masks: &[ModelMask]) -> Vec<f32> {
@@ -215,7 +221,10 @@ impl SubFedAvgUn {
         let fed = &self.fed;
         let controller = self.controller;
         let options = self.options;
-        let mut state = self.state.take().expect("state present");
+        let mut state = match self.state.take() {
+            Some(s) => s,
+            None => unreachable!("ensure_state ran just above"),
+        };
         let round = state.next_round;
         if options.fresh_masks {
             let template = fed.build_model();
@@ -281,6 +290,13 @@ impl SubFedAvgUn {
             model_le.load_flat(&out.final_flat);
             let (new_mask, decision) =
                 controller.step_explained(&model_fe, &model_le, &state.masks[i], out.val_acc);
+            // Gate boundary: the decision's measurements must live in
+            // their domains. (A non-finite accuracy is tolerated — the
+            // controller is NaN-safe and holds the gate — so only Δ is
+            // enforced here.)
+            invariants::enforce_with(fed.tracer(), round, &format!("gate client {i}"), || {
+                invariants::check_hamming_domain(decision.mask_distance)
+            });
             let mut mask_changed = false;
             if let Some(new_mask) = new_mask {
                 state.masks[i] = new_mask;
@@ -338,8 +354,17 @@ impl SubFedAvgUn {
                 kept,
             });
             let dec_span = fed.tracer().span();
+            // The buffer was produced by `encode_update` two lines up, so
+            // decoding cannot fail; a failure here is a codec bug.
             let (dec_params, dec_mask) =
+                // lint: allow(no-unwrap)
                 wire::decode_update(&buf).expect("self-encoded update decodes");
+            // Decode boundary: the decoded update must fit the model and
+            // carry a strictly binary mask.
+            invariants::enforce_with(fed.tracer(), round, &format!("decode client {i}"), || {
+                invariants::check_update_shape(&dec_params, &dec_mask, flat_mask.len())?;
+                invariants::check_mask_binary(&dec_mask)
+            });
             fed.tracer().emit(TraceEvent::Decode {
                 round,
                 client: i,
@@ -351,6 +376,11 @@ impl SubFedAvgUn {
         }
         let agg_span = fed.tracer().span();
         let num_updates = updates.len();
+        // Aggregate boundary: a non-empty cohort must cover at least one
+        // position, or intersection averaging silently no-ops the round.
+        invariants::enforce_with(fed.tracer(), round, "aggregate", || {
+            invariants::check_aggregation_coverage(&updates, state.global.len())
+        });
         state.global = if options.plain_average {
             let dense: Vec<(Vec<f32>, usize)> =
                 updates.into_iter().map(|(p, _)| (p, 1)).collect();
@@ -391,10 +421,14 @@ impl FederatedAlgorithm for SubFedAvgUn {
     fn run(&mut self) -> History {
         self.state = None; // a fresh run, not a resume
         let horizon = self.fed.config().rounds;
+        self.ensure_state();
         while self.state.as_ref().map_or(1, |s| s.next_round) <= horizon {
             self.step_round();
         }
-        self.state.as_ref().expect("ran at least one round").history.clone()
+        match self.state.as_ref() {
+            Some(s) => s.history.clone(),
+            None => unreachable!("ensure_state ran just above"),
+        }
     }
 }
 
@@ -404,11 +438,10 @@ impl SubFedAvgUn {
     /// restore point.
     pub fn resume(&mut self) -> History {
         let horizon = self.fed.config().rounds;
-        self.ensure_state();
-        while self.state.as_ref().expect("state ensured").next_round <= horizon {
+        while self.ensure_state().next_round <= horizon {
             self.step_round();
         }
-        self.state.as_ref().expect("state ensured").history.clone()
+        self.ensure_state().history.clone()
     }
 }
 

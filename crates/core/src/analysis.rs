@@ -50,7 +50,7 @@ pub fn mask_jaccard(a: &ModelMask, b: &ModelMask) -> f32 {
             continue;
         }
         for (&x, &y) in ta.data().iter().zip(tb.data()) {
-            let (kx, ky) = (x != 0.0, y != 0.0);
+            let (kx, ky) = (subfed_nn::is_kept(x), subfed_nn::is_kept(y));
             if kx && ky {
                 inter += 1;
             }

@@ -50,6 +50,7 @@ impl Checkpoint {
     ///
     /// Returns a description of the corruption on truncated or mistagged
     /// input.
+    #[must_use = "a dropped Result hides the checkpoint corruption it reports"]
     pub fn decode(data: &[u8]) -> Result<Self, String> {
         let mut buf = data;
         if buf.remaining() < 16 {

@@ -159,18 +159,30 @@ impl Federation {
         }
         let mut out: Vec<Option<T>> = (0..indices.len()).map(|_| None).collect();
         let chunk = indices.len().div_ceil(threads);
-        crossbeam::thread::scope(|s| {
-            for (slot_chunk, idx_chunk) in out.chunks_mut(chunk).zip(indices.chunks(chunk)) {
-                let f = &f;
-                s.spawn(move |_| {
-                    for (slot, &i) in slot_chunk.iter_mut().zip(idx_chunk) {
-                        *slot = Some(f(i));
-                    }
-                });
-            }
-        })
-        .expect("client training worker panicked");
-        out.into_iter().map(|v| v.expect("worker filled every slot")).collect()
+        let scope_result =
+            crossbeam::thread::scope(|s| {
+                for (slot_chunk, idx_chunk) in out.chunks_mut(chunk).zip(indices.chunks(chunk)) {
+                    let f = &f;
+                    s.spawn(move |_| {
+                        for (slot, &i) in slot_chunk.iter_mut().zip(idx_chunk) {
+                            *slot = Some(f(i));
+                        }
+                    });
+                }
+            });
+        if let Err(payload) = scope_result {
+            // A worker panicked while training a client; re-raise the
+            // original panic on this thread instead of wrapping it.
+            std::panic::resume_unwind(payload);
+        }
+        out.into_iter()
+            .map(|v| match v {
+                Some(t) => t,
+                // The chunked loops above fill every slot, and a worker
+                // panic re-raises before this point.
+                None => unreachable!("worker filled every slot"),
+            })
+            .collect()
     }
 
     /// Evaluates one flat parameter vector per client on that client's

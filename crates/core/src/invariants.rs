@@ -1,0 +1,358 @@
+//! Runtime invariant checks for the federation's trust boundaries.
+//!
+//! The static side of this PR (`subfed-lint`) proves the *code* avoids
+//! hazard patterns; this module checks the *data* at the three boundaries
+//! where masks and updates cross between client and server:
+//!
+//! - **decode** — a wire-decoded update must have the expected length and
+//!   a strictly binary mask (`wire.rs` boundary),
+//! - **gate** — the pruning decision's inputs must live in their domains:
+//!   finite validation accuracy, Hamming Δ in `[0, 1]`
+//!   (`controller.rs` boundary),
+//! - **aggregate** — intersection averaging over a non-empty cohort must
+//!   cover at least one position, otherwise the round is a silent no-op
+//!   (`aggregate.rs` boundary).
+//!
+//! The check functions are pure, always compiled, and unit-testable. The
+//! [`enforce_with`] wrapper is the debug-assert layer: it evaluates the
+//! check **only in debug builds** (release builds skip even the closure),
+//! and on violation emits a [`TraceEvent::Invariant`] through the run's
+//! tracer — so the JSONL trace records what the federation saw — before
+//! panicking. Use [`report`] for the non-panicking variant.
+
+use std::fmt;
+use subfed_metrics::trace::{TraceEvent, Tracer};
+
+/// A violated runtime invariant, with the measurements that violated it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// A decoded parameter vector has the wrong length for the model.
+    UpdateLengthMismatch {
+        /// The model's flat parameter count.
+        expected: usize,
+        /// The decoded update's length.
+        got: usize,
+    },
+    /// A decoded mask has the wrong length for the model.
+    MaskLengthMismatch {
+        /// The model's flat parameter count.
+        expected: usize,
+        /// The decoded mask's length.
+        got: usize,
+    },
+    /// A mask entry is neither exactly `0.0` nor exactly `1.0`.
+    MaskNotBinary {
+        /// Position of the first offending entry.
+        index: usize,
+        /// Its value.
+        value: f32,
+    },
+    /// A Hamming distance Δ left its `[0, 1]` domain (or is non-finite).
+    HammingOutOfDomain {
+        /// The measured distance.
+        value: f32,
+    },
+    /// A validation accuracy is non-finite (diverged local training).
+    NonFiniteAccuracy {
+        /// The measured accuracy.
+        value: f32,
+    },
+    /// Intersection averaging over a non-empty cohort covered no position
+    /// at all: every denominator is zero and the aggregate degenerates to
+    /// the previous global.
+    NoCoverage {
+        /// Number of aggregated positions (all of them uncovered).
+        positions: usize,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::UpdateLengthMismatch { expected, got } => {
+                write!(f, "update length mismatch: expected {expected}, got {got}")
+            }
+            InvariantViolation::MaskLengthMismatch { expected, got } => {
+                write!(f, "mask length mismatch: expected {expected}, got {got}")
+            }
+            InvariantViolation::MaskNotBinary { index, value } => {
+                write!(f, "mask entry {index} is not binary: {value}")
+            }
+            InvariantViolation::HammingOutOfDomain { value } => {
+                write!(f, "hamming distance {value} outside [0, 1]")
+            }
+            InvariantViolation::NonFiniteAccuracy { value } => {
+                write!(f, "non-finite validation accuracy: {value}")
+            }
+            InvariantViolation::NoCoverage { positions } => {
+                write!(f, "aggregation covered none of {positions} positions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Checks that a decoded `(params, mask)` pair matches the model's flat
+/// parameter count.
+///
+/// # Errors
+///
+/// [`InvariantViolation::UpdateLengthMismatch`] or
+/// [`InvariantViolation::MaskLengthMismatch`], parameters checked first.
+#[must_use = "a dropped Result hides the violation it reports"]
+pub fn check_update_shape(
+    params: &[f32],
+    mask: &[f32],
+    expected: usize,
+) -> Result<(), InvariantViolation> {
+    if params.len() != expected {
+        return Err(InvariantViolation::UpdateLengthMismatch {
+            expected,
+            got: params.len(),
+        });
+    }
+    if mask.len() != expected {
+        return Err(InvariantViolation::MaskLengthMismatch { expected, got: mask.len() });
+    }
+    Ok(())
+}
+
+/// Checks that every mask entry is exactly `0.0` or `1.0` (the federation's
+/// mask encoding; see `subfed_nn::is_mask_bit`).
+///
+/// # Errors
+///
+/// [`InvariantViolation::MaskNotBinary`] at the first offending position.
+#[must_use = "a dropped Result hides the violation it reports"]
+pub fn check_mask_binary(mask: &[f32]) -> Result<(), InvariantViolation> {
+    match mask.iter().enumerate().find(|(_, &v)| !subfed_nn::is_mask_bit(v)) {
+        None => Ok(()),
+        Some((index, &value)) => Err(InvariantViolation::MaskNotBinary { index, value }),
+    }
+}
+
+/// Checks that a Hamming distance is finite and within `[0, 1]`.
+///
+/// # Errors
+///
+/// [`InvariantViolation::HammingOutOfDomain`].
+#[must_use = "a dropped Result hides the violation it reports"]
+pub fn check_hamming_domain(value: f32) -> Result<(), InvariantViolation> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(InvariantViolation::HammingOutOfDomain { value })
+    }
+}
+
+/// Checks that a validation accuracy is finite.
+///
+/// # Errors
+///
+/// [`InvariantViolation::NonFiniteAccuracy`].
+#[must_use = "a dropped Result hides the violation it reports"]
+pub fn check_accuracy_finite(value: f32) -> Result<(), InvariantViolation> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(InvariantViolation::NonFiniteAccuracy { value })
+    }
+}
+
+/// Checks that intersection averaging over `updates` covers at least one
+/// of `positions` — i.e. at least one client keeps at least one position.
+/// An empty cohort or a zero-length model is trivially fine (other asserts
+/// own those cases); what this catches is a *non-empty* cohort whose masks
+/// are all-zero, which silently degenerates every denominator.
+///
+/// # Errors
+///
+/// [`InvariantViolation::NoCoverage`].
+#[must_use = "a dropped Result hides the violation it reports"]
+pub fn check_aggregation_coverage(
+    updates: &[(Vec<f32>, Vec<f32>)],
+    positions: usize,
+) -> Result<(), InvariantViolation> {
+    if updates.is_empty() || positions == 0 {
+        return Ok(());
+    }
+    let covered = updates
+        .iter()
+        .any(|(_, mask)| mask.iter().copied().any(subfed_nn::is_kept));
+    if covered {
+        Ok(())
+    } else {
+        Err(InvariantViolation::NoCoverage { positions })
+    }
+}
+
+/// Records a violation on the trace (and flushes, so the event survives an
+/// imminent panic). Never panics; usable from release builds.
+pub fn report(tracer: &Tracer, round: usize, context: &str, violation: &InvariantViolation) {
+    tracer.emit(TraceEvent::Invariant {
+        round,
+        context: context.to_string(),
+        detail: violation.to_string(),
+    });
+    tracer.flush();
+}
+
+/// Debug-assert layer: in debug builds, evaluates `check` and — on
+/// violation — reports it on the trace, then panics. Release builds skip
+/// the closure entirely, so checks may be arbitrarily expensive.
+///
+/// # Panics
+///
+/// Panics in debug builds when `check` returns a violation.
+#[inline]
+// Returns (): the `-> Result` in the closure bound below is the *input*
+// contract, not this function's return type.
+// lint: allow(must-use-result)
+pub fn enforce_with<F>(tracer: &Tracer, round: usize, context: &str, check: F)
+where
+    F: FnOnce() -> Result<(), InvariantViolation>,
+{
+    #[cfg(debug_assertions)]
+    if let Err(violation) = check() {
+        report(tracer, round, context, &violation);
+        // The whole point of the debug-assert layer: fail loudly at the
+        // boundary where the corrupt data entered the federation.
+        // lint: allow(no-unwrap)
+        panic!("invariant violated at {context} (round {round}): {violation}");
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (tracer, round, context, check);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subfed_metrics::trace::VecSink;
+
+    #[test]
+    fn update_shape_accepts_matching_lengths() {
+        assert_eq!(check_update_shape(&[1.0, 2.0], &[1.0, 0.0], 2), Ok(()));
+    }
+
+    #[test]
+    fn update_shape_reports_which_side_mismatched() {
+        assert_eq!(
+            check_update_shape(&[1.0], &[1.0, 0.0], 2),
+            Err(InvariantViolation::UpdateLengthMismatch { expected: 2, got: 1 })
+        );
+        assert_eq!(
+            check_update_shape(&[1.0, 2.0], &[1.0], 2),
+            Err(InvariantViolation::MaskLengthMismatch { expected: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn mask_binary_rejects_fractions_and_nan() {
+        assert_eq!(check_mask_binary(&[0.0, 1.0, 1.0]), Ok(()));
+        assert_eq!(
+            check_mask_binary(&[0.0, 0.5]),
+            Err(InvariantViolation::MaskNotBinary { index: 1, value: 0.5 })
+        );
+        let got = check_mask_binary(&[1.0, f32::NAN]).unwrap_err();
+        assert!(matches!(got, InvariantViolation::MaskNotBinary { index: 1, .. }));
+    }
+
+    #[test]
+    fn hamming_domain_is_the_closed_unit_interval() {
+        assert_eq!(check_hamming_domain(0.0), Ok(()));
+        assert_eq!(check_hamming_domain(1.0), Ok(()));
+        for bad in [-0.001f32, 1.001, f32::NAN, f32::INFINITY] {
+            assert!(check_hamming_domain(bad).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn accuracy_must_be_finite() {
+        assert_eq!(check_accuracy_finite(0.73), Ok(()));
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            assert_eq!(
+                check_accuracy_finite(bad).unwrap_err().to_string(),
+                format!("non-finite validation accuracy: {bad}")
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_catches_all_zero_cohorts_only() {
+        // Zero-denominator everywhere: a non-empty cohort whose masks keep
+        // nothing. Every position silently falls back to the old global.
+        let all_zero = vec![(vec![1.0, 2.0], vec![0.0, 0.0]); 3];
+        assert_eq!(
+            check_aggregation_coverage(&all_zero, 2),
+            Err(InvariantViolation::NoCoverage { positions: 2 })
+        );
+        // One kept position anywhere is enough.
+        let one_kept = vec![
+            (vec![1.0, 2.0], vec![0.0, 0.0]),
+            (vec![3.0, 4.0], vec![0.0, 1.0]),
+        ];
+        assert_eq!(check_aggregation_coverage(&one_kept, 2), Ok(()));
+        // Empty cohort and empty model are owned by other asserts.
+        assert_eq!(check_aggregation_coverage(&[], 2), Ok(()));
+        assert_eq!(check_aggregation_coverage(&all_zero, 0), Ok(()));
+    }
+
+    #[test]
+    fn report_lands_on_the_trace() {
+        let sink = Arc::new(VecSink::new());
+        let tracer = Tracer::new(sink.clone());
+        let violation = InvariantViolation::NoCoverage { positions: 7 };
+        report(&tracer, 4, "aggregate", &violation);
+        assert_eq!(
+            sink.snapshot(),
+            vec![TraceEvent::Invariant {
+                round: 4,
+                context: "aggregate".into(),
+                detail: "aggregation covered none of 7 positions".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn enforce_passes_clean_checks_silently() {
+        let sink = Arc::new(VecSink::new());
+        let tracer = Tracer::new(sink.clone());
+        enforce_with(&tracer, 1, "decode client 0", || Ok(()));
+        assert!(sink.is_empty());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn enforce_traces_then_panics_in_debug() {
+        let sink = Arc::new(VecSink::new());
+        let tracer = Tracer::new(sink.clone());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            enforce_with(&tracer, 2, "gate client 1", || {
+                check_hamming_domain(f32::NAN)
+            });
+        }));
+        let payload = result.expect_err("debug enforcement must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("invariant violated at gate client 1 (round 2)"), "{msg}");
+        // The trace event was emitted before the panic.
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.snapshot()[0].kind(), "invariant");
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn enforce_skips_the_closure_in_release() {
+        let tracer = Tracer::disabled();
+        let mut evaluated = false;
+        enforce_with(&tracer, 1, "aggregate", || {
+            evaluated = true;
+            Err(InvariantViolation::NoCoverage { positions: 1 })
+        });
+        assert!(!evaluated, "release builds must not evaluate checks");
+    }
+}

@@ -46,6 +46,7 @@ mod history;
 pub mod algorithms;
 pub mod analysis;
 pub mod checkpoint;
+pub mod invariants;
 pub mod presets;
 pub mod wire;
 

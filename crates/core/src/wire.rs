@@ -12,9 +12,70 @@
 
 use bytes::{Buf, BufMut, BytesMut};
 use subfed_metrics::comm::{mask_bytes, pack_mask, unpack_mask};
+use subfed_nn::is_kept;
 
 /// Wire-format version tag.
 const MAGIC: u16 = 0x5FA1;
+
+/// Typed decoding error for wire messages: every way a payload can be
+/// malformed, so one client's corrupt upload is a reportable event instead
+/// of a server panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the 8-byte header requires.
+    TruncatedHeader {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The magic tag does not identify this wire format.
+    BadMagic {
+        /// Tag found in the header.
+        got: u16,
+    },
+    /// The packed mask is shorter than the header's parameter count implies.
+    TruncatedMask {
+        /// Mask bytes the header promises.
+        needed: usize,
+        /// Bytes actually present after the header.
+        got: usize,
+    },
+    /// Fewer kept-parameter floats than the mask keeps.
+    TruncatedParams {
+        /// Bytes of kept parameters the mask promises.
+        needed: usize,
+        /// Bytes actually present after the mask.
+        got: usize,
+    },
+    /// A quantised update shorter than its header plus payload.
+    TruncatedQuantised {
+        /// Bytes required for the requested length.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::TruncatedHeader { got } => {
+                write!(f, "truncated header: need 8 bytes, got {got}")
+            }
+            WireError::BadMagic { got } => write!(f, "bad magic {got:#06x}"),
+            WireError::TruncatedMask { needed, got } => {
+                write!(f, "truncated mask: need {needed} bytes, got {got}")
+            }
+            WireError::TruncatedParams { needed, got } => {
+                write!(f, "truncated parameters: need {needed} bytes, got {got}")
+            }
+            WireError::TruncatedQuantised { needed, got } => {
+                write!(f, "truncated quantised update: need {needed} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
 
 /// Encodes `(params, mask)` into the compact update message: header
 /// (magic + parameter count), packed mask, then the kept parameters in
@@ -26,7 +87,7 @@ const MAGIC: u16 = 0x5FA1;
 pub fn encode_update(params: &[f32], mask: &[f32]) -> Vec<u8> {
     assert_eq!(params.len(), mask.len(), "params/mask length mismatch");
     assert!(params.len() <= u32::MAX as usize, "model too large for wire format");
-    let kept = mask.iter().filter(|&&m| m != 0.0).count();
+    let kept = mask.iter().filter(|&&m| is_kept(m)).count();
     let mut buf =
         BytesMut::with_capacity(8 + mask_bytes(mask.len()) as usize + 4 * kept);
     buf.put_u16_le(MAGIC);
@@ -34,7 +95,7 @@ pub fn encode_update(params: &[f32], mask: &[f32]) -> Vec<u8> {
     buf.put_u32_le(params.len() as u32);
     buf.extend_from_slice(&pack_mask(mask));
     for (&p, &m) in params.iter().zip(mask.iter()) {
-        if m != 0.0 {
+        if is_kept(m) {
             buf.put_f32_le(p);
         }
     }
@@ -46,32 +107,33 @@ pub fn encode_update(params: &[f32], mask: &[f32]) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns a message describing the corruption if the buffer is truncated
+/// Returns a [`WireError`] naming the corruption if the buffer is truncated
 /// or carries a wrong magic tag.
-pub fn decode_update(data: &[u8]) -> Result<(Vec<f32>, Vec<f32>), String> {
+#[must_use = "a dropped Result hides the wire corruption it reports"]
+pub fn decode_update(data: &[u8]) -> Result<(Vec<f32>, Vec<f32>), WireError> {
     let mut buf = data;
     if buf.remaining() < 8 {
-        return Err("truncated header".into());
+        return Err(WireError::TruncatedHeader { got: buf.remaining() });
     }
     let magic = buf.get_u16_le();
     if magic != MAGIC {
-        return Err(format!("bad magic {magic:#06x}"));
+        return Err(WireError::BadMagic { got: magic });
     }
     let _reserved = buf.get_u16_le();
     let len = buf.get_u32_le() as usize;
     let mb = mask_bytes(len) as usize;
     if buf.remaining() < mb {
-        return Err("truncated mask".into());
+        return Err(WireError::TruncatedMask { needed: mb, got: buf.remaining() });
     }
     let mask = unpack_mask(&buf[..mb], len);
     buf.advance(mb);
-    let kept = mask.iter().filter(|&&m| m != 0.0).count();
+    let kept = mask.iter().filter(|&&m| is_kept(m)).count();
     if buf.remaining() < 4 * kept {
-        return Err("truncated parameters".into());
+        return Err(WireError::TruncatedParams { needed: 4 * kept, got: buf.remaining() });
     }
     let mut params = vec![0.0f32; len];
     for (p, &m) in params.iter_mut().zip(mask.iter()) {
-        if m != 0.0 {
+        if is_kept(m) {
             *p = buf.get_f32_le();
         }
     }
@@ -109,11 +171,12 @@ pub fn encode_update_q8(params: &[f32]) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns a description of the corruption on truncated input.
-pub fn decode_update_q8(data: &[u8], len: usize) -> Result<Vec<f32>, String> {
+/// Returns a [`WireError`] describing the corruption on truncated input.
+#[must_use = "a dropped Result hides the wire corruption it reports"]
+pub fn decode_update_q8(data: &[u8], len: usize) -> Result<Vec<f32>, WireError> {
     let mut buf = data;
     if buf.remaining() < 8 + len {
-        return Err("truncated quantised update".into());
+        return Err(WireError::TruncatedQuantised { needed: 8 + len, got: buf.remaining() });
     }
     let lo = buf.get_f32_le();
     let scale = buf.get_f32_le();
@@ -193,22 +256,70 @@ mod tests {
     fn corrupted_inputs_are_rejected() {
         let (params, mask) = example();
         let buf = encode_update(&params, &mask);
-        assert!(decode_update(&buf[..4]).unwrap_err().contains("truncated header"));
+        assert!(decode_update(&buf[..4]).unwrap_err().to_string().contains("truncated header"));
         assert!(decode_update(&buf[..buf.len() - 1])
             .unwrap_err()
+            .to_string()
             .contains("truncated parameters"));
         let mut bad = buf.clone();
         bad[0] ^= 0xFF;
-        assert!(decode_update(&bad).unwrap_err().contains("bad magic"));
+        assert!(decode_update(&bad).unwrap_err().to_string().contains("bad magic"));
         let mut short_mask = buf[..9].to_vec();
         short_mask.truncate(9);
-        assert!(decode_update(&short_mask).unwrap_err().contains("truncated mask"));
+        assert!(decode_update(&short_mask).unwrap_err().to_string().contains("truncated mask"));
     }
 
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_rejected() {
         let _ = encode_update(&[1.0], &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn every_truncation_errors_without_panic() {
+        let (params, mask) = example();
+        let buf = encode_update(&params, &mask);
+        // Every strict prefix must produce a typed error, never a panic —
+        // one client's half-written upload must not abort the server.
+        for cut in 0..buf.len() {
+            let err = decode_update(&buf[..cut])
+                .expect_err("prefix of {cut} bytes decoded successfully");
+            match err {
+                WireError::TruncatedHeader { got } => assert_eq!(got, cut),
+                WireError::TruncatedMask { needed, got } => {
+                    assert!(got < needed, "mask: got {got} >= needed {needed}")
+                }
+                WireError::TruncatedParams { needed, got } => {
+                    assert!(got < needed, "params: got {got} >= needed {needed}")
+                }
+                other => panic!("unexpected error for truncation at {cut}: {other:?}"),
+            }
+        }
+        // The full buffer still decodes.
+        assert!(decode_update(&buf).is_ok());
+    }
+
+    #[test]
+    fn corrupted_headers_error_without_panic() {
+        let (params, mask) = example();
+        let buf = encode_update(&params, &mask);
+        // Flip every byte of the header in turn; decoding must return
+        // Ok or Err, never panic, even when the length field lies.
+        for i in 0..8.min(buf.len()) {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bad = buf.clone();
+                bad[i] ^= flip;
+                let _ = decode_update(&bad);
+            }
+        }
+        // A length field promising more parameters than the payload holds
+        // must be reported as truncation.
+        let mut oversized = buf.clone();
+        oversized[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_update(&oversized),
+            Err(WireError::TruncatedMask { .. })
+        ));
     }
 
     #[test]
@@ -236,7 +347,7 @@ mod tests {
     fn q8_empty_and_truncation() {
         let buf = encode_update_q8(&[]);
         assert_eq!(decode_update_q8(&buf, 0).unwrap(), Vec::<f32>::new());
-        assert!(decode_update_q8(&buf, 1).unwrap_err().contains("truncated"));
+        assert!(decode_update_q8(&buf, 1).unwrap_err().to_string().contains("truncated"));
     }
 
     #[test]

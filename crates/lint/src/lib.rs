@@ -1,0 +1,25 @@
+//! # subfed-lint
+//!
+//! In-repo static analysis for the Sub-FedAvg workspace: a dependency-free
+//! Rust lexer plus a rule engine that reports federated-learning-specific
+//! hazards the compiler cannot see.
+//!
+//! | Rule | Hazard |
+//! |---|---|
+//! | `no-unwrap` | `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code — one client's malformed update must not abort the federation |
+//! | `float-eq` | `==`/`!=` against float literals — a NaN accuracy or Δ silently falls through every equality gate |
+//! | `unchecked-index` | direct `buf[i]` indexing of mask/param/weight buffers — shape conformance should be checked once, not per access |
+//! | `must-use-result` | `pub fn … -> Result` without `#[must_use]` — dropped errors are how masks and models drift apart |
+//!
+//! Suppress an intentional occurrence with `// lint: allow(rule-id)` on
+//! the same line or the line above. Rule catalog, allow syntax, and CI
+//! wiring: `docs/STATIC_ANALYSIS.md`.
+//!
+//! Run it with `cargo run -p subfed-lint -- check`.
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use rules::{analyze_source, Finding, ALL_RULES};
+pub use walk::{check_workspace, find_workspace_root, Report, TARGET_CRATES};

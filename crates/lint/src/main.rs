@@ -1,0 +1,106 @@
+//! CLI for the in-repo linter.
+//!
+//! ```text
+//! subfed-lint check [--root DIR] [--format text|json]   # exit 1 on findings
+//! subfed-lint rules                                     # print the catalog
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use subfed_lint::rules::rule_description;
+use subfed_lint::{check_workspace, find_workspace_root, ALL_RULES};
+
+fn usage() -> &'static str {
+    "usage: subfed-lint <check|rules> [--root DIR] [--format text|json]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "rules" => {
+            for rule in ALL_RULES {
+                println!("{rule:<18} {}", rule_description(rule));
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => run_check(&args[1..]),
+        other => {
+            eprintln!("unknown command `{other}`\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(flags: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--root needs a value\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some(v @ ("text" | "json")) => format = v.to_string(),
+                _ => {
+                    eprintln!("--format must be text or json\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let live = report.unsuppressed();
+    if format == "json" {
+        for f in &report.findings {
+            println!("{}", f.to_json());
+        }
+    } else {
+        for f in &live {
+            println!("{}", f.render());
+        }
+        print!("{}", report.summary());
+    }
+    if live.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,624 @@
+//! The FL-specific rule catalog and the engine that applies it to one
+//! lexed file.
+//!
+//! Each rule pattern-matches over the flat token stream from
+//! [`crate::lexer::lex`]. Findings inside `#[cfg(test)] mod … { … }`
+//! blocks are dropped (test code may unwrap freely), and a
+//! `// lint: allow(rule-id)` comment on the same line or the line above
+//! suppresses a finding while keeping it countable.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Identifier of the panicking-call rule.
+pub const NO_UNWRAP: &str = "no-unwrap";
+/// Identifier of the float-equality rule.
+pub const FLOAT_EQ: &str = "float-eq";
+/// Identifier of the mask/weight-buffer indexing rule.
+pub const UNCHECKED_INDEX: &str = "unchecked-index";
+/// Identifier of the `#[must_use]`-on-`Result` rule.
+pub const MUST_USE_RESULT: &str = "must-use-result";
+
+/// Every rule id, in reporting order.
+pub const ALL_RULES: [&str; 4] = [NO_UNWRAP, FLOAT_EQ, UNCHECKED_INDEX, MUST_USE_RESULT];
+
+/// One-line description of a rule, for `subfed-lint rules`.
+pub fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        NO_UNWRAP => {
+            "unwrap()/expect()/panic!/todo!/unimplemented! in library code; \
+             propagate a typed error or justify with an allow comment"
+        }
+        FLOAT_EQ => {
+            "== or != against a float literal; NaN never compares equal, use \
+             total_cmp/epsilon or an is-kept helper for mask bits"
+        }
+        UNCHECKED_INDEX => {
+            "direct indexing of a mask/param/weight buffer; prefer iterators \
+             or zip so length conformance is checked once, not per access"
+        }
+        MUST_USE_RESULT => "pub fn returning Result should carry #[must_use]",
+        _ => "unknown rule",
+    }
+}
+
+/// One reported hazard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path label the caller supplied (usually workspace-relative).
+    pub file: String,
+    /// 1-based line of the hazard.
+    pub line: usize,
+    /// Rule id (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// Human-readable description of this occurrence.
+    pub message: String,
+    /// Whether a `// lint: allow(…)` comment suppresses it.
+    pub suppressed: bool,
+}
+
+impl Finding {
+    /// `path:line: [rule] message` — the text-format render.
+    pub fn render(&self) -> String {
+        let mark = if self.suppressed { " (allowed)" } else { "" };
+        format!("{}:{}: [{}] {}{}", self.file, self.line, self.rule, self.message, mark)
+    }
+
+    /// One JSON object per finding, for `--format json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\",\"suppressed\":{}}}",
+            escape_json(&self.file),
+            self.line,
+            self.rule,
+            escape_json(&self.message),
+            self.suppressed
+        )
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Analyzes one file's source, returning all findings (suppressed ones
+/// included, flagged). `skip_entirely` short-circuits files that are
+/// test-only modules of their crate.
+pub fn analyze_source(file_label: &str, source: &str) -> Vec<Finding> {
+    let lexed = lex(source);
+    let test_ranges = test_module_ranges(&lexed.tokens);
+    let mut findings = Vec::new();
+    let in_tests =
+        |idx: usize| test_ranges.iter().any(|&(lo, hi)| idx >= lo && idx <= hi);
+
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if in_tests(i) {
+            continue;
+        }
+        check_no_unwrap(file_label, toks, i, &mut findings);
+        check_float_eq(file_label, toks, i, &mut findings);
+        check_unchecked_index(file_label, toks, i, &mut findings);
+        check_must_use(file_label, toks, i, &mut findings);
+    }
+
+    for f in &mut findings {
+        f.suppressed = lexed.allows.iter().any(|a| {
+            (a.line == f.line || a.line + 1 == f.line)
+                && a.rules.iter().any(|r| r == f.rule)
+        });
+    }
+    findings
+}
+
+fn ident(t: &Token) -> Option<&str> {
+    match &t.kind {
+        TokenKind::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(t: &Token) -> Option<char> {
+    match t.kind {
+        TokenKind::Punct(c) => Some(c),
+        _ => None,
+    }
+}
+
+/// Token-index ranges covered by `#[cfg(test)] mod … { … }` blocks.
+fn test_module_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            let mut j = i + 7; // past `#[cfg(test)]`
+            // Skip further attributes between the cfg and the item.
+            while toks.get(j).and_then(punct) == Some('#')
+                && toks.get(j + 1).and_then(punct) == Some('[')
+            {
+                j = skip_attr(toks, j);
+            }
+            // `mod name { … }` (a `mod name;` declaration has no body here).
+            if toks.get(j).and_then(ident) == Some("mod") && j + 2 < toks.len() {
+                let k = j + 2;
+                if punct(&toks[k]) == Some('{') {
+                    let close = matching_brace(toks, k);
+                    out.push((i, close));
+                    i = close + 1;
+                    continue;
+                } else if punct(&toks[k]) == Some(';') {
+                    // Declaration form: the module lives in another file;
+                    // the walker resolves it (see `cfg_test_mod_decls`).
+                    i = k + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether tokens at `i` spell exactly `#[cfg(test)]`.
+fn is_cfg_test_attr(toks: &[Token], i: usize) -> bool {
+    i + 6 < toks.len()
+        && punct(&toks[i]) == Some('#')
+        && punct(&toks[i + 1]) == Some('[')
+        && ident(&toks[i + 2]) == Some("cfg")
+        && punct(&toks[i + 3]) == Some('(')
+        && ident(&toks[i + 4]) == Some("test")
+        && punct(&toks[i + 5]) == Some(')')
+        && punct(&toks[i + 6]) == Some(']')
+}
+
+/// Names of modules declared `#[cfg(test)] mod name;` — their backing
+/// files are entirely test code.
+pub fn cfg_test_mod_decls(source: &str) -> Vec<String> {
+    let lexed = lex(source);
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            let mut j = i + 7;
+            // Tolerate visibility and further attributes before `mod`.
+            loop {
+                if j >= toks.len() {
+                    break;
+                }
+                if punct(&toks[j]) == Some('#')
+                    && j + 1 < toks.len()
+                    && punct(&toks[j + 1]) == Some('[')
+                {
+                    j = skip_attr(toks, j);
+                } else if ident(&toks[j]) == Some("pub") {
+                    j += 1;
+                    if j < toks.len() && punct(&toks[j]) == Some('(') {
+                        while j < toks.len() && punct(&toks[j]) != Some(')') {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            if j + 2 < toks.len()
+                && ident(&toks[j]) == Some("mod")
+                && punct(&toks[j + 2]) == Some(';')
+            {
+                if let Some(name) = ident(&toks[j + 1]) {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index just past a `#[…]` attribute starting at `i` (which must point
+/// at the `#`).
+fn skip_attr(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match punct(&toks[j]) {
+            Some('[') => depth += 1,
+            Some(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match punct(t) {
+            Some('{') => depth += 1,
+            Some('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+fn check_no_unwrap(file: &str, toks: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let Some(name) = ident(&toks[i]) else { return };
+    let prev = i.checked_sub(1).map(|p| &toks[p]);
+    let next = toks.get(i + 1);
+    if (name == "unwrap" || name == "expect")
+        && prev.and_then(punct) == Some('.')
+        && next.and_then(punct) == Some('(')
+    {
+        out.push(Finding {
+            file: file.to_string(),
+            line: toks[i].line,
+            rule: NO_UNWRAP,
+            message: format!(".{name}() can panic; propagate a typed error instead"),
+            suppressed: false,
+        });
+    } else if PANIC_MACROS.contains(&name) && next.and_then(punct) == Some('!') {
+        // `debug_assert!`-style macros and `#[should_panic]` are fine;
+        // only the direct macros are flagged.
+        out.push(Finding {
+            file: file.to_string(),
+            line: toks[i].line,
+            rule: NO_UNWRAP,
+            message: format!("{name}! in library code; return an error or justify"),
+            suppressed: false,
+        });
+    }
+}
+
+fn check_float_eq(file: &str, toks: &[Token], i: usize, out: &mut Vec<Finding>) {
+    // `==` lexes as two '=' puncts; `!=` as '!' then '='. `<=`/`>=`
+    // carry only one '=' so neither pattern fires on them.
+    let two = |a: usize| toks.get(a).and_then(punct);
+    let op = if two(i) == Some('=') && two(i + 1) == Some('=') {
+        // Not the tail of `<=`, `>=`, `!=`, `+=`, … (their '=' is consumed
+        // as the second token of this window only when i-1 is the operator
+        // head, which the float check below can't produce), and not a
+        // `===` fragment.
+        if i > 0 && matches!(two(i - 1), Some('=') | Some('!') | Some('<') | Some('>')) {
+            return;
+        }
+        Some(("==", i))
+    } else if two(i) == Some('!') && two(i + 1) == Some('=') {
+        Some(("!=", i))
+    } else {
+        None
+    };
+    let Some((op, at)) = op else { return };
+    let lhs_float = at > 0 && toks[at - 1].kind == TokenKind::Float;
+    let rhs_float = toks.get(at + 2).map(|t| t.kind == TokenKind::Float).unwrap_or(false);
+    if lhs_float || rhs_float {
+        out.push(Finding {
+            file: file.to_string(),
+            line: toks[at].line,
+            rule: FLOAT_EQ,
+            message: format!(
+                "float `{op}` comparison; NaN-unsafe — use total_cmp, an epsilon, \
+                 or a mask-bit helper"
+            ),
+            suppressed: false,
+        });
+    }
+}
+
+/// Buffer names whose direct indexing the rule flags.
+///
+/// Singular names only: in this workspace `mask`/`params`/`weights`/`grads`
+/// are flat `f32` buffers whose length must match a model layout, while the
+/// plural `masks` is a per-client `Vec<ModelMask>` indexed by client id —
+/// a domain the round loop establishes once, not a shape-conformance risk.
+fn is_guarded_buffer_name(name: &str) -> bool {
+    matches!(name, "mask" | "params" | "weights" | "grads")
+        || name.ends_with("_mask")
+        || name.ends_with("_params")
+        || name.ends_with("_weights")
+}
+
+fn check_unchecked_index(file: &str, toks: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let Some(name) = ident(&toks[i]) else { return };
+    if !is_guarded_buffer_name(name) {
+        return;
+    }
+    if toks.get(i + 1).and_then(punct) != Some('[') {
+        return;
+    }
+    // `foo[…]` right after a '.' is a field access on another value —
+    // still an index, still flagged. But `use mask[` can't occur, and
+    // attribute paths never index, so no further filtering is needed.
+    out.push(Finding {
+        file: file.to_string(),
+        line: toks[i].line,
+        rule: UNCHECKED_INDEX,
+        message: format!(
+            "unchecked index into `{name}`; iterate/zip instead so shape \
+             conformance is checked once"
+        ),
+        suppressed: false,
+    });
+}
+
+fn check_must_use(file: &str, toks: &[Token], i: usize, out: &mut Vec<Finding>) {
+    if ident(&toks[i]) != Some("pub") {
+        return;
+    }
+    // pub | pub(crate) | pub(super) …, then qualifiers, then `fn name`.
+    let mut j = i + 1;
+    if toks.get(j).and_then(punct) == Some('(') {
+        while j < toks.len() && punct(&toks[j]) != Some(')') {
+            j += 1;
+        }
+        j += 1;
+    }
+    while matches!(
+        toks.get(j).and_then(ident),
+        Some("const") | Some("unsafe") | Some("async") | Some("extern")
+    ) {
+        j += 1;
+        if toks.get(j).map(|t| t.kind == TokenKind::Str).unwrap_or(false) {
+            j += 1; // extern "C"
+        }
+    }
+    if toks.get(j).and_then(ident) != Some("fn") {
+        return;
+    }
+    let Some(name_tok) = toks.get(j + 1) else { return };
+    let fn_line = name_tok.line;
+    let Some(fn_name) = ident(name_tok) else { return };
+
+    // Find `-> … {` at signature level and look for `Result` in the
+    // return type.
+    let mut k = j + 2;
+    let mut depth = 0i32;
+    let mut arrow = None;
+    while k < toks.len() {
+        match punct(&toks[k]) {
+            Some('(') | Some('[') => depth += 1,
+            Some(')') | Some(']') => depth -= 1,
+            Some('-')
+                if depth == 0 && toks.get(k + 1).and_then(punct) == Some('>') =>
+            {
+                arrow = Some(k + 2);
+                break;
+            }
+            Some('{') | Some(';') if depth == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    let Some(ret_start) = arrow else { return };
+    let mut returns_result = false;
+    let mut k = ret_start;
+    let mut angle = 0i32;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokenKind::Punct('{') | TokenKind::Punct(';') if angle == 0 => break,
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle -= 1,
+            TokenKind::Ident(s) if s == "Result" => {
+                returns_result = true;
+            }
+            TokenKind::Ident(s) if s == "where" && angle == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    if !returns_result {
+        return;
+    }
+    // Walk attributes immediately above: contiguous `#[…]` groups before
+    // the `pub`.
+    if has_preceding_must_use(toks, i) {
+        return;
+    }
+    out.push(Finding {
+        file: file.to_string(),
+        line: fn_line,
+        rule: MUST_USE_RESULT,
+        message: format!("pub fn `{fn_name}` returns Result but lacks #[must_use]"),
+        suppressed: false,
+    });
+}
+
+fn has_preceding_must_use(toks: &[Token], mut i: usize) -> bool {
+    // Scan backwards over contiguous attribute groups `#[…]`.
+    while i > 0 {
+        if punct(&toks[i - 1]) != Some(']') {
+            return false;
+        }
+        // Find the matching `[` then the `#` before it.
+        let mut depth = 0;
+        let mut j = i - 1;
+        loop {
+            match punct(&toks[j]) {
+                Some(']') => depth += 1,
+                Some('[') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                return false;
+            }
+            j -= 1;
+        }
+        if j == 0 || punct(&toks[j - 1]) != Some('#') {
+            return false;
+        }
+        if toks[j..i].iter().any(|t| ident(t) == Some("must_use")) {
+            return true;
+        }
+        i = j - 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unsuppressed(src: &str) -> Vec<Finding> {
+        analyze_source("fixture.rs", src)
+            .into_iter()
+            .filter(|f| !f.suppressed)
+            .collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); todo!(); }";
+        let fs = unsuppressed(src);
+        assert_eq!(fs.len(), 4);
+        assert!(fs.iter().all(|f| f.rule == NO_UNWRAP));
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 1); x.unwrap_or_default(); }";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn debug_assert_and_should_panic_are_not_flagged() {
+        let src = "#[should_panic(expected = \"boom\")]\nfn f() { debug_assert!(x > 0); assert_eq!(a, b); }";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { x.unwrap(); panic!(); }\n}\nfn lib2() { y.unwrap(); }";
+        let fs = unsuppressed(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 7);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        let src = "fn f() {\n  x.unwrap(); // lint: allow(no-unwrap)\n  // lint: allow(no-unwrap)\n  y.unwrap();\n  z.unwrap();\n}";
+        let all = analyze_source("fixture.rs", src);
+        let suppressed: Vec<_> = all.iter().filter(|f| f.suppressed).collect();
+        let live: Vec<_> = all.iter().filter(|f| !f.suppressed).collect();
+        assert_eq!(suppressed.len(), 2);
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].line, 5);
+    }
+
+    #[test]
+    fn allow_of_other_rule_does_not_suppress() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(float-eq)";
+        assert_eq!(unsuppressed(src).len(), 1);
+    }
+
+    #[test]
+    fn float_eq_flags_literal_comparisons() {
+        let src = "fn f() { if a == 0.5 { } if 1e-4 != b { } }";
+        let fs = unsuppressed(src);
+        assert_eq!(fs.len(), 2);
+        assert!(fs.iter().all(|f| f.rule == FLOAT_EQ));
+    }
+
+    #[test]
+    fn float_ordering_comparisons_are_fine() {
+        let src = "fn f() { if a >= 0.5 { } if b < 1e-4 { } if c <= 2.0 { } }";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn integer_equality_is_fine() {
+        let src = "fn f() { if a == 3 { } if n != 0 { } if s == \"x\" { } }";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn unchecked_index_flags_mask_buffers() {
+        let src = "fn f() { let v = mask[i]; let w = flat_mask[j]; let p = params[0]; }";
+        let fs = unsuppressed(src);
+        assert_eq!(fs.len(), 3);
+        assert!(fs.iter().all(|f| f.rule == UNCHECKED_INDEX));
+    }
+
+    #[test]
+    fn other_buffers_and_methods_are_fine() {
+        let src = "fn f() { let v = out[i]; mask.iter(); masked[i]; mask.get(i); }";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn must_use_flags_pub_result_fn() {
+        let src = "pub fn parse(s: &str) -> Result<u32, E> { todo() }\n#[must_use]\npub fn ok(s: &str) -> Result<u32, E> { todo() }\nfn private() -> Result<u32, E> { todo() }\npub fn plain() -> u32 { 0 }";
+        let fs = unsuppressed(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, MUST_USE_RESULT);
+        assert!(fs[0].message.contains("`parse`"));
+    }
+
+    #[test]
+    fn must_use_sees_through_doc_and_other_attrs() {
+        let src = "#[must_use]\n#[inline]\npub fn f() -> Result<(), E> { Ok(()) }";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn must_use_handles_pub_crate_and_generics() {
+        let src = "pub(crate) fn g<T: Ord>(x: Vec<T>) -> Result<T, ()> { todo() }";
+        let fs = unsuppressed(src);
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn result_in_argument_position_is_not_flagged() {
+        let src = "pub fn h(r: Result<u8, ()>) -> u8 { 0 }";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_decl_detection() {
+        let src = "#[cfg(test)]\npub(crate) mod tests_support;\nmod real;\n";
+        assert_eq!(cfg_test_mod_decls(src), vec!["tests_support".to_string()]);
+    }
+
+    #[test]
+    fn findings_render_and_serialise() {
+        let f = Finding {
+            file: "a.rs".into(),
+            line: 3,
+            rule: NO_UNWRAP,
+            message: "msg with \"quotes\"".into(),
+            suppressed: false,
+        };
+        assert_eq!(f.render(), "a.rs:3: [no-unwrap] msg with \"quotes\"");
+        assert!(f.to_json().contains("\\\"quotes\\\""));
+    }
+}

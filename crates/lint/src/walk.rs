@@ -1,0 +1,198 @@
+//! Workspace traversal: which files get linted, and the aggregate
+//! report `subfed-lint check` builds from them.
+//!
+//! The scan covers the **library code** of the four correctness-critical
+//! crates (`tensor`, `nn`, `pruning`, `core`) — `src/**/*.rs`, minus
+//! integration-test trees and any module a crate declares as
+//! `#[cfg(test)] mod name;`. Benches, `vendor/`, the CLI, and this crate
+//! are out of scope: panics there abort one process, not a federation.
+
+use crate::rules::{analyze_source, cfg_test_mod_decls, Finding, ALL_RULES};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees the lint walks.
+pub const TARGET_CRATES: [&str; 4] = ["tensor", "nn", "pruning", "core"];
+
+/// The outcome of one full workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed ones included.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not silenced by an allow comment.
+    pub fn unsuppressed(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| !f.suppressed).collect()
+    }
+
+    /// `(total, suppressed)` counts per rule id, in catalog order.
+    pub fn per_rule_counts(&self) -> Vec<(&'static str, usize, usize)> {
+        ALL_RULES
+            .iter()
+            .map(|&rule| {
+                let total = self.findings.iter().filter(|f| f.rule == rule).count();
+                let sup = self
+                    .findings
+                    .iter()
+                    .filter(|f| f.rule == rule && f.suppressed)
+                    .count();
+                (rule, total, sup)
+            })
+            .collect()
+    }
+
+    /// The summary table printed after the findings.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("scanned {} files\n", self.files_scanned));
+        for (rule, total, sup) in self.per_rule_counts() {
+            s.push_str(&format!(
+                "  {rule:<18} {:>3} finding(s), {sup} allowed\n",
+                total
+            ));
+        }
+        let live = self.unsuppressed().len();
+        if live == 0 {
+            s.push_str("clean: no unsuppressed findings\n");
+        } else {
+            s.push_str(&format!("{live} unsuppressed finding(s)\n"));
+        }
+        s
+    }
+}
+
+/// Locates the workspace root: walks up from `start` until a directory
+/// holding both `Cargo.toml` and `crates/` appears.
+///
+/// # Errors
+///
+/// Returns a message when no ancestor looks like the workspace.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace root (Cargo.toml + crates/) above {}",
+                start.display()
+            ));
+        }
+    }
+}
+
+/// Recursively lists `.rs` files under `dir`, sorted for deterministic
+/// output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            rust_files(&p, out)?;
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the target crates' library sources under `root`.
+///
+/// # Errors
+///
+/// Returns a message when a source tree cannot be read.
+#[must_use = "the report carries the findings and the exit status"]
+pub fn check_workspace(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    for krate in TARGET_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            return Err(format!("missing crate source tree {}", src.display()));
+        }
+        let mut files = Vec::new();
+        rust_files(&src, &mut files)?;
+
+        // First pass: collect `#[cfg(test)] mod x;` declarations so the
+        // backing files are skipped wholesale.
+        let mut sources: BTreeMap<PathBuf, String> = BTreeMap::new();
+        let mut test_files: Vec<PathBuf> = Vec::new();
+        for f in &files {
+            let text =
+                fs::read_to_string(f).map_err(|e| format!("read {}: {e}", f.display()))?;
+            for m in cfg_test_mod_decls(&text) {
+                let dir = f.parent().unwrap_or(&src);
+                test_files.push(dir.join(format!("{m}.rs")));
+                test_files.push(dir.join(&m).join("mod.rs"));
+            }
+            sources.insert(f.clone(), text);
+        }
+
+        for (path, text) in &sources {
+            if test_files.iter().any(|t| t == path) {
+                continue;
+            }
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            report.findings.extend(analyze_source(&label, text));
+            report.files_scanned += 1;
+        }
+    }
+    report.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_workspace_root_from_nested_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("crates/tensor/src/lib.rs").is_file());
+    }
+
+    #[test]
+    fn workspace_scan_covers_all_target_crates() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let report = check_workspace(&root).expect("scan");
+        assert!(report.files_scanned >= 30, "only {} files", report.files_scanned);
+        // tests_support.rs is declared `#[cfg(test)] mod` by subfed-core
+        // and must not be scanned.
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| !f.file.contains("tests_support")));
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        // The acceptance gate of the lint itself: zero unsuppressed
+        // findings in the four library crates.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let report = check_workspace(&root).expect("scan");
+        let live = report.unsuppressed();
+        assert!(
+            live.is_empty(),
+            "unsuppressed findings:\n{}",
+            live.iter().map(|f| f.render()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}

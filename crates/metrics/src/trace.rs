@@ -154,6 +154,20 @@ pub enum TraceEvent {
         /// Mean per-client test accuracy.
         avg_acc: f32,
     },
+    /// A runtime invariant check failed (see `subfed_core::invariants`).
+    /// Emitted just before the debug-build panic so the trace records what
+    /// the federation saw at the violated boundary.
+    Invariant {
+        /// 1-based round number (0 when outside any round).
+        round: usize,
+        /// The boundary that was checked, e.g. `"aggregate"` or
+        /// `"decode client 3"`.
+        context: String,
+        /// Human-readable description of the violation. Free-form text is
+        /// sanitised for the JSON encoding: `"`, `\`, and control
+        /// characters are replaced (see [`TraceEvent::to_json`]).
+        detail: String,
+    },
     /// A round finished.
     RoundEnd {
         /// 1-based round number.
@@ -181,6 +195,7 @@ impl TraceEvent {
             | TraceEvent::Decode { round, .. }
             | TraceEvent::Aggregate { round, .. }
             | TraceEvent::Eval { round, .. }
+            | TraceEvent::Invariant { round, .. }
             | TraceEvent::RoundEnd { round, .. } => *round,
         }
     }
@@ -214,6 +229,7 @@ impl TraceEvent {
             TraceEvent::Decode { .. } => "decode",
             TraceEvent::Aggregate { .. } => "aggregate",
             TraceEvent::Eval { .. } => "eval",
+            TraceEvent::Invariant { .. } => "invariant",
             TraceEvent::RoundEnd { .. } => "round_end",
         }
     }
@@ -317,6 +333,13 @@ impl TraceEvent {
                 num(&mut s, "us", us);
                 f32f(&mut s, "avg_acc", *avg_acc);
             }
+            TraceEvent::Invariant { context, detail, .. } => {
+                s.push_str(&format!(
+                    ",\"context\":\"{}\",\"detail\":\"{}\"",
+                    sanitize_json_str(context),
+                    sanitize_json_str(detail)
+                ));
+            }
             TraceEvent::RoundEnd { us, cum_bytes, .. } => {
                 num(&mut s, "us", us);
                 num(&mut s, "cum_bytes", cum_bytes);
@@ -406,6 +429,11 @@ impl TraceEvent {
                 us: u64_of("us")?,
                 avg_acc: f32_of("avg_acc")?,
             }),
+            "invariant" => Ok(TraceEvent::Invariant {
+                round,
+                context: str_of("context")?,
+                detail: str_of("detail")?,
+            }),
             "round_end" => Ok(TraceEvent::RoundEnd {
                 round,
                 us: u64_of("us")?,
@@ -430,6 +458,21 @@ impl TraceEvent {
     }
 }
 
+/// Makes a free-form string safe to embed in the escape-free JSON subset
+/// [`TraceEvent::to_json`] emits: `"` becomes `'`, `\` becomes `/`, and
+/// control characters become spaces. Lossy by design — invariant text is
+/// diagnostic, and the trade keeps the trace codec escape-free.
+fn sanitize_json_str(raw: &str) -> String {
+    raw.chars()
+        .map(|c| match c {
+            '"' => '\'',
+            '\\' => '/',
+            c if c.is_control() => ' ',
+            c => c,
+        })
+        .collect()
+}
+
 /// Puts a trace into canonical form for content comparison: wall-times
 /// (the only nondeterministic field) are zeroed and events are sorted by
 /// `(round, kind, client, serialised form)`. Two runs with the same seed
@@ -448,7 +491,8 @@ pub fn canonicalize(events: &[TraceEvent]) -> Vec<TraceEvent> {
             TraceEvent::Upload { .. } => 8,
             TraceEvent::Aggregate { .. } => 9,
             TraceEvent::Eval { .. } => 10,
-            TraceEvent::RoundEnd { .. } => 11,
+            TraceEvent::Invariant { .. } => 11,
+            TraceEvent::RoundEnd { .. } => 12,
         }
     }
     let mut out: Vec<TraceEvent> =
@@ -1061,6 +1105,11 @@ mod tests {
             TraceEvent::Upload { round: 1, client: 0, bytes: 2100 },
             TraceEvent::Aggregate { round: 1, us: 42, updates: 2 },
             TraceEvent::Eval { round: 1, us: 900, avg_acc: 0.5 },
+            TraceEvent::Invariant {
+                round: 1,
+                context: "aggregate".into(),
+                detail: "zero-denominator fallback at 3 positions".into(),
+            },
             TraceEvent::RoundEnd { round: 1, us: 2500, cum_bytes: 6196 },
         ]
     }
@@ -1099,6 +1148,25 @@ mod tests {
         assert!(TraceEvent::from_json("{\"ev\":\"dropout\",\"round\":1,\"client\":0} x")
             .unwrap_err()
             .contains("trailing input"));
+    }
+
+    #[test]
+    fn invariant_event_sanitizes_free_form_text() {
+        let event = TraceEvent::Invariant {
+            round: 2,
+            context: "decode \"client 3\"".into(),
+            detail: "mask\\len\nmismatch".into(),
+        };
+        let line = event.to_json();
+        let back = TraceEvent::from_json(&line).expect("sanitised line parses");
+        assert_eq!(
+            back,
+            TraceEvent::Invariant {
+                round: 2,
+                context: "decode 'client 3'".into(),
+                detail: "mask/len mismatch".into(),
+            }
+        );
     }
 
     #[test]

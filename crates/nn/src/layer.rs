@@ -59,3 +59,18 @@ impl Clone for Box<dyn Layer> {
         self.clone_box()
     }
 }
+
+/// Takes a layer's forward-pass cache for use in `backward`.
+///
+/// Calling `backward` without a preceding training-mode `forward` violates
+/// the [`Layer`] contract; that is a driver bug, so this panics with the
+/// uniform message `"<layer> backward without forward"` that the layer test
+/// suites assert on.
+pub(crate) fn take_cache<T>(cache: &mut Option<T>, layer: &str) -> T {
+    match cache.take() {
+        Some(c) => c,
+        // Contract violation at the call site, not a recoverable error.
+        // lint: allow(no-unwrap)
+        None => panic!("{layer} backward without forward"),
+    }
+}

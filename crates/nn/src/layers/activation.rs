@@ -1,3 +1,4 @@
+use crate::layer::take_cache;
 use crate::{Layer, Mode};
 use subfed_tensor::Tensor;
 
@@ -30,7 +31,7 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache.take().expect("relu backward without forward");
+        let x = take_cache(&mut self.cache, "relu");
         grad_out.zip_map(&x, |g, v| if v > 0.0 { g } else { 0.0 }, "relu backward")
     }
 
@@ -75,7 +76,7 @@ impl Layer for LeakyReLU {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache.take().expect("leaky_relu backward without forward");
+        let x = take_cache(&mut self.cache, "leaky_relu");
         let s = self.slope;
         grad_out.zip_map(&x, |g, v| if v > 0.0 { g } else { s * g }, "leaky_relu backward")
     }
@@ -116,7 +117,7 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self.cache.take().expect("tanh backward without forward");
+        let y = take_cache(&mut self.cache, "tanh");
         grad_out.zip_map(&y, |g, t| g * (1.0 - t * t), "tanh backward")
     }
 
@@ -154,7 +155,7 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self.cache.take().expect("sigmoid backward without forward");
+        let y = take_cache(&mut self.cache, "sigmoid");
         grad_out.zip_map(&y, |g, s| g * s * (1.0 - s), "sigmoid backward")
     }
 

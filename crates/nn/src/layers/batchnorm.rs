@@ -1,3 +1,4 @@
+use crate::layer::take_cache;
 use crate::{Layer, Mode, Param, ParamKind};
 use subfed_tensor::Tensor;
 
@@ -110,7 +111,7 @@ impl Layer for BatchNorm2d {
                     *rv = (1.0 - self.momentum) * *rv + self.momentum * unbiased;
                 }
                 self.cache = Some(Cache {
-                    xhat: Tensor::from_vec(input.shape().to_vec(), xhat).expect("xhat shape"),
+                    xhat: Tensor::from_parts(input.shape().to_vec(), xhat),
                     inv_std,
                     shape: input.shape().to_vec(),
                 });
@@ -132,11 +133,11 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        Tensor::from_vec(input.shape().to_vec(), out).expect("bn output shape")
+        Tensor::from_parts(input.shape().to_vec(), out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("batchnorm2d backward without forward");
+        let cache = take_cache(&mut self.cache, "batchnorm2d");
         assert_eq!(grad_out.shape(), &cache.shape[..], "batchnorm2d backward shape mismatch");
         let (n, c, h, w) = (cache.shape[0], cache.shape[1], cache.shape[2], cache.shape[3]);
         let plane = h * w;
@@ -169,9 +170,9 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        self.gamma.grad = Tensor::from_vec(vec![c], dgamma).expect("dgamma shape");
-        self.beta.grad = Tensor::from_vec(vec![c], dbeta).expect("dbeta shape");
-        Tensor::from_vec(cache.shape, dx).expect("bn input grad shape")
+        self.gamma.grad = Tensor::from_parts(vec![c], dgamma);
+        self.beta.grad = Tensor::from_parts(vec![c], dbeta);
+        Tensor::from_parts(cache.shape, dx)
     }
 
     fn params(&self) -> Vec<&Param> {

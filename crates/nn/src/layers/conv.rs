@@ -1,3 +1,4 @@
+use crate::layer::take_cache;
 use crate::{Layer, Mode, Param, ParamKind};
 use subfed_tensor::conv::{col2im, im2col, ConvGeom};
 use subfed_tensor::init::{kaiming_uniform, SeededRng};
@@ -88,11 +89,7 @@ impl Layer for Conv2d {
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let col_rows = geom.col_rows();
         let col_cols = geom.col_cols();
-        let wmat = self
-            .weight
-            .value
-            .reshape(&[self.out_ch, col_rows])
-            .expect("conv weight reshape");
+        let wmat = self.weight.value.reshaped(&[self.out_ch, col_rows]);
         let mut out = vec![0.0f32; n * self.out_ch * oh * ow];
         let img_len = c * h * w;
         let out_len = self.out_ch * oh * ow;
@@ -101,7 +98,7 @@ impl Layer for Conv2d {
             let img = &input.data()[i * img_len..(i + 1) * img_len];
             let mut cols = vec![0.0f32; col_rows * col_cols];
             im2col(img, &geom, &mut cols);
-            let cols_t = Tensor::from_vec(vec![col_rows, col_cols], cols).expect("cols shape");
+            let cols_t = Tensor::from_parts(vec![col_rows, col_cols], cols);
             let prod = matmul(&wmat, &cols_t);
             let dst = &mut out[i * out_len..(i + 1) * out_len];
             dst.copy_from_slice(prod.data());
@@ -118,11 +115,11 @@ impl Layer for Conv2d {
         } else {
             self.cache = None;
         }
-        Tensor::from_vec(vec![n, self.out_ch, oh, ow], out).expect("conv output shape")
+        Tensor::from_parts(vec![n, self.out_ch, oh, ow], out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("conv2d backward without forward");
+        let cache = take_cache(&mut self.cache, "conv2d");
         let geom = cache.geom;
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let col_rows = geom.col_rows();
@@ -133,11 +130,7 @@ impl Layer for Conv2d {
             &[n, self.out_ch, oh, ow],
             "conv2d backward: unexpected grad shape"
         );
-        let wmat = self
-            .weight
-            .value
-            .reshape(&[self.out_ch, col_rows])
-            .expect("conv weight reshape");
+        let wmat = self.weight.value.reshaped(&[self.out_ch, col_rows]);
         let mut dw = Tensor::zeros(&[self.out_ch, col_rows]);
         let mut db = vec![0.0f32; self.out_ch];
         let img_len = geom.channels * geom.height * geom.width;
@@ -145,8 +138,7 @@ impl Layer for Conv2d {
         let mut dx = vec![0.0f32; n * img_len];
         for i in 0..n {
             let go = &grad_out.data()[i * out_len..(i + 1) * out_len];
-            let go_t =
-                Tensor::from_vec(vec![self.out_ch, col_cols], go.to_vec()).expect("grad shape");
+            let go_t = Tensor::from_parts(vec![self.out_ch, col_cols], go.to_vec());
             // dW += dOut · colsᵀ
             dw.add_assign(&matmul_nt(&go_t, &cache.cols[i]));
             // db += rowwise sum of dOut
@@ -157,12 +149,9 @@ impl Layer for Conv2d {
             let dcols = matmul_tn(&wmat, &go_t);
             col2im(dcols.data(), &geom, &mut dx[i * img_len..(i + 1) * img_len]);
         }
-        self.weight.grad = dw
-            .reshape(&[self.out_ch, self.in_ch, self.kernel, self.kernel])
-            .expect("conv grad reshape");
-        self.bias.grad = Tensor::from_vec(vec![self.out_ch], db).expect("bias grad shape");
-        Tensor::from_vec(vec![n, geom.channels, geom.height, geom.width], dx)
-            .expect("conv input grad shape")
+        self.weight.grad = dw.reshaped(&[self.out_ch, self.in_ch, self.kernel, self.kernel]);
+        self.bias.grad = Tensor::from_parts(vec![self.out_ch], db);
+        Tensor::from_parts(vec![n, geom.channels, geom.height, geom.width], dx)
     }
 
     fn params(&self) -> Vec<&Param> {

@@ -1,3 +1,4 @@
+use crate::layer::take_cache;
 use crate::{Layer, Mode};
 use subfed_tensor::init::SeededRng;
 use subfed_tensor::Tensor;
@@ -46,7 +47,7 @@ impl Layer for Dropout {
                 input.clone()
             }
             Mode::Train => {
-                if self.p == 0.0 {
+                if self.p <= 0.0 {
                     self.mask = Some(Tensor::ones(input.shape()));
                     return input.clone();
                 }
@@ -55,8 +56,7 @@ impl Layer for Dropout {
                 let mask_data: Vec<f32> = (0..input.len())
                     .map(|_| if self.rng.uniform_f32(0.0, 1.0) < keep { scale } else { 0.0 })
                     .collect();
-                let mask = Tensor::from_vec(input.shape().to_vec(), mask_data)
-                    .expect("dropout mask shape");
+                let mask = Tensor::from_parts(input.shape().to_vec(), mask_data);
                 let out = input.mul(&mask);
                 self.mask = Some(mask);
                 out
@@ -65,7 +65,7 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.mask.take().expect("dropout backward without forward");
+        let mask = take_cache(&mut self.mask, "dropout");
         grad_out.mul(&mask)
     }
 

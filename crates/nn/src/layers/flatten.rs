@@ -1,3 +1,4 @@
+use crate::layer::take_cache;
 use crate::{Layer, Mode};
 use subfed_tensor::Tensor;
 
@@ -28,12 +29,12 @@ impl Layer for Flatten {
         } else {
             self.in_shape = None;
         }
-        input.reshape(&[batch, features]).expect("flatten reshape")
+        input.reshaped(&[batch, features])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.in_shape.take().expect("flatten backward without forward");
-        grad_out.reshape(&shape).expect("flatten backward reshape")
+        let shape = take_cache(&mut self.in_shape, "flatten");
+        grad_out.reshaped(&shape)
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

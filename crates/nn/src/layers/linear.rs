@@ -1,3 +1,4 @@
+use crate::layer::take_cache;
 use crate::{Layer, Mode, Param, ParamKind};
 use subfed_tensor::init::{kaiming_uniform, SeededRng};
 use subfed_tensor::linalg::{matmul, matmul_tn};
@@ -69,7 +70,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache.take().expect("linear backward without forward");
+        let x = take_cache(&mut self.cache, "linear");
         assert_eq!(grad_out.shape()[0], x.shape()[0], "linear backward batch mismatch");
         assert_eq!(grad_out.shape()[1], self.out_features, "linear backward feature mismatch");
         // dW = dyᵀ·x : matmul_tn(dy [n,out], x [n,in]) -> [out,in]

@@ -1,3 +1,4 @@
+use crate::layer::take_cache;
 use crate::{Layer, Mode};
 use subfed_tensor::Tensor;
 
@@ -85,17 +86,17 @@ impl Layer for MaxPool2d {
         } else {
             self.cache = None;
         }
-        Tensor::from_vec(out_shape, out).expect("pool output shape")
+        Tensor::from_parts(out_shape, out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("maxpool2d backward without forward");
+        let cache = take_cache(&mut self.cache, "maxpool2d");
         assert_eq!(grad_out.shape(), &cache.out_shape[..], "maxpool2d backward shape mismatch");
         let mut dx = vec![0.0f32; cache.in_shape.iter().product()];
         for (o, &src) in cache.argmax.iter().enumerate() {
             dx[src] += grad_out.data()[o];
         }
-        Tensor::from_vec(cache.in_shape, dx).expect("pool input grad shape")
+        Tensor::from_parts(cache.in_shape, dx)
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -164,11 +165,11 @@ impl Layer for AvgPool2d {
         } else {
             self.in_shape = None;
         }
-        Tensor::from_vec(vec![n, c, oh, ow], out).expect("avgpool output shape")
+        Tensor::from_parts(vec![n, c, oh, ow], out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.in_shape.take().expect("avgpool2d backward without forward");
+        let shape = take_cache(&mut self.in_shape, "avgpool2d");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let (oh, ow) = (self.out_side(h), self.out_side(w));
         assert_eq!(grad_out.shape(), &[n, c, oh, ow], "avgpool2d backward shape mismatch");
@@ -192,7 +193,7 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        Tensor::from_vec(shape, dx).expect("avgpool input grad shape")
+        Tensor::from_parts(shape, dx)
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

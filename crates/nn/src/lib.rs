@@ -45,7 +45,7 @@ pub mod models;
 pub mod optim;
 
 pub use layer::{Layer, Mode};
-pub use mask::ModelMask;
+pub use mask::{is_kept, is_mask_bit, ModelMask};
 pub use param::{Param, ParamKind, ParamMeta};
 pub use sequential::Sequential;
 

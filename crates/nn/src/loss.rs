@@ -32,7 +32,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     for g in &mut grad {
         *g *= inv_n;
     }
-    (loss * inv_n, Tensor::from_vec(vec![n, c], grad).expect("grad shape"))
+    (loss * inv_n, Tensor::from_parts(vec![n, c], grad))
 }
 
 #[cfg(test)]

@@ -1,6 +1,27 @@
 use crate::{ParamKind, Sequential};
 use subfed_tensor::Tensor;
 
+/// Whether a mask entry keeps its parameter position.
+///
+/// Mask entries are written as literal `0.0` or `1.0`, so the kept test is
+/// "not exactly zero". Centralising it here keeps NaN-unsafe float equality
+/// out of every call site: a NaN entry is treated as kept, which
+/// [`is_mask_bit`] rejects before any mask enters the federation.
+#[inline]
+pub fn is_kept(mask_entry: f32) -> bool {
+    // lint: allow(float-eq)
+    mask_entry != 0.0
+}
+
+/// Whether a float is a valid mask entry (exactly `0.0` or `1.0`).
+///
+/// NaN fails both comparisons and is correctly rejected.
+#[inline]
+pub fn is_mask_bit(v: f32) -> bool {
+    // lint: allow(float-eq)
+    v == 0.0 || v == 1.0
+}
+
 /// A binary (0/1) mask over every parameter of a model, aligned with
 /// `Sequential::params` order. This is *the* object Sub-FedAvg manipulates:
 /// clients iteratively shrink their masks, transmit `θ ⊙ m`, and the server
@@ -33,7 +54,7 @@ impl ModelMask {
         assert_eq!(masks.len(), kinds.len(), "mask/kind count mismatch");
         for m in &masks {
             assert!(
-                m.data().iter().all(|&v| v == 0.0 || v == 1.0),
+                m.data().iter().all(|&v| is_mask_bit(v)),
                 "mask entries must be exactly 0 or 1"
             );
         }
@@ -87,7 +108,7 @@ impl ModelMask {
             .iter()
             .zip(self.kinds.iter())
             .filter(|(_, &k)| filter(k))
-            .map(|(m, _)| m.data().iter().filter(|&&v| v != 0.0).count())
+            .map(|(m, _)| m.data().iter().filter(|&&v| is_kept(v)).count())
             .sum()
     }
 
@@ -132,7 +153,7 @@ impl ModelMask {
                 .data()
                 .iter()
                 .zip(b.data().iter())
-                .filter(|(&x, &y)| (x != 0.0) != (y != 0.0))
+                .filter(|(&x, &y)| is_kept(x) != is_kept(y))
                 .count();
         }
         if total == 0 {

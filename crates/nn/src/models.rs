@@ -168,6 +168,8 @@ impl ModelSpec {
     /// Shapes of all fully-connected layers, in order.
     pub fn fc_shapes(&self) -> Vec<FcShape> {
         let convs = self.conv_shapes();
+        // Every ModelSpec variant returns a non-empty conv list by construction.
+        // lint: allow(no-unwrap)
         let last = convs.last().expect("specs always have conv layers");
         let spatial = pool_out(last.out_h) * pool_out(last.out_w);
         let flat = last.cout * spatial;
@@ -193,6 +195,8 @@ impl ModelSpec {
     /// contributes to the first FC layer.
     pub fn final_spatial(&self) -> usize {
         let convs = self.conv_shapes();
+        // Every ModelSpec variant returns a non-empty conv list by construction.
+        // lint: allow(no-unwrap)
         let last = convs.last().expect("specs always have conv layers");
         pool_out(last.out_h) * pool_out(last.out_w)
     }
@@ -387,16 +391,21 @@ pub fn channel_graph(model: &Sequential) -> ChannelGraph {
         if p.kind != ParamKind::ConvWeight {
             continue;
         }
-        let has_bn = i + 3 < params.len()
-            && params[i + 1].kind == ParamKind::ConvBias
-            && params[i + 2].kind == ParamKind::BnGamma
-            && params[i + 3].kind == ParamKind::BnBeta;
+        let has_bn = matches!(
+            params.get(i + 1..i + 4),
+            Some([bias, gamma, beta])
+                if bias.kind == ParamKind::ConvBias
+                    && gamma.kind == ParamKind::BnGamma
+                    && beta.kind == ParamKind::BnBeta
+        );
         if !has_bn {
             continue;
         }
         let out_channels = p.value.shape()[0];
         // Find the next weight that consumes these channels.
-        let downstream = params[i + 4..]
+        let downstream = params
+            .get(i + 4..)
+            .unwrap_or(&[])
             .iter()
             .enumerate()
             .find_map(|(j, q)| match q.kind {
@@ -412,6 +421,9 @@ pub fn channel_graph(model: &Sequential) -> ChannelGraph {
                 }
                 _ => None,
             })
+            // Documented panic: the paper's architectures never end in a
+            // conv→BN block, so a missing consumer is a malformed model.
+            // lint: allow(no-unwrap)
             .expect("conv block must have a downstream consumer");
         blocks.push(ConvBlock {
             conv_weight: i,

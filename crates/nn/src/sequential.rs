@@ -167,6 +167,7 @@ impl Sequential {
     ///
     /// Returns a message naming the first mismatch: wrong entry count,
     /// unexpected name, or wrong shape.
+    #[must_use = "a dropped Result hides the name/shape mismatch it reports"]
     pub fn load_state_dict(&mut self, state: &[(String, Tensor)]) -> Result<(), String> {
         let metas = self.metas();
         if state.len() != metas.len() {

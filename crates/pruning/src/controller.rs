@@ -68,6 +68,22 @@ pub struct GateDecision {
     pub pruned_fraction: f32,
 }
 
+/// The accuracy gate, NaN-safe: passes only for a *finite* validation
+/// accuracy at or above the threshold. A NaN/∞ accuracy means local
+/// training diverged — `NaN >= th` is `false` but `NaN < th` is *also*
+/// `false`, so naive "hold when below threshold" logic would let a
+/// diverged client prune. Centralising the comparison closes that hole.
+fn acc_gate_passes(val_acc: f32, threshold: f32) -> bool {
+    val_acc.is_finite() && val_acc >= threshold
+}
+
+/// The mask-distance gate, NaN-safe: a non-finite Δ (possible only from
+/// corrupted mask bookkeeping) reads as "not moving" and holds pruning,
+/// classified as [`GateReason::MaskStable`].
+fn delta_gate_passes(mask_distance: f32, eps: f32) -> bool {
+    mask_distance.is_finite() && mask_distance >= eps
+}
+
 /// Client-side controller for Sub-FedAvg (Un) — Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct UnstructuredController {
@@ -106,10 +122,14 @@ impl UnstructuredController {
     }
 
     /// Evaluates the three gates of Algorithm 1 (line 14).
+    ///
+    /// NaN-safe: a non-finite `val_acc` (a diverged local model) or a
+    /// non-finite `mask_distance` never prunes — irreversible mask
+    /// decisions require trusted measurements.
     pub fn should_prune(&self, val_acc: f32, current: &ModelMask, mask_distance: f32) -> bool {
-        val_acc >= self.acc_threshold
+        acc_gate_passes(val_acc, self.acc_threshold)
             && pruned_fraction(current, self.scope) < self.target
-            && mask_distance >= self.eps
+            && delta_gate_passes(mask_distance, self.eps)
     }
 
     /// One full client-side pruning decision: derive candidates from the
@@ -139,11 +159,11 @@ impl UnstructuredController {
         let m_fe = self.candidate(model_first_epoch, current);
         let m_le = self.candidate(model_last_epoch, current);
         let delta = m_fe.hamming_distance(&m_le, |k| self.scope.includes(k));
-        let reason = if val_acc < self.acc_threshold {
+        let reason = if !acc_gate_passes(val_acc, self.acc_threshold) {
             GateReason::AccuracyBelowThreshold
         } else if pruned_fraction(current, self.scope) >= self.target {
             GateReason::TargetReached
-        } else if delta < self.eps {
+        } else if !delta_gate_passes(delta, self.eps) {
             GateReason::MaskStable
         } else {
             GateReason::Pruned
@@ -266,7 +286,7 @@ impl HybridController {
         let mut unstructured = current_unstructured.clone();
         let mut gate = StructuredGate { structured_fired: false, unstructured_fired: false };
 
-        let acc_ok = val_acc >= self.acc_threshold;
+        let acc_ok = acc_gate_passes(val_acc, self.acc_threshold);
 
         // Structured track.
         let structured = if !acc_ok {
@@ -285,7 +305,7 @@ impl HybridController {
             let c_fe = slimming_mask(model_first_epoch, current_channels, self.structured_rate);
             let c_le = slimming_mask(model_last_epoch, current_channels, self.structured_rate);
             let delta_s = c_fe.hamming_distance(&c_le);
-            if delta_s >= self.structured_eps {
+            if delta_gate_passes(delta_s, self.structured_eps) {
                 channels = c_le;
                 gate.structured_fired = true;
                 GateDecision {
@@ -320,7 +340,7 @@ impl HybridController {
             let m_fe = self.unstructured.candidate(model_first_epoch, current_unstructured);
             let m_le = self.unstructured.candidate(model_last_epoch, current_unstructured);
             let delta_us = m_fe.hamming_distance(&m_le, |k| scope.includes(k));
-            if delta_us >= self.unstructured.eps {
+            if delta_gate_passes(delta_us, self.unstructured.eps) {
                 unstructured = m_le;
                 gate.unstructured_fired = true;
                 GateDecision {
@@ -510,6 +530,48 @@ mod tests {
         assert_eq!(held.structured.reason, GateReason::AccuracyBelowThreshold);
         assert_eq!(held.unstructured.reason, GateReason::AccuracyBelowThreshold);
         assert_eq!(held.structured.mask_distance, 0.0);
+    }
+
+    #[test]
+    fn nan_accuracy_never_prunes() {
+        let c = UnstructuredController::paper_defaults(0.5);
+        let m_fe = model(1);
+        let m_le = model(2);
+        let ones = ModelMask::ones_for(&m_fe);
+        // The same inputs prune at a healthy accuracy...
+        assert!(c.step(&m_fe, &m_le, &ones, 0.9).is_some());
+        // ...but a diverged (NaN/∞) accuracy must hold the gate, even
+        // though `NaN < threshold` is false.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            assert!(!c.should_prune(bad, &ones, 0.01), "{bad} passed should_prune");
+            let (mask, d) = c.step_explained(&m_fe, &m_le, &ones, bad);
+            assert!(mask.is_none(), "{bad} pruned");
+            assert_eq!(d.reason, GateReason::AccuracyBelowThreshold);
+        }
+    }
+
+    #[test]
+    fn nan_mask_distance_reads_as_stable() {
+        let c = UnstructuredController::paper_defaults(0.5);
+        let m = model(3);
+        let ones = ModelMask::ones_for(&m);
+        assert!(!c.should_prune(0.9, &ones, f32::NAN));
+        // ∞ is non-finite too: corrupted bookkeeping must not fire the gate.
+        assert!(!c.should_prune(0.9, &ones, f32::INFINITY));
+    }
+
+    #[test]
+    fn hybrid_nan_accuracy_holds_both_tracks() {
+        let hc = HybridController::paper_defaults(0.5, 0.5);
+        let m_fe = model(4);
+        let m_le = model(5);
+        let channels = HybridController::initial_channels(&m_fe);
+        let unstructured = ModelMask::ones_for(&m_fe);
+        let (step, d) = hc.step_explained(&m_fe, &m_le, &channels, &unstructured, f32::NAN);
+        assert!(!step.gate.structured_fired && !step.gate.unstructured_fired);
+        assert_eq!(d.structured.reason, GateReason::AccuracyBelowThreshold);
+        assert_eq!(d.unstructured.reason, GateReason::AccuracyBelowThreshold);
+        assert_eq!(step.mask.pruned_fraction(|_| true), 0.0);
     }
 
     #[test]

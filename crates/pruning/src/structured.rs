@@ -118,6 +118,8 @@ pub fn slimming_mask(model: &Sequential, current: &ChannelMask, rate: f32) -> Ch
     // Collect (|gamma|, block, channel) of kept channels.
     let mut kept: Vec<(f32, usize, usize)> = Vec::new();
     for (b, block) in graph.blocks.iter().enumerate() {
+        // Block indices come from `channel_graph` over these same params.
+        // lint: allow(unchecked-index)
         let gammas = params[block.bn_gamma].value.data();
         assert_eq!(gammas.len(), current.keep[b].len(), "gamma/channel count mismatch");
         for (c, (&g, &k)) in gammas.iter().zip(current.keep[b].iter()).enumerate() {
@@ -165,6 +167,8 @@ pub fn expand_channel_mask(
     assert_eq!(params.len(), base.tensors().len(), "base mask does not match model");
     let mut out = base.clone();
     for (b, block) in graph.blocks.iter().enumerate() {
+        // Block indices come from `channel_graph` over these same params.
+        // lint: allow(unchecked-index)
         let w_shape = params[block.conv_weight].value.shape().to_vec();
         let (out_ch, in_ch, kh, kw) = (w_shape[0], w_shape[1], w_shape[2], w_shape[3]);
         assert_eq!(out_ch, channels.keep[b].len(), "channel count mismatch in block {b}");
@@ -185,6 +189,8 @@ pub fn expand_channel_mask(
             // Downstream inputs.
             match block.downstream {
                 Downstream::Conv { weight } => {
+                    // Downstream indices are graph-validated.
+                    // lint: allow(unchecked-index)
                     let shape = params[weight].value.shape().to_vec();
                     let (d_out, d_in, d_kh, d_kw) = (shape[0], shape[1], shape[2], shape[3]);
                     assert!(c < d_in, "channel index out of downstream range");
@@ -198,6 +204,8 @@ pub fn expand_channel_mask(
                     }
                 }
                 Downstream::Linear { weight, spatial } => {
+                    // Downstream indices are graph-validated.
+                    // lint: allow(unchecked-index)
                     let shape = params[weight].value.shape().to_vec();
                     let (d_out, d_in) = (shape[0], shape[1]);
                     let dm = out.tensors_mut()[weight].data_mut();

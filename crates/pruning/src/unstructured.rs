@@ -7,7 +7,7 @@
 //! pruned (matching the reference implementation).
 
 use serde::{Deserialize, Serialize};
-use subfed_nn::{ModelMask, ParamKind, Sequential};
+use subfed_nn::{is_kept, ModelMask, ParamKind, Sequential};
 
 /// Which weights unstructured pruning may remove.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -81,7 +81,7 @@ pub fn magnitude_mask(
                 for (j, (&w, &m)) in
                     p.value.data().iter().zip(current.tensors()[i].data()).enumerate()
                 {
-                    if m != 0.0 {
+                    if is_kept(m) {
                         kept.push((w.abs(), i, j));
                     }
                 }
@@ -104,7 +104,7 @@ fn prune_lowest(weights: &[f32], mask: &mut [f32], rate: f32) {
         .iter()
         .zip(mask.iter())
         .enumerate()
-        .filter(|(_, (_, &m))| m != 0.0)
+        .filter(|(_, (_, &m))| is_kept(m))
         .map(|(j, (&w, _))| (w.abs(), j))
         .collect();
     if kept.is_empty() {
@@ -113,6 +113,9 @@ fn prune_lowest(weights: &[f32], mask: &mut [f32], rate: f32) {
     let n_prune = ((kept.len() as f32 * rate).floor() as usize).min(kept.len() - 1);
     kept.sort_by(|a, b| a.0.total_cmp(&b.0));
     for &(_, j) in kept.iter().take(n_prune) {
+        // `j` comes from enumerating this same slice above, so it is in
+        // bounds by construction.
+        // lint: allow(unchecked-index)
         mask[j] = 0.0;
     }
 }

@@ -1,32 +1,43 @@
 use std::error::Error;
 use std::fmt;
 
-/// Error returned when constructing or combining tensors with incompatible
-/// shapes.
+/// Error returned when constructing, reshaping, or combining tensors with
+/// incompatible shapes — the typed error the workspace propagates instead
+/// of panicking on malformed numeric input.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ShapeError {
-    message: String,
+pub enum TensorError {
+    /// A constructor or combinator received incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
 }
 
-impl ShapeError {
-    /// Creates a new shape error with a human-readable description.
+/// Legacy name of [`TensorError`], kept so older call sites and docs keep
+/// compiling.
+pub type ShapeError = TensorError;
+
+impl TensorError {
+    /// Creates a shape-mismatch error with a human-readable description.
     pub fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        TensorError::ShapeMismatch { message: message.into() }
     }
 
     /// The description of the mismatch.
     pub fn message(&self) -> &str {
-        &self.message
+        match self {
+            TensorError::ShapeMismatch { message } => message,
+        }
     }
 }
 
-impl fmt::Display for ShapeError {
+impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "shape error: {}", self.message)
+        write!(f, "shape error: {}", self.message())
     }
 }
 
-impl Error for ShapeError {}
+impl Error for TensorError {}
 
 #[cfg(test)]
 mod tests {
@@ -34,7 +45,7 @@ mod tests {
 
     #[test]
     fn display_includes_message() {
-        let e = ShapeError::new("expected [2, 3], got [3, 2]");
+        let e = TensorError::new("expected [2, 3], got [3, 2]");
         assert!(e.to_string().contains("expected [2, 3]"));
         assert_eq!(e.message(), "expected [2, 3], got [3, 2]");
     }
@@ -42,6 +53,12 @@ mod tests {
     #[test]
     fn is_std_error() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
-        assert_err::<ShapeError>();
+        assert_err::<TensorError>();
+    }
+
+    #[test]
+    fn legacy_alias_still_constructs() {
+        let e = ShapeError::new("legacy");
+        assert_eq!(e, TensorError::new("legacy"));
     }
 }

@@ -112,14 +112,14 @@ pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut SeededRng) -> Tensor
     let dist = Uniform::new(lo, hi);
     let len: usize = shape.iter().product();
     let data: Vec<f32> = (0..len).map(|_| dist.sample(rng.rng_mut())).collect();
-    Tensor::from_vec(shape.to_vec(), data).expect("uniform shape")
+    Tensor::from_parts(shape.to_vec(), data)
 }
 
 /// Tensor with elements drawn from `N(mean, std²)`.
 pub fn normal(shape: &[usize], mean: f32, std: f32, rng: &mut SeededRng) -> Tensor {
     let len: usize = shape.iter().product();
     let data: Vec<f32> = (0..len).map(|_| mean + std * rng.normal_f32()).collect();
-    Tensor::from_vec(shape.to_vec(), data).expect("normal shape")
+    Tensor::from_parts(shape.to_vec(), data)
 }
 
 /// Kaiming-uniform initialisation used by the conv/linear layers:

@@ -33,7 +33,7 @@ pub mod init;
 pub mod linalg;
 pub mod reduce;
 
-pub use error::ShapeError;
+pub use error::{ShapeError, TensorError};
 pub use tensor::Tensor;
 
 /// Absolute-and-relative closeness test used throughout the test suites.

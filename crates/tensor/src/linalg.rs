@@ -34,6 +34,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         let arow = &ad[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
         for (p, &av) in arow.iter().enumerate() {
+            // Exact-zero fast path: pruned weights are written as literal 0.0,
+            // so bitwise equality is the intended test.
+            // lint: allow(float-eq)
             if av == 0.0 {
                 continue;
             }
@@ -43,7 +46,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(vec![m, n], out).expect("matmul output shape")
+    Tensor::from_parts(vec![m, n], out)
 }
 
 /// `C = Aᵀ · B` for `A: [k, m]` and `B: [k, n]` (no transposed copy).
@@ -62,6 +65,8 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
         let arow = &ad[p * m..(p + 1) * m];
         let brow = &bd[p * n..(p + 1) * n];
         for (i, &av) in arow.iter().enumerate() {
+            // Exact-zero fast path over pruned weights, as in `matmul`.
+            // lint: allow(float-eq)
             if av == 0.0 {
                 continue;
             }
@@ -71,7 +76,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(vec![m, n], out).expect("matmul_tn output shape")
+    Tensor::from_parts(vec![m, n], out)
 }
 
 /// `C = A · Bᵀ` for `A: [m, k]` and `B: [n, k]` (no transposed copy).
@@ -98,7 +103,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
             *o = acc;
         }
     }
-    Tensor::from_vec(vec![m, n], out).expect("matmul_nt output shape")
+    Tensor::from_parts(vec![m, n], out)
 }
 
 /// Transposes a 2-D tensor.
@@ -115,7 +120,7 @@ pub fn transpose(a: &Tensor) -> Tensor {
             out[j * m + i] = ad[i * n + j];
         }
     }
-    Tensor::from_vec(vec![n, m], out).expect("transpose output shape")
+    Tensor::from_parts(vec![n, m], out)
 }
 
 #[cfg(test)]

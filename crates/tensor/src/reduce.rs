@@ -54,7 +54,7 @@ pub fn softmax_rows(t: &Tensor) -> Tensor {
             *o /= z;
         }
     }
-    Tensor::from_vec(vec![rows, cols], out).expect("softmax shape")
+    Tensor::from_parts(vec![rows, cols], out)
 }
 
 /// Sums a `[rows, cols]` tensor over rows, producing a length-`cols` vector.
@@ -72,7 +72,7 @@ pub fn sum_rows(t: &Tensor) -> Tensor {
             *o += v;
         }
     }
-    Tensor::from_vec(vec![cols], out).expect("sum_rows shape")
+    Tensor::from_parts(vec![cols], out)
 }
 
 /// Fraction of rows where the argmax equals the label (classification

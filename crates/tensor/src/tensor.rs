@@ -47,6 +47,7 @@ impl Tensor {
     ///
     /// Returns [`ShapeError`] if `data.len()` does not equal the product of
     /// `shape`.
+    #[must_use = "a dropped Result hides the shape mismatch it reports"]
     pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, ShapeError> {
         let expected: usize = shape.iter().product();
         if data.len() != expected {
@@ -58,6 +59,30 @@ impl Tensor {
             )));
         }
         Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor from a flat data vector whose length is known by
+    /// construction to match `shape`.
+    ///
+    /// Use this when the caller just computed `data` from `shape` (e.g. an
+    /// output buffer sized `rows * cols`); use [`Tensor::from_vec`] when the
+    /// data crosses a trust boundary and the mismatch must be reportable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape` — that
+    /// is a bug at the call site, not a recoverable condition.
+    pub fn from_parts(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            expected,
+            "from_parts: shape {:?} requires {} elements, got {}",
+            shape,
+            expected,
+            data.len()
+        );
+        Self { shape, data }
     }
 
     /// Creates a 1-D tensor from a slice.
@@ -135,6 +160,7 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`ShapeError`] if the element counts differ.
+    #[must_use = "a dropped Result hides the shape mismatch it reports"]
     pub fn reshape(&self, shape: &[usize]) -> Result<Self, ShapeError> {
         let expected: usize = shape.iter().product();
         if expected != self.len() {
@@ -147,6 +173,27 @@ impl Tensor {
             )));
         }
         Ok(Self { shape: shape.to_vec(), data: self.data.clone() })
+    }
+
+    /// Returns a tensor with the same data and a new shape whose element
+    /// count is known by construction to match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ — a call-site bug, not a
+    /// recoverable condition. Use [`Tensor::reshape`] for untrusted shapes.
+    pub fn reshaped(&self, shape: &[usize]) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            expected,
+            self.len(),
+            "reshaped: cannot reshape {:?} ({} elems) into {:?} ({} elems)",
+            self.shape,
+            self.len(),
+            shape,
+            expected
+        );
+        Self { shape: shape.to_vec(), data: self.data.clone() }
     }
 
     fn check_same_shape(&self, other: &Self, op: &str) {
@@ -333,6 +380,33 @@ mod tests {
         let mut t = Tensor::zeros(&[2, 2]);
         *t.at_mut(&[1, 1]) = 7.0;
         assert_eq!(t.data()[3], 7.0);
+    }
+
+    #[test]
+    fn from_parts_accepts_matching_length() {
+        let t = Tensor::from_parts(vec![2, 3], (0..6).map(|v| v as f32).collect());
+        assert_eq!(t.shape(), &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_parts")]
+    fn from_parts_panics_on_mismatch() {
+        let _ = Tensor::from_parts(vec![2, 2], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn reshaped_preserves_data() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let r = t.reshaped(&[2, 2]);
+        assert_eq!(r.shape(), &[2, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "reshaped")]
+    fn reshaped_panics_on_mismatch() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let _ = t.reshaped(&[2, 2]);
     }
 
     #[test]
