@@ -24,10 +24,7 @@ fn main() {
     let base = bench_un_controller(0.5);
     let off = SubFedAvgOptions::default();
     println!("Ablations — Sub-FedAvg (Un) @ 50% on the MNIST stand-in\n");
-    let mut table = Table::new(
-        "ablation results",
-        &["variant", "accuracy", "sparsity", "comm"],
-    );
+    let mut table = Table::new("ablation results", &["variant", "accuracy", "sparsity", "comm"]);
     let mut add = |name: &str, h: History| {
         table.row(&[
             name.into(),

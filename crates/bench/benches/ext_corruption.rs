@@ -61,12 +61,7 @@ fn main() {
     println!("Extension — label-flipping clients vs robust aggregation\n");
     let mut table = Table::new(
         "honest-client accuracy under data poisoning (MNIST stand-in)",
-        &[
-            "corrupted clients",
-            "FedAvg",
-            "Sub-FedAvg (plain)",
-            "Sub-FedAvg (trim=1)",
-        ],
+        &["corrupted clients", "FedAvg", "Sub-FedAvg (plain)", "Sub-FedAvg (trim=1)"],
     );
     for &frac in &[0.0f32, 0.2, 0.4] {
         let (fed, corrupted) = poisoned_federation(frac);

@@ -31,12 +31,9 @@ fn run(spec: ModelSpec) -> (f64, f32, f32) {
     );
     let mut algo = SubFedAvgHy::with_controller(fed, bench_hy_controller(0.5, 0.5));
     let h = algo.run();
-    let mean_reduction = algo
-        .final_channels()
-        .iter()
-        .map(|m| conv_flop_reduction(&spec, m))
-        .sum::<f64>()
-        / algo.final_channels().len().max(1) as f64;
+    let mean_reduction =
+        algo.final_channels().iter().map(|m| conv_flop_reduction(&spec, m)).sum::<f64>()
+            / algo.final_channels().len().max(1) as f64;
     (mean_reduction, h.final_pruned_channels(), h.final_avg_acc())
 }
 

@@ -31,8 +31,7 @@ fn main() {
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for r in &h.records {
-            if r.avg_acc.is_some() && c < r.per_client_acc.len() && c < r.per_client_pruned.len()
-            {
+            if r.avg_acc.is_some() && c < r.per_client_acc.len() && c < r.per_client_pruned.len() {
                 xs.push(100.0 * r.per_client_pruned[c]);
                 ys.push(100.0 * r.per_client_acc[c]);
             }

@@ -13,7 +13,9 @@ use std::sync::Arc;
 use subfed_bench::{
     bench_hy_controller, bench_un_controller, federation, paper_table1, scale, DatasetKind,
 };
-use subfed_core::algorithms::{FedAvg, FedMtl, FedProx, LgFedAvg, Standalone, SubFedAvgHy, SubFedAvgUn};
+use subfed_core::algorithms::{
+    FedAvg, FedMtl, FedProx, LgFedAvg, Standalone, SubFedAvgHy, SubFedAvgUn,
+};
 use subfed_core::{FederatedAlgorithm, History};
 use subfed_metrics::comm::human_bytes;
 use subfed_metrics::report::Table;
@@ -28,9 +30,15 @@ fn run_algo(kind: DatasetKind, which: &str, sink: &Arc<VecSink>) -> History {
         "MTL" => Box::new(FedMtl::new(fed, 0.1)),
         "FedProx" => Box::new(FedProx::new(fed, 0.01)),
         "LG-FedAvg" => Box::new(LgFedAvg::new(fed)),
-        "Sub-FedAvg (Un) 30%" => Box::new(SubFedAvgUn::with_controller(fed, bench_un_controller(0.3))),
-        "Sub-FedAvg (Un) 50%" => Box::new(SubFedAvgUn::with_controller(fed, bench_un_controller(0.5))),
-        "Sub-FedAvg (Un) 70%" => Box::new(SubFedAvgUn::with_controller(fed, bench_un_controller(0.7))),
+        "Sub-FedAvg (Un) 30%" => {
+            Box::new(SubFedAvgUn::with_controller(fed, bench_un_controller(0.3)))
+        }
+        "Sub-FedAvg (Un) 50%" => {
+            Box::new(SubFedAvgUn::with_controller(fed, bench_un_controller(0.5)))
+        }
+        "Sub-FedAvg (Un) 70%" => {
+            Box::new(SubFedAvgUn::with_controller(fed, bench_un_controller(0.7)))
+        }
         "Sub-FedAvg (Hy) 50%+50%" => {
             Box::new(SubFedAvgHy::with_controller(fed, bench_hy_controller(0.5, 0.5)))
         }

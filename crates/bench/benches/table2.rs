@@ -9,8 +9,8 @@
 //!    masks are fed through the same FLOP model.
 
 use subfed_bench::{bench_hy_controller, federation, scale, DatasetKind};
-use subfed_core::FederatedAlgorithm;
 use subfed_core::algorithms::SubFedAvgHy;
+use subfed_core::FederatedAlgorithm;
 use subfed_metrics::flops::{conv_flop_reduction, dense_conv_flops, masked_trainable_params};
 use subfed_metrics::report::Table;
 use subfed_nn::models::ModelSpec;
@@ -35,7 +35,12 @@ fn main() {
 
     let mut table = Table::new(
         "Table 2 — FLOP and parameter reduction (paper semantics, analytic)",
-        &["algorithm", "paper (flop, param)", "measured flop reduction", "measured param reduction"],
+        &[
+            "algorithm",
+            "paper (flop, param)",
+            "measured flop reduction",
+            "measured param reduction",
+        ],
     );
     let dense_rows = ["Standalone", "FedAvg", "MTL", "LG-FedAvg"];
     for r in dense_rows {
@@ -77,30 +82,18 @@ fn main() {
     let fed = federation(DatasetKind::Cifar10, s, s.rounds, 77);
     let mut algo = SubFedAvgHy::with_controller(fed, bench_hy_controller(0.5, 0.5));
     let h = algo.run();
-    let per_client: Vec<f64> = algo
-        .final_channels()
-        .iter()
-        .map(|mask| conv_flop_reduction(&bench_spec, mask))
-        .collect();
+    let per_client: Vec<f64> =
+        algo.final_channels().iter().map(|mask| conv_flop_reduction(&bench_spec, mask)).collect();
     let mean_reduction = per_client.iter().sum::<f64>() / per_client.len().max(1) as f64;
     let max_reduction = per_client.iter().copied().fold(1.0f64, f64::max);
-    let mut measured = Table::new(
-        "Measured hybrid run (CIFAR-10 stand-in)",
-        &["quantity", "value"],
-    );
-    measured.row(&[
-        "avg channels pruned".into(),
-        format!("{:.0}%", 100.0 * h.final_pruned_channels()),
-    ]);
-    measured.row(&["avg weights pruned".into(), format!("{:.0}%", 100.0 * h.final_pruned_params())]);
-    measured.row(&[
-        "mean per-client conv FLOP reduction".into(),
-        format!("{mean_reduction:.2}x"),
-    ]);
-    measured.row(&[
-        "max per-client conv FLOP reduction".into(),
-        format!("{max_reduction:.2}x"),
-    ]);
+    let mut measured =
+        Table::new("Measured hybrid run (CIFAR-10 stand-in)", &["quantity", "value"]);
+    measured
+        .row(&["avg channels pruned".into(), format!("{:.0}%", 100.0 * h.final_pruned_channels())]);
+    measured
+        .row(&["avg weights pruned".into(), format!("{:.0}%", 100.0 * h.final_pruned_params())]);
+    measured.row(&["mean per-client conv FLOP reduction".into(), format!("{mean_reduction:.2}x")]);
+    measured.row(&["max per-client conv FLOP reduction".into(), format!("{max_reduction:.2}x")]);
     measured.row(&["final accuracy".into(), format!("{:.1}%", 100.0 * h.final_avg_acc())]);
     println!("{}", measured.render());
 }

@@ -26,15 +26,12 @@ fn federation(seed: u64) -> Federation {
 fn main() {
     let seeds = [101u64, 202, 303];
     println!("Seed variance — MNIST stand-in, {} seeds\n", seeds.len());
-    let standalone = over_seeds(&seeds, |s| {
-        Standalone::new(federation(s)).run().final_avg_acc() as f64
-    });
-    let fedavg =
-        over_seeds(&seeds, |s| FedAvg::new(federation(s)).run().final_avg_acc() as f64);
+    let standalone =
+        over_seeds(&seeds, |s| Standalone::new(federation(s)).run().final_avg_acc() as f64);
+    let fedavg = over_seeds(&seeds, |s| FedAvg::new(federation(s)).run().final_avg_acc() as f64);
     let sub = over_seeds(&seeds, |s| {
-        SubFedAvgUn::with_controller(federation(s), bench_un_controller(0.5))
-            .run()
-            .final_avg_acc() as f64
+        SubFedAvgUn::with_controller(federation(s), bench_un_controller(0.5)).run().final_avg_acc()
+            as f64
     });
     let mut table = Table::new(
         "final personalized accuracy, mean ± std over seeds",

@@ -147,7 +147,12 @@ pub fn usage() -> String {
          \n\
          DATASETS:   mnist | emnist | cifar10 | cifar100 (synthetic stand-ins)\n\
          PARTITIONS: pathological | dirichlet (--alpha) | quantity (--skew)\n\
-         ALGOS:      {}\n",
+         ALGOS:      {}\n\
+         \n\
+         TRACES:     --trace PATH streams round-level JSONL telemetry\n\
+         \x20           (docs/OBSERVABILITY.md); check a written trace against\n\
+         \x20           the round-protocol spec with `subfed-lint conform PATH`\n\
+         \x20           (docs/PROTOCOL.md).\n",
         AlgoKind::names()
     )
 }
@@ -188,8 +193,8 @@ fn parse_run(args: &[String]) -> Result<RunSpec, String> {
         match flag {
             "--dataset" => {
                 let name: String = parse_value(flag, value)?;
-                spec.dataset = DatasetKind::parse(&name)
-                    .ok_or_else(|| format!("unknown dataset `{name}`"))?;
+                spec.dataset =
+                    DatasetKind::parse(&name).ok_or_else(|| format!("unknown dataset `{name}`"))?;
             }
             "--partition" => partition_name = parse_value(flag, value)?,
             "--alpha" => alpha = parse_value(flag, value)?,
@@ -252,8 +257,8 @@ fn parse_info(args: &[String]) -> Result<InfoSpec, String> {
         match flag {
             "--dataset" => {
                 let name: String = parse_value(flag, value)?;
-                spec.dataset = DatasetKind::parse(&name)
-                    .ok_or_else(|| format!("unknown dataset `{name}`"))?;
+                spec.dataset =
+                    DatasetKind::parse(&name).ok_or_else(|| format!("unknown dataset `{name}`"))?;
             }
             "--clients" => spec.clients = parse_value(flag, value)?,
             "--seed" => spec.seed = parse_value(flag, value)?,
@@ -330,8 +335,7 @@ mod tests {
     fn trace_summary_is_a_bare_flag() {
         // `--trace-summary` consumes no value: the next token is parsed
         // as the flag it is.
-        let Command::Run(spec) =
-            parse_args(&argv("run --trace-summary --rounds 4")).unwrap()
+        let Command::Run(spec) = parse_args(&argv("run --trace-summary --rounds 4")).unwrap()
         else {
             panic!("expected run");
         };
@@ -374,8 +378,7 @@ mod tests {
             panic!();
         };
         assert_eq!(spec.partition, PartitionKind::Dirichlet { alpha: 0.2 });
-        let Command::Run(spec) =
-            parse_args(&argv("run --partition quantity --skew 1.5")).unwrap()
+        let Command::Run(spec) = parse_args(&argv("run --partition quantity --skew 1.5")).unwrap()
         else {
             panic!();
         };

@@ -39,8 +39,7 @@ fn build_algorithm(spec: &RunSpec, fed: Federation) -> Box<dyn FederatedAlgorith
 }
 
 fn execute_run(spec: &RunSpec) -> Result<String, String> {
-    let clients =
-        spec.dataset.clients_with(spec.clients, spec.config.seed, spec.partition);
+    let clients = spec.dataset.clients_with(spec.clients, spec.config.seed, spec.partition);
     // Optional telemetry: a JSONL file sink, an in-memory sink feeding the
     // end-of-run summary, or both.
     let jsonl: Option<Arc<JsonlSink>> = match &spec.trace {
@@ -49,8 +48,7 @@ fn execute_run(spec: &RunSpec) -> Result<String, String> {
         )),
         None => None,
     };
-    let summary_sink: Option<Arc<VecSink>> =
-        spec.trace_summary.then(|| Arc::new(VecSink::new()));
+    let summary_sink: Option<Arc<VecSink>> = spec.trace_summary.then(|| Arc::new(VecSink::new()));
     let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
     if let Some(s) = &jsonl {
         sinks.push(s.clone());
@@ -100,8 +98,7 @@ fn execute_run(spec: &RunSpec) -> Result<String, String> {
         out.push_str(&TraceSummary::from_events(&sink.snapshot()).render());
     }
     if let Some(path) = &spec.csv {
-        std::fs::write(path, history.to_csv())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, history.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
         out.push_str(&format!("history written to {path}\n"));
     }
     if let Some(path) = &spec.trace {
@@ -171,9 +168,7 @@ mod tests {
     }
 
     fn quick_run(extra: &str) -> String {
-        let args = argv(&format!(
-            "run --rounds 2 --clients 4 --epochs 1 --seed 3 {extra}"
-        ));
+        let args = argv(&format!("run --rounds 2 --clients 4 --epochs 1 --seed 3 {extra}"));
         let cmd = parse_args(&args).unwrap();
         execute(&cmd).unwrap()
     }
@@ -206,10 +201,9 @@ mod tests {
 
     #[test]
     fn run_rejects_unwritable_csv() {
-        let cmd = parse_args(&argv(
-            "run --rounds 1 --clients 4 --epochs 1 --csv /nonexistent-dir/x.csv",
-        ))
-        .unwrap();
+        let cmd =
+            parse_args(&argv("run --rounds 1 --clients 4 --epochs 1 --csv /nonexistent-dir/x.csv"))
+                .unwrap();
         let err = execute(&cmd).unwrap_err();
         assert!(err.contains("cannot write"));
     }
@@ -222,10 +216,8 @@ mod tests {
         let out = quick_run(&format!("--algo un --trace {path_str}"));
         assert!(out.contains("trace written to"));
         let text = std::fs::read_to_string(&path).unwrap();
-        let events: Vec<TraceEvent> = text
-            .lines()
-            .map(|l| TraceEvent::from_json(l).expect("every line parses"))
-            .collect();
+        let events: Vec<TraceEvent> =
+            text.lines().map(|l| TraceEvent::from_json(l).expect("every line parses")).collect();
         // Every phase of a Sub-FedAvg round is present.
         for kind in
             ["round_start", "train", "prune", "prune_gate", "encode", "aggregate", "round_end"]

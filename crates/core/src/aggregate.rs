@@ -102,7 +102,8 @@ pub fn subfedavg_aggregate_trimmed(
             scratch.clear();
             for (params, mask) in updates {
                 // `i < len` and both slices were length-checked above.
-                if is_kept(mask[i]) { // lint: allow(unchecked-index)
+                // lint: allow(unchecked-index)
+                if is_kept(mask[i]) {
                     scratch.push(params[i]); // lint: allow(unchecked-index)
                 }
             }
@@ -180,11 +181,8 @@ mod tests {
             .collect();
         let got = subfedavg_aggregate(&global, &us);
         for i in 0..8 {
-            let contrib: Vec<f32> = us
-                .iter()
-                .filter(|(_, m)| m[i] != 0.0)
-                .map(|(p, _)| p[i])
-                .collect();
+            let contrib: Vec<f32> =
+                us.iter().filter(|(_, m)| m[i] != 0.0).map(|(p, _)| p[i]).collect();
             if contrib.is_empty() {
                 assert_eq!(got[i], global[i]);
             } else {
@@ -216,10 +214,8 @@ mod tests {
     fn trimmed_mean_discards_outliers() {
         let global = vec![0.0];
         // Four honest clients around 1.0, one poisoned at 1000.
-        let updates: Vec<(Vec<f32>, Vec<f32>)> = [0.9f32, 1.0, 1.1, 1.0, 1000.0]
-            .iter()
-            .map(|&v| (vec![v], vec![1.0]))
-            .collect();
+        let updates: Vec<(Vec<f32>, Vec<f32>)> =
+            [0.9f32, 1.0, 1.1, 1.0, 1000.0].iter().map(|&v| (vec![v], vec![1.0])).collect();
         let plain = subfedavg_aggregate(&global, &updates);
         assert!(plain[0] > 100.0, "plain mean is poisoned: {}", plain[0]);
         let robust = subfedavg_aggregate_trimmed(&global, &updates, 1);
@@ -231,10 +227,7 @@ mod tests {
         let global = vec![7.0, 7.0];
         // Position 0: two holders (<= 2*trim) -> plain average.
         // Position 1: no holders -> global survives.
-        let updates = vec![
-            (vec![1.0, 0.0], vec![1.0, 0.0]),
-            (vec![3.0, 0.0], vec![1.0, 0.0]),
-        ];
+        let updates = vec![(vec![1.0, 0.0], vec![1.0, 0.0]), (vec![3.0, 0.0], vec![1.0, 0.0])];
         let out = subfedavg_aggregate_trimmed(&global, &updates, 1);
         assert_eq!(out, vec![2.0, 7.0]);
     }

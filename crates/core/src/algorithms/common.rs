@@ -28,20 +28,12 @@ pub(crate) fn record_round(
         let eval_span = fed.tracer().span();
         let accs = fed.evaluate_clients(flats);
         let mean = accs.iter().sum::<f32>() / accs.len() as f32;
-        fed.tracer().emit(TraceEvent::Eval {
-            round,
-            us: eval_span.elapsed_us(),
-            avg_acc: mean,
-        });
+        fed.tracer().emit(TraceEvent::Eval { round, us: eval_span.elapsed_us(), avg_acc: mean });
         (Some(mean), accs)
     } else {
         (None, Vec::new())
     };
-    fed.tracer().emit(TraceEvent::RoundEnd {
-        round,
-        us: round_span.elapsed_us(),
-        cum_bytes,
-    });
+    fed.tracer().emit(TraceEvent::RoundEnd { round, us: round_span.elapsed_us(), cum_bytes });
     history.push(RoundRecord {
         round,
         avg_acc,

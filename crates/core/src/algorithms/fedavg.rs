@@ -77,7 +77,14 @@ impl FederatedAlgorithm for FedAvg {
                 // federation carries on with the previous global model.
                 let flats: Vec<Vec<f32>> = vec![global.clone(); fed.num_clients()];
                 record_round(
-                    &mut history, fed, round, &flats, cum_bytes, 0.0, 0.0, Vec::new(),
+                    &mut history,
+                    fed,
+                    round,
+                    &flats,
+                    cum_bytes,
+                    0.0,
+                    0.0,
+                    Vec::new(),
                     round_span,
                 );
                 continue;
@@ -133,7 +140,15 @@ impl FederatedAlgorithm for FedAvg {
             // model.
             let flats: Vec<Vec<f32>> = vec![global.clone(); fed.num_clients()];
             record_round(
-                &mut history, fed, round, &flats, cum_bytes, 0.0, 0.0, Vec::new(), round_span,
+                &mut history,
+                fed,
+                round,
+                &flats,
+                cum_bytes,
+                0.0,
+                0.0,
+                Vec::new(),
+                round_span,
             );
         }
         history
@@ -265,13 +280,24 @@ mod tests {
         let fed = tiny_federation(1, 4);
         let global = fed.init_global();
         let plain = crate::train_client(
-            fed.spec(), &global, &fed.clients()[0], fed.config(), None, None, 3,
+            fed.spec(),
+            &global,
+            &fed.clients()[0],
+            fed.config(),
+            None,
+            None,
+            3,
         );
         // A heavy proximal pull dominates the gradient signal, so the
         // distance comparison below is robust at unit-test scale.
         let prox = crate::train_client(
-            fed.spec(), &global, &fed.clients()[0], fed.config(), None,
-            Some((global.as_slice(), 20.0)), 3,
+            fed.spec(),
+            &global,
+            &fed.clients()[0],
+            fed.config(),
+            None,
+            Some((global.as_slice(), 20.0)),
+            3,
         );
         assert_ne!(plain.final_flat, prox.final_flat);
         // Prox keeps the *trainable* update closer to the anchor (BN

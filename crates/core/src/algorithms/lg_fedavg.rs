@@ -65,7 +65,14 @@ impl FederatedAlgorithm for LgFedAvg {
             let ids = fed.begin_round(round);
             if ids.is_empty() {
                 record_round(
-                    &mut history, fed, round, &local_flats, cum_bytes, 0.0, 0.0, Vec::new(),
+                    &mut history,
+                    fed,
+                    round,
+                    &local_flats,
+                    cum_bytes,
+                    0.0,
+                    0.0,
+                    Vec::new(),
                     round_span,
                 );
                 continue;
@@ -106,9 +113,8 @@ impl FederatedAlgorithm for LgFedAvg {
             for (out, &i) in outcomes.iter().zip(ids.iter()) {
                 let w = fed.clients()[i].train.len() as f32 / total as f32;
                 for &(off, len) in &self.head {
-                    for (dst, &src) in new_head[off..off + len]
-                        .iter_mut()
-                        .zip(&out.final_flat[off..off + len])
+                    for (dst, &src) in
+                        new_head[off..off + len].iter_mut().zip(&out.final_flat[off..off + len])
                     {
                         *dst += w * src;
                     }
@@ -127,7 +133,14 @@ impl FederatedAlgorithm for LgFedAvg {
             }
             cum_bytes += ids.len() as u64 * head_bytes * 2;
             record_round(
-                &mut history, fed, round, &local_flats, cum_bytes, 0.0, 0.0, Vec::new(),
+                &mut history,
+                fed,
+                round,
+                &local_flats,
+                cum_bytes,
+                0.0,
+                0.0,
+                Vec::new(),
                 round_span,
             );
         }

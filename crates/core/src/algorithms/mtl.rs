@@ -50,7 +50,14 @@ impl FederatedAlgorithm for FedMtl {
             let ids = fed.begin_round(round);
             if ids.is_empty() {
                 record_round(
-                    &mut history, fed, round, &local_flats, last_bytes, 0.0, 0.0, Vec::new(),
+                    &mut history,
+                    fed,
+                    round,
+                    &local_flats,
+                    last_bytes,
+                    0.0,
+                    0.0,
+                    Vec::new(),
                     round_span,
                 );
                 continue;
@@ -100,7 +107,14 @@ impl FederatedAlgorithm for FedMtl {
             // One round's all-pairs exchange for this cohort size.
             last_bytes += mtl_run_bytes(1, ids.len() as u64, num_params);
             record_round(
-                &mut history, fed, round, &local_flats, last_bytes, 0.0, 0.0, Vec::new(),
+                &mut history,
+                fed,
+                round,
+                &local_flats,
+                last_bytes,
+                0.0,
+                0.0,
+                Vec::new(),
                 round_span,
             );
         }

@@ -51,7 +51,11 @@ impl FederatedAlgorithm for Standalone {
                     survivors: ids.clone(),
                 });
                 for &client in all.iter().filter(|c| !ids.contains(c)) {
-                    fed.tracer().emit(TraceEvent::Dropout { round, client });
+                    fed.tracer().emit(TraceEvent::Dropout {
+                        round,
+                        client,
+                        reason: "crash-injected".to_string(),
+                    });
                 }
             }
             let flats = &local_flats;
@@ -79,7 +83,15 @@ impl FederatedAlgorithm for Standalone {
                 local_flats[i] = out.final_flat;
             }
             record_round(
-                &mut history, fed, round, &local_flats, 0, 0.0, 0.0, Vec::new(), round_span,
+                &mut history,
+                fed,
+                round,
+                &local_flats,
+                0,
+                0.0,
+                0.0,
+                Vec::new(),
+                round_span,
             );
         }
         history

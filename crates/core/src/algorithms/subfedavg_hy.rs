@@ -91,14 +91,19 @@ impl FederatedAlgorithm for SubFedAvgHy {
                     .iter()
                     .map(|s| s.mask.pruned_fraction(|k| k.is_prunable_weight()))
                     .collect();
-                let avg =
-                    per_client_pruned.iter().sum::<f32>() / per_client_pruned.len() as f32;
-                let avg_ch =
-                    states.iter().map(|s| s.channels.pruned_fraction()).sum::<f32>()
-                        / states.len() as f32;
+                let avg = per_client_pruned.iter().sum::<f32>() / per_client_pruned.len() as f32;
+                let avg_ch = states.iter().map(|s| s.channels.pruned_fraction()).sum::<f32>()
+                    / states.len() as f32;
                 record_round(
-                    &mut history, fed, round, &local_flats, cum_bytes, avg, avg_ch,
-                    per_client_pruned, round_span,
+                    &mut history,
+                    fed,
+                    round,
+                    &local_flats,
+                    cum_bytes,
+                    avg,
+                    avg_ch,
+                    per_client_pruned,
+                    round_span,
                 );
                 continue;
             }
@@ -148,8 +153,11 @@ impl FederatedAlgorithm for SubFedAvgHy {
                     invariants::check_hamming_domain(decision.unstructured.mask_distance)
                 });
                 let mask_changed = step.gate.structured_fired || step.gate.unstructured_fired;
-                states[i] =
-                    ClientState { channels: step.channels, unstructured: step.unstructured, mask: step.mask };
+                states[i] = ClientState {
+                    channels: step.channels,
+                    unstructured: step.unstructured,
+                    mask: step.mask,
+                };
                 if fed.tracer().is_enabled() {
                     fed.tracer().emit(TraceEvent::ClientPrune {
                         round,
@@ -197,10 +205,15 @@ impl FederatedAlgorithm for SubFedAvgHy {
                 // lint: allow(no-unwrap)
                 let decoded = wire::decode_update(&buf).expect("self-encoded update decodes");
                 // Decode boundary: model-sized update, strictly binary mask.
-                invariants::enforce_with(fed.tracer(), round, &format!("decode client {i}"), || {
-                    invariants::check_update_shape(&decoded.0, &decoded.1, flat_mask.len())?;
-                    invariants::check_mask_binary(&decoded.1)
-                });
+                invariants::enforce_with(
+                    fed.tracer(),
+                    round,
+                    &format!("decode client {i}"),
+                    || {
+                        invariants::check_update_shape(&decoded.0, &decoded.1, flat_mask.len())?;
+                        invariants::check_mask_binary(&decoded.1)
+                    },
+                );
                 fed.tracer().emit(TraceEvent::Decode {
                     round,
                     client: i,
@@ -222,10 +235,8 @@ impl FederatedAlgorithm for SubFedAvgHy {
                 updates: updates.len(),
             });
             let n = states.len() as f32;
-            let per_client_pruned: Vec<f32> = states
-                .iter()
-                .map(|s| s.mask.pruned_fraction(|k| k.is_prunable_weight()))
-                .collect();
+            let per_client_pruned: Vec<f32> =
+                states.iter().map(|s| s.mask.pruned_fraction(|k| k.is_prunable_weight())).collect();
             let avg_pruned_params = per_client_pruned.iter().sum::<f32>() / n;
             let avg_pruned_channels =
                 states.iter().map(|s| s.channels.pruned_fraction()).sum::<f32>() / n;
@@ -302,12 +313,8 @@ mod tests {
         assert!(algo.final_channels().is_empty());
         let h = algo.run();
         assert_eq!(algo.final_channels().len(), 4);
-        let mean: f32 = algo
-            .final_channels()
-            .iter()
-            .map(|c| c.pruned_fraction())
-            .sum::<f32>()
-            / 4.0;
+        let mean: f32 =
+            algo.final_channels().iter().map(|c| c.pruned_fraction()).sum::<f32>() / 4.0;
         assert!((mean - h.final_pruned_channels()).abs() < 1e-5);
     }
 

@@ -35,8 +35,7 @@ use subfed_pruning::UnstructuredController;
 
 /// Engine options that deviate from Algorithm 1, used by the ablation and
 /// extension benches.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SubFedAvgOptions {
     /// Replace intersection averaging with plain FedAvg over masked
     /// updates (divide by the cohort size instead of the per-position
@@ -55,7 +54,6 @@ pub struct SubFedAvgOptions {
     /// Robust-aggregation extension (pairs with corrupted-client runs).
     pub trim: usize,
 }
-
 
 /// The live state of a Sub-FedAvg (Un) run.
 #[derive(Debug, Clone)]
@@ -208,10 +206,7 @@ impl SubFedAvgUn {
     }
 
     fn pruned_fractions(&self, masks: &[ModelMask]) -> Vec<f32> {
-        masks
-            .iter()
-            .map(|m| m.pruned_fraction(|k| self.controller.scope.includes(k)))
-            .collect()
+        masks.iter().map(|m| m.pruned_fraction(|k| self.controller.scope.includes(k))).collect()
     }
 
     /// Executes exactly one communication round, appending its record to
@@ -382,8 +377,7 @@ impl SubFedAvgUn {
             invariants::check_aggregation_coverage(&updates, state.global.len())
         });
         state.global = if options.plain_average {
-            let dense: Vec<(Vec<f32>, usize)> =
-                updates.into_iter().map(|(p, _)| (p, 1)).collect();
+            let dense: Vec<(Vec<f32>, usize)> = updates.into_iter().map(|(p, _)| (p, 1)).collect();
             crate::fedavg_aggregate(&dense)
         } else if options.trim > 0 {
             crate::subfedavg_aggregate_trimmed(&state.global, &updates, options.trim)
@@ -483,11 +477,7 @@ mod tests {
         let k = fed.config().clients_per_round(4) as u64;
         let dense_total = 5 * k * num_params * 4 * 2;
         let (_, h) = run_with_target(0.5, 5);
-        assert!(
-            h.total_bytes() < dense_total,
-            "masked {} >= dense {dense_total}",
-            h.total_bytes()
-        );
+        assert!(h.total_bytes() < dense_total, "masked {} >= dense {dense_total}", h.total_bytes());
     }
 
     #[test]

@@ -223,10 +223,7 @@ mod tests {
     fn channel_jaccard_counts_shared_channels() {
         let full = ChannelMask::from_keep(vec![vec![true; 4], vec![true; 6]]);
         assert_eq!(channel_jaccard(&full, &full), 1.0);
-        let half = ChannelMask::from_keep(vec![
-            vec![true, true, false, false],
-            vec![true; 6],
-        ]);
+        let half = ChannelMask::from_keep(vec![vec![true, true, false, false], vec![true; 6]]);
         // Intersection 8 kept-in-both, union 10.
         let j = channel_jaccard(&full, &half);
         assert!((j - 0.8).abs() < 1e-6, "{j}");

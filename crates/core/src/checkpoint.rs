@@ -152,13 +152,11 @@ mod tests {
         let mut controller = UnstructuredController::paper_defaults(0.5);
         controller.acc_threshold = 0.0;
         controller.rate = 0.2;
-        let mut algo =
-            crate::algorithms::SubFedAvgUn::with_controller(fed.clone(), controller);
+        let mut algo = crate::algorithms::SubFedAvgUn::with_controller(fed.clone(), controller);
         let _ = algo.run();
         let masks: Vec<Vec<f32>> = algo.final_masks().iter().map(flatten_mask).collect();
         let global = fed.init_global(); // any dense vector of the right size
-        let ckpt =
-            Checkpoint { round: 3, global: global.clone(), client_masks: masks.clone() };
+        let ckpt = Checkpoint { round: 3, global: global.clone(), client_masks: masks.clone() };
         let restored = Checkpoint::decode(&ckpt.encode()).unwrap();
         assert_eq!(restored.global, global);
         assert_eq!(restored.client_masks, masks);

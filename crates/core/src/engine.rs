@@ -3,11 +3,11 @@
 
 use crate::FedConfig;
 use subfed_data::{ClientData, Dataset};
+use subfed_metrics::trace::{TraceEvent, Tracer};
 use subfed_nn::loss::softmax_cross_entropy;
 use subfed_nn::models::ModelSpec;
 use subfed_nn::optim::Sgd;
 use subfed_nn::{Mode, ModelMask, Sequential};
-use subfed_metrics::trace::{TraceEvent, Tracer};
 use subfed_tensor::init::SeededRng;
 use subfed_tensor::reduce::argmax_rows;
 
@@ -129,7 +129,11 @@ impl Federation {
                 survivors: survivors.clone(),
             });
             for &client in sampled.iter().filter(|c| !survivors.contains(c)) {
-                self.tracer.emit(TraceEvent::Dropout { round, client });
+                self.tracer.emit(TraceEvent::Dropout {
+                    round,
+                    client,
+                    reason: "crash-injected".to_string(),
+                });
             }
         }
         survivors
@@ -159,17 +163,16 @@ impl Federation {
         }
         let mut out: Vec<Option<T>> = (0..indices.len()).map(|_| None).collect();
         let chunk = indices.len().div_ceil(threads);
-        let scope_result =
-            crossbeam::thread::scope(|s| {
-                for (slot_chunk, idx_chunk) in out.chunks_mut(chunk).zip(indices.chunks(chunk)) {
-                    let f = &f;
-                    s.spawn(move |_| {
-                        for (slot, &i) in slot_chunk.iter_mut().zip(idx_chunk) {
-                            *slot = Some(f(i));
-                        }
-                    });
-                }
-            });
+        let scope_result = crossbeam::thread::scope(|s| {
+            for (slot_chunk, idx_chunk) in out.chunks_mut(chunk).zip(indices.chunks(chunk)) {
+                let f = &f;
+                s.spawn(move |_| {
+                    for (slot, &i) in slot_chunk.iter_mut().zip(idx_chunk) {
+                        *slot = Some(f(i));
+                    }
+                });
+            }
+        });
         if let Err(payload) = scope_result {
             // A worker panicked while training a client; re-raise the
             // original panic on this thread instead of wrapping it.
@@ -278,6 +281,11 @@ pub fn train_client(
 
 /// Classification accuracy of `model` on `dataset`, batched evaluation in
 /// [`Mode::Eval`]. Returns `0.0` for an empty dataset.
+///
+/// The `&mut` is forward-pass scratch only (dropout state, activations);
+/// parameters are untouched and eval timing is charged to the caller's
+/// span, so no tracer is threaded through.
+// lint: allow(tracer-threading)
 pub fn evaluate_accuracy(model: &mut Sequential, dataset: &Dataset, batch: usize) -> f32 {
     if dataset.is_empty() {
         return 0.0;
@@ -352,15 +360,7 @@ mod tests {
     fn training_reduces_loss_and_changes_weights() {
         let fed = tiny_federation(1);
         let global = fed.init_global();
-        let out = train_client(
-            fed.spec(),
-            &global,
-            &fed.clients()[0],
-            fed.config(),
-            None,
-            None,
-            7,
-        );
+        let out = train_client(fed.spec(), &global, &fed.clients()[0], fed.config(), None, None, 7);
         assert_ne!(out.final_flat, global);
         assert_ne!(out.first_epoch_flat, out.final_flat);
         assert!(out.mean_train_loss.is_finite());

@@ -88,9 +88,8 @@ impl History {
     /// external plotting. Unevaluated rounds leave the accuracy cell
     /// empty.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "round,avg_acc,cum_bytes,avg_pruned_params,avg_pruned_channels\n",
-        );
+        let mut out =
+            String::from("round,avg_acc,cum_bytes,avg_pruned_params,avg_pruned_channels\n");
         for r in &self.records {
             let acc = r.avg_acc.map_or(String::new(), |a| format!("{a:.6}"));
             out.push_str(&format!(

@@ -107,10 +107,7 @@ pub fn check_update_shape(
     expected: usize,
 ) -> Result<(), InvariantViolation> {
     if params.len() != expected {
-        return Err(InvariantViolation::UpdateLengthMismatch {
-            expected,
-            got: params.len(),
-        });
+        return Err(InvariantViolation::UpdateLengthMismatch { expected, got: params.len() });
     }
     if mask.len() != expected {
         return Err(InvariantViolation::MaskLengthMismatch { expected, got: mask.len() });
@@ -177,9 +174,7 @@ pub fn check_aggregation_coverage(
     if updates.is_empty() || positions == 0 {
         return Ok(());
     }
-    let covered = updates
-        .iter()
-        .any(|(_, mask)| mask.iter().copied().any(subfed_nn::is_kept));
+    let covered = updates.iter().any(|(_, mask)| mask.iter().copied().any(subfed_nn::is_kept));
     if covered {
         Ok(())
     } else {
@@ -289,10 +284,7 @@ mod tests {
             Err(InvariantViolation::NoCoverage { positions: 2 })
         );
         // One kept position anywhere is enough.
-        let one_kept = vec![
-            (vec![1.0, 2.0], vec![0.0, 0.0]),
-            (vec![3.0, 4.0], vec![0.0, 1.0]),
-        ];
+        let one_kept = vec![(vec![1.0, 2.0], vec![0.0, 0.0]), (vec![3.0, 4.0], vec![0.0, 1.0])];
         assert_eq!(check_aggregation_coverage(&one_kept, 2), Ok(()));
         // Empty cohort and empty model are owned by other asserts.
         assert_eq!(check_aggregation_coverage(&[], 2), Ok(()));
@@ -329,15 +321,10 @@ mod tests {
         let sink = Arc::new(VecSink::new());
         let tracer = Tracer::new(sink.clone());
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            enforce_with(&tracer, 2, "gate client 1", || {
-                check_hamming_domain(f32::NAN)
-            });
+            enforce_with(&tracer, 2, "gate client 1", || check_hamming_domain(f32::NAN));
         }));
         let payload = result.expect_err("debug enforcement must panic");
-        let msg = payload
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("invariant violated at gate client 1 (round 2)"), "{msg}");
         // The trace event was emitted before the panic.
         assert_eq!(sink.len(), 1);

@@ -11,8 +11,7 @@ use subfed_data::{
 use subfed_nn::models::ModelSpec;
 
 /// Which heterogeneity generator splits the data across clients.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum PartitionKind {
     /// The paper's pathological 2-shard label skew (§4.1).
     #[default]
@@ -28,7 +27,6 @@ pub enum PartitionKind {
         skew: f32,
     },
 }
-
 
 /// The four benchmark stand-ins of the paper's §4.1, each paired with the
 /// architecture the paper trains on it.
@@ -173,10 +171,7 @@ mod tests {
     #[test]
     fn federation_builds_for_every_kind() {
         for kind in DatasetKind::ALL {
-            let fed = kind.federation(
-                6,
-                FedConfig { rounds: 2, seed: 3, ..Default::default() },
-            );
+            let fed = kind.federation(6, FedConfig { rounds: 2, seed: 3, ..Default::default() });
             assert_eq!(fed.num_clients(), 6);
             assert_eq!(fed.spec().classes(), kind.classes());
         }

@@ -88,8 +88,7 @@ pub fn encode_update(params: &[f32], mask: &[f32]) -> Vec<u8> {
     assert_eq!(params.len(), mask.len(), "params/mask length mismatch");
     assert!(params.len() <= u32::MAX as usize, "model too large for wire format");
     let kept = mask.iter().filter(|&&m| is_kept(m)).count();
-    let mut buf =
-        BytesMut::with_capacity(8 + mask_bytes(mask.len()) as usize + 4 * kept);
+    let mut buf = BytesMut::with_capacity(8 + mask_bytes(mask.len()) as usize + 4 * kept);
     buf.put_u16_le(MAGIC);
     buf.put_u16_le(0); // reserved
     buf.put_u32_le(params.len() as u32);
@@ -226,10 +225,7 @@ mod tests {
         assert_eq!(buf.len() as u64, encoded_len(params.len(), kept));
         // Header is 8 bytes; the rest is exactly the comm model's charge.
         use subfed_metrics::comm::{mask_bytes, masked_transfer_bytes};
-        assert_eq!(
-            buf.len() as u64 - 8,
-            masked_transfer_bytes(kept) + mask_bytes(params.len())
-        );
+        assert_eq!(buf.len() as u64 - 8, masked_transfer_bytes(kept) + mask_bytes(params.len()));
     }
 
     #[test]
@@ -282,8 +278,8 @@ mod tests {
         // Every strict prefix must produce a typed error, never a panic —
         // one client's half-written upload must not abort the server.
         for cut in 0..buf.len() {
-            let err = decode_update(&buf[..cut])
-                .expect_err("prefix of {cut} bytes decoded successfully");
+            let err =
+                decode_update(&buf[..cut]).expect_err("prefix of {cut} bytes decoded successfully");
             match err {
                 WireError::TruncatedHeader { got } => assert_eq!(got, cut),
                 WireError::TruncatedMask { needed, got } => {
@@ -316,10 +312,7 @@ mod tests {
         // must be reported as truncation.
         let mut oversized = buf.clone();
         oversized[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert!(matches!(
-            decode_update(&oversized),
-            Err(WireError::TruncatedMask { .. })
-        ));
+        assert!(matches!(decode_update(&oversized), Err(WireError::TruncatedMask { .. })));
     }
 
     #[test]

@@ -85,11 +85,8 @@ fn subfedavg_un_trace_covers_every_phase() {
         );
     }
     // One round_end per round, in order.
-    let ends: Vec<usize> = events
-        .iter()
-        .filter(|e| e.kind() == "round_end")
-        .map(|e| e.round())
-        .collect();
+    let ends: Vec<usize> =
+        events.iter().filter(|e| e.kind() == "round_end").map(|e| e.round()).collect();
     assert_eq!(ends, vec![1, 2, 3]);
     // Every gate decision carries a documented reason tag.
     for e in &events {
@@ -108,7 +105,29 @@ fn subfedavg_un_trace_covers_every_phase() {
 fn trace_content_is_identical_across_thread_counts() {
     let one = canonicalize(&traced_un_run(1, 0.0));
     let three = canonicalize(&traced_un_run(3, 0.0));
+    let four = canonicalize(&traced_un_run(4, 0.0));
     assert_eq!(one, three, "canonical trace differs between threads=1 and threads=3");
+    assert_eq!(one, four, "canonical trace differs between threads=1 and threads=4");
+}
+
+#[test]
+fn seq_numbers_are_dense_and_unique_across_worker_threads() {
+    // The emission counter is shared across tracer clones, so even with 4
+    // worker threads the recorded seqs form exactly {0, 1, …, n-1} — the
+    // canonical total order `subfed-lint conform` replays. seq lives in
+    // the JSONL envelope, not the event, so canonicalize (asserted above)
+    // is untouched by which thread drew which number.
+    let sink = Arc::new(VecSink::new());
+    let fed = federation(3, 4, 0.0).with_tracer(Tracer::new(sink.clone()));
+    let mut controller = UnstructuredController::paper_defaults(0.5);
+    controller.acc_threshold = 0.0;
+    controller.rate = 0.2;
+    let _ = SubFedAvgUn::with_controller(fed, controller).run();
+    let mut seqs: Vec<u64> = sink.seq_snapshot().iter().map(|(s, _)| *s).collect();
+    let n = seqs.len() as u64;
+    assert!(n > 0);
+    seqs.sort_unstable();
+    assert_eq!(seqs, (0..n).collect::<Vec<_>>(), "seqs are not dense 0..n");
 }
 
 #[test]
@@ -117,8 +136,7 @@ fn dropout_injection_is_traced() {
     // rounds of a 3-client cohort (and the run itself stays deterministic,
     // so so does the trace).
     let events = traced_un_run(1, 0.6);
-    let dropped: Vec<&TraceEvent> =
-        events.iter().filter(|e| e.kind() == "dropout").collect();
+    let dropped: Vec<&TraceEvent> = events.iter().filter(|e| e.kind() == "dropout").collect();
     assert!(!dropped.is_empty(), "no dropout events despite 60% dropout");
     // Every dropout names a sampled non-survivor of its round.
     for e in &dropped {

@@ -184,11 +184,8 @@ mod tests {
     use super::*;
 
     fn toy(n: usize) -> Dataset {
-        let images = Tensor::from_vec(
-            vec![n, 1, 2, 2],
-            (0..n * 4).map(|v| v as f32).collect(),
-        )
-        .unwrap();
+        let images =
+            Tensor::from_vec(vec![n, 1, 2, 2], (0..n * 4).map(|v| v as f32).collect()).unwrap();
         let labels = (0..n).map(|i| i % 3).collect();
         Dataset::new(images, labels)
     }
@@ -211,13 +208,8 @@ mod tests {
         assert_eq!(b.len(), 7);
         // Together they hold every original row exactly once (match on the
         // unique first pixel of each row).
-        let mut firsts: Vec<f32> = a
-            .images()
-            .data()
-            .chunks(4)
-            .chain(b.images().data().chunks(4))
-            .map(|c| c[0])
-            .collect();
+        let mut firsts: Vec<f32> =
+            a.images().data().chunks(4).chain(b.images().data().chunks(4)).map(|c| c[0]).collect();
         firsts.sort_by(f32::total_cmp);
         let expected: Vec<f32> = (0..10).map(|i| (i * 4) as f32).collect();
         assert_eq!(firsts, expected);

@@ -82,10 +82,7 @@ pub fn partition_dirichlet(
 ) -> Vec<ClientData> {
     assert!(config.num_clients > 0, "need at least one client");
     assert!(config.alpha > 0.0, "alpha must be positive");
-    assert!(
-        (0.0..1.0).contains(&config.val_fraction),
-        "val_fraction must be in [0, 1)"
-    );
+    assert!((0.0..1.0).contains(&config.val_fraction), "val_fraction must be in [0, 1)");
     assert!(
         config.min_per_client * config.num_clients <= train.len(),
         "cannot guarantee {} examples for each of {} clients out of {}",
@@ -257,12 +254,8 @@ mod tests {
         let mut rng = SeededRng::new(11);
         for shape in [0.3f32, 1.0, 2.5] {
             let n = 4000;
-            let mean: f32 =
-                (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f32>() / n as f32;
-            assert!(
-                (mean - shape).abs() < 0.15 * shape.max(1.0),
-                "gamma({shape}) mean {mean}"
-            );
+            let mean: f32 = (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f32>() / n as f32;
+            assert!((mean - shape).abs() < 0.15 * shape.max(1.0), "gamma({shape}) mean {mean}");
         }
     }
 

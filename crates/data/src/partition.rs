@@ -267,8 +267,7 @@ mod tests {
                 assert!(c.labels.contains(&l), "client {} test has foreign label {l}", c.id);
             }
             // All test examples of the owned labels are present.
-            let expected: usize =
-                s.test().labels().iter().filter(|l| c.labels.contains(l)).count();
+            let expected: usize = s.test().labels().iter().filter(|l| c.labels.contains(l)).count();
             assert_eq!(c.test.len(), expected);
         }
     }
@@ -303,13 +302,7 @@ mod tests {
     }
 
     fn qs_config(skew: f32) -> QuantitySkewConfig {
-        QuantitySkewConfig {
-            num_clients: 5,
-            skew,
-            min_per_client: 8,
-            val_fraction: 0.1,
-            seed: 11,
-        }
+        QuantitySkewConfig { num_clients: 5, skew, min_per_client: 8, val_fraction: 0.1, seed: 11 }
     }
 
     #[test]
@@ -328,10 +321,7 @@ mod tests {
         let s = synth();
         let parts = partition_quantity_skew(s.train(), s.test(), &qs_config(1.5));
         let sizes: Vec<usize> = parts.iter().map(|c| c.train.len() + c.val.len()).collect();
-        assert!(
-            sizes[0] > 2 * sizes[4],
-            "heavy skew should make client 0 much bigger: {sizes:?}"
-        );
+        assert!(sizes[0] > 2 * sizes[4], "heavy skew should make client 0 much bigger: {sizes:?}");
     }
 
     #[test]

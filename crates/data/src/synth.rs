@@ -232,10 +232,7 @@ fn sample_split(
             labels.push(class);
         }
     }
-    Dataset::new(
-        Tensor::from_vec(vec![n, c, h, w], data).expect("synth dataset shape"),
-        labels,
-    )
+    Dataset::new(Tensor::from_vec(vec![n, c, h, w], data).expect("synth dataset shape"), labels)
 }
 
 #[cfg(test)]
@@ -297,10 +294,7 @@ mod tests {
     fn same_class_samples_are_closer_than_cross_class() {
         // The defining property of a class-prototype dataset: within-class
         // distance is smaller than between-class distance on average.
-        let s = SynthVision::generate(SynthConfig {
-            noise_std: 0.1,
-            ..small_config()
-        });
+        let s = SynthVision::generate(SynthConfig { noise_std: 0.1, ..small_config() });
         let ds = s.train();
         let sl: usize = ds.sample_shape().iter().product();
         let dist = |i: usize, j: usize| -> f32 {

@@ -110,10 +110,7 @@ pub fn lex(source: &str) -> Lexed {
             // lifetime; everything else is a char literal.
             let after = chars.get(quote + 1).copied();
             let closes = chars.get(quote + 2).copied() == Some('\'');
-            if c == '\''
-                && after.is_some_and(|a| a.is_alphabetic() || a == '_')
-                && !closes
-            {
+            if c == '\'' && after.is_some_and(|a| a.is_alphabetic() || a == '_') && !closes {
                 let mut j = quote + 1;
                 while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
                     j += 1;
@@ -233,8 +230,7 @@ fn scan_number(chars: &[char], start: usize) -> (usize, bool) {
     let mut i = start;
     let mut is_float = false;
     // Hex/octal/binary literals are always integers.
-    if chars[i] == '0'
-        && matches!(chars.get(i + 1), Some('x') | Some('o') | Some('b') | Some('X'))
+    if chars[i] == '0' && matches!(chars.get(i + 1), Some('x') | Some('o') | Some('b') | Some('X'))
     {
         i += 2;
         while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
@@ -249,8 +245,7 @@ fn scan_number(chars: &[char], start: usize) -> (usize, bool) {
     // (range) or an identifier start (method call on a literal).
     if chars.get(i) == Some(&'.') {
         let after = chars.get(i + 1).copied();
-        let method_or_range =
-            after.is_some_and(|a| a == '.' || a.is_alphabetic() || a == '_');
+        let method_or_range = after.is_some_and(|a| a == '.' || a.is_alphabetic() || a == '_');
         if !method_or_range {
             is_float = true;
             i += 1;
@@ -290,11 +285,8 @@ fn parse_allow(comment: &str, line: usize) -> Option<AllowDirective> {
     let body = comment.trim_start_matches('/').trim();
     let rest = body.strip_prefix("lint:")?.trim();
     let inner = rest.strip_prefix("allow(")?.split(')').next()?;
-    let rules: Vec<String> = inner
-        .split(',')
-        .map(|r| r.trim().to_string())
-        .filter(|r| !r.is_empty())
-        .collect();
+    let rules: Vec<String> =
+        inner.split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
     if rules.is_empty() {
         None
     } else {
@@ -338,18 +330,17 @@ mod tests {
     fn lines_are_tracked_through_multiline_constructs() {
         let src = "let a = 1;\n/* two\nlines */\nlet b = 2;\n";
         let lexed = lex(src);
-        let b = lexed
-            .tokens
-            .iter()
-            .find(|t| t.kind == TokenKind::Ident("b".into()))
-            .unwrap();
+        let b = lexed.tokens.iter().find(|t| t.kind == TokenKind::Ident("b".into())).unwrap();
         assert_eq!(b.line, 4);
     }
 
     #[test]
     fn float_vs_int_vs_method_call() {
-        let kinds: Vec<TokenKind> =
-            lex("1.0 2 3e-4 5f32 0x5FA1 7.max(2) 0..3").tokens.into_iter().map(|t| t.kind).collect();
+        let kinds: Vec<TokenKind> = lex("1.0 2 3e-4 5f32 0x5FA1 7.max(2) 0..3")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
         assert!(kinds.contains(&TokenKind::Float)); // 1.0
         let floats = kinds.iter().filter(|k| **k == TokenKind::Float).count();
         assert_eq!(floats, 3, "1.0, 3e-4, 5f32: {kinds:?}");
@@ -360,8 +351,7 @@ mod tests {
     #[test]
     fn lifetimes_are_not_char_literals() {
         let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
-        let lifetimes =
-            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let lifetimes = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
         let charlits = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Char).count();
         assert_eq!(lifetimes, 2);
         assert_eq!(charlits, 1);
@@ -379,12 +369,67 @@ mod tests {
     }
 
     #[test]
-    fn escaped_quotes_do_not_end_strings() {
-        let lexed = lex(r#"let s = "a\"unwrap()\"b"; done();"#);
-        assert!(lexed
+    fn raw_strings_with_hash_guards_hide_quotes_and_tokens() {
+        let src = r####"let a = r#"inner "quoted" unwrap()"#; let b = r##"nested "# guard"##; after();"####;
+        let lexed = lex(src);
+        let strs = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Str).count();
+        assert_eq!(strs, 2, "{:?}", lexed.tokens);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Ident("after".into())));
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokenKind::Ident("unwrap".into())));
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth_and_lines() {
+        let src =
+            "before();\n/* outer /* inner\n/* deeper */ still inner */\nouter tail */ after();";
+        let lexed = lex(src);
+        let ids = lexed
             .tokens
             .iter()
-            .any(|t| t.kind == TokenKind::Ident("done".into())));
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some((s.clone(), t.line)),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(
+            ids,
+            vec![("before".to_string(), 1), ("after".to_string(), 4)],
+            "nested comment swallowed the wrong span"
+        );
+    }
+
+    #[test]
+    fn char_literals_holding_quote_and_equals_stay_closed() {
+        // A lexer that mistakes '"' for a string opener would swallow the
+        // rest of the file; one that mistakes '=' for punctuation would
+        // hand float-eq a bogus comparison.
+        let src = "let q = '\"'; let e = '='; let esc = '\\''; done();";
+        let lexed = lex(src);
+        let chars = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(chars, 3, "{:?}", lexed.tokens);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Ident("done".into())));
+        // Exactly the three `let` assignments produce '=' punctuation; the
+        // '=' inside the char literal must not leak out.
+        let eqs = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Punct('=')).count();
+        assert_eq!(eqs, 3, "{:?}", lexed.tokens);
+    }
+
+    #[test]
+    fn allow_directives_inside_cfg_test_modules_are_still_collected() {
+        // The lexer reports every directive; exempting test modules is the
+        // rule engine's job (it needs the token ranges to decide).
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); } // lint: allow(no-unwrap)\n}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].line, 3);
+        assert_eq!(lexed.allows[0].rules, vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lexed = lex(r#"let s = "a\"unwrap()\"b"; done();"#);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Ident("done".into())));
         assert!(!lexed.tokens.iter().any(|t| t.kind == TokenKind::Ident("unwrap".into())));
     }
 }

@@ -1,8 +1,13 @@
 //! # subfed-lint
 //!
-//! In-repo static analysis for the Sub-FedAvg workspace: a dependency-free
-//! Rust lexer plus a rule engine that reports federated-learning-specific
-//! hazards the compiler cannot see.
+//! In-repo analysis for the Sub-FedAvg workspace, in two halves:
+//!
+//! * **`check`** — dependency-free static analysis: a Rust lexer
+//!   ([`lexer`]) plus a rule engine ([`rules`], [`scope`]) that reports
+//!   federated-learning-specific hazards the compiler cannot see;
+//! * **`conform`** — an offline protocol verifier: an executable
+//!   state-machine spec of the federation round ([`spec`]) replayed over
+//!   JSONL traces ([`conform`]).
 //!
 //! | Rule | Hazard |
 //! |---|---|
@@ -10,16 +15,26 @@
 //! | `float-eq` | `==`/`!=` against float literals — a NaN accuracy or Δ silently falls through every equality gate |
 //! | `unchecked-index` | direct `buf[i]` indexing of mask/param/weight buffers — shape conformance should be checked once, not per access |
 //! | `must-use-result` | `pub fn … -> Result` without `#[must_use]` — dropped errors are how masks and models drift apart |
+//! | `mask-mutation-after-upload` | *(scope-aware)* a client mask mutated after the upload was charged — trace and state disagree |
+//! | `tracer-threading` | *(scope-aware)* `pub fn` taking `&mut` model/mask state but no `Tracer` — an observability hole |
+//! | `stale-allow` | a `// lint: allow(…)` comment that no longer suppresses anything |
 //!
 //! Suppress an intentional occurrence with `// lint: allow(rule-id)` on
-//! the same line or the line above. Rule catalog, allow syntax, and CI
-//! wiring: `docs/STATIC_ANALYSIS.md`.
+//! the same line or the line above (stale allows are themselves flagged).
+//! Rule catalog, allow syntax, and CI wiring: `docs/STATIC_ANALYSIS.md`.
+//! The round-protocol spec and its predicate table: `docs/PROTOCOL.md`.
 //!
-//! Run it with `cargo run -p subfed-lint -- check`.
+//! Run it with `cargo run -p subfed-lint -- check` or
+//! `cargo run -p subfed-lint -- conform trace.jsonl`.
 
+pub mod conform;
 pub mod lexer;
 pub mod rules;
+pub mod scope;
+pub mod spec;
 pub mod walk;
 
+pub use conform::{verify_events, verify_reader, ConformReport};
 pub use rules::{analyze_source, Finding, ALL_RULES};
+pub use spec::{ProtocolSpec, Violation};
 pub use walk::{check_workspace, find_workspace_root, Report, TARGET_CRATES};

@@ -2,16 +2,23 @@
 //!
 //! ```text
 //! subfed-lint check [--root DIR] [--format text|json]   # exit 1 on findings
+//! subfed-lint conform [FILE] [--format text|json]       # verify a JSONL trace
 //! subfed-lint rules                                     # print the catalog
 //! ```
+//!
+//! `conform` replays a `--trace` JSONL log (from FILE, or stdin when FILE
+//! is absent or `-`) against the executable round-protocol spec and exits
+//! 0 when the trace conforms, 1 on protocol violations, 2 when the input
+//! could not be read or parsed.
 
+use std::io::BufReader;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use subfed_lint::rules::rule_description;
-use subfed_lint::{check_workspace, find_workspace_root, ALL_RULES};
+use subfed_lint::{check_workspace, find_workspace_root, verify_reader, ALL_RULES};
 
 fn usage() -> &'static str {
-    "usage: subfed-lint <check|rules> [--root DIR] [--format text|json]"
+    "usage: subfed-lint <check|conform|rules> [FILE] [--root DIR] [--format text|json]"
 }
 
 fn main() -> ExitCode {
@@ -28,11 +35,60 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "check" => run_check(&args[1..]),
+        "conform" => run_conform(&args[1..]),
         other => {
             eprintln!("unknown command `{other}`\n{}", usage());
             ExitCode::from(2)
         }
     }
+}
+
+fn run_conform(flags: &[String]) -> ExitCode {
+    let mut file: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some(v @ ("text" | "json")) => format = v.to_string(),
+                _ => {
+                    eprintln!("--format must be text or json\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            other if !other.starts_with("--") && file.is_none() => {
+                file = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match file.as_deref().filter(|p| *p != std::path::Path::new("-")) {
+        Some(path) => match std::fs::File::open(path) {
+            Ok(f) => verify_reader(BufReader::new(f)),
+            Err(e) => {
+                eprintln!("cannot open {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => verify_reader(std::io::stdin().lock()),
+    };
+    if format == "json" {
+        for v in &report.violations {
+            println!("{}", v.to_json());
+        }
+    } else {
+        for e in &report.parse_errors {
+            eprintln!("conform: {e}");
+        }
+        for v in &report.violations {
+            println!("{}", v.render());
+        }
+        print!("{}", report.summary());
+    }
+    ExitCode::from(report.exit_code())
 }
 
 fn run_check(flags: &[String]) -> ExitCode {

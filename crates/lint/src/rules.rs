@@ -1,11 +1,15 @@
 //! The FL-specific rule catalog and the engine that applies it to one
 //! lexed file.
 //!
-//! Each rule pattern-matches over the flat token stream from
-//! [`crate::lexer::lex`]. Findings inside `#[cfg(test)] mod … { … }`
-//! blocks are dropped (test code may unwrap freely), and a
-//! `// lint: allow(rule-id)` comment on the same line or the line above
-//! suppresses a finding while keeping it countable.
+//! Each token rule pattern-matches over the flat token stream from
+//! [`crate::lexer::lex`]; the scope-aware rules in [`crate::scope`] are
+//! run from here on the files they apply to. Findings inside
+//! `#[cfg(test)] mod … { … }` blocks are dropped (test code may unwrap
+//! freely), and a `// lint: allow(rule-id)` comment on the same line or
+//! the line above suppresses a finding while keeping it countable. After
+//! suppression, allow directives that suppressed nothing are reported as
+//! [`STALE_ALLOW`] — an audit of the escape hatch itself, which is why
+//! that rule can never be suppressed.
 
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -17,9 +21,20 @@ pub const FLOAT_EQ: &str = "float-eq";
 pub const UNCHECKED_INDEX: &str = "unchecked-index";
 /// Identifier of the `#[must_use]`-on-`Result` rule.
 pub const MUST_USE_RESULT: &str = "must-use-result";
+/// Identifier of the stale-suppression audit (never itself suppressible).
+pub const STALE_ALLOW: &str = "stale-allow";
 
-/// Every rule id, in reporting order.
-pub const ALL_RULES: [&str; 4] = [NO_UNWRAP, FLOAT_EQ, UNCHECKED_INDEX, MUST_USE_RESULT];
+/// Every rule id, in reporting order (the two scope-aware rules live in
+/// [`crate::scope`]).
+pub const ALL_RULES: [&str; 7] = [
+    NO_UNWRAP,
+    FLOAT_EQ,
+    UNCHECKED_INDEX,
+    MUST_USE_RESULT,
+    crate::scope::MASK_MUTATION_AFTER_UPLOAD,
+    crate::scope::TRACER_THREADING,
+    STALE_ALLOW,
+];
 
 /// One-line description of a rule, for `subfed-lint rules`.
 pub fn rule_description(rule: &str) -> &'static str {
@@ -37,6 +52,18 @@ pub fn rule_description(rule: &str) -> &'static str {
              or zip so length conformance is checked once, not per access"
         }
         MUST_USE_RESULT => "pub fn returning Result should carry #[must_use]",
+        rule if rule == crate::scope::MASK_MUTATION_AFTER_UPLOAD => {
+            "a client mask is mutated after the round's Upload emission in \
+             engine/algorithm code; the traced byte count no longer matches"
+        }
+        rule if rule == crate::scope::TRACER_THREADING => {
+            "pub engine/algorithm fn takes &mut model/mask state but no \
+             Tracer; new code paths through it dodge observability"
+        }
+        STALE_ALLOW => {
+            "a `// lint: allow(…)` comment that suppresses no finding; \
+             remove it so suppressions stay justified"
+        }
         _ => "unknown rule",
     }
 }
@@ -98,8 +125,7 @@ pub fn analyze_source(file_label: &str, source: &str) -> Vec<Finding> {
     let lexed = lex(source);
     let test_ranges = test_module_ranges(&lexed.tokens);
     let mut findings = Vec::new();
-    let in_tests =
-        |idx: usize| test_ranges.iter().any(|&(lo, hi)| idx >= lo && idx <= hi);
+    let in_tests = |idx: usize| test_ranges.iter().any(|&(lo, hi)| idx >= lo && idx <= hi);
 
     let toks = &lexed.tokens;
     for i in 0..toks.len() {
@@ -111,24 +137,55 @@ pub fn analyze_source(file_label: &str, source: &str) -> Vec<Finding> {
         check_unchecked_index(file_label, toks, i, &mut findings);
         check_must_use(file_label, toks, i, &mut findings);
     }
+    if crate::scope::applies_to(file_label) {
+        findings.extend(crate::scope::scope_rules(file_label, toks, &test_ranges));
+    }
 
     for f in &mut findings {
         f.suppressed = lexed.allows.iter().any(|a| {
-            (a.line == f.line || a.line + 1 == f.line)
-                && a.rules.iter().any(|r| r == f.rule)
+            (a.line == f.line || a.line + 1 == f.line) && a.rules.iter().any(|r| r == f.rule)
         });
+    }
+
+    // Stale-suppression audit: every allow directive must still earn its
+    // keep by silencing at least one real finding at its site. Directives
+    // inside `#[cfg(test)] mod` blocks are exempt (their findings were
+    // never computed), and `stale-allow` findings are appended after the
+    // suppression pass, so they can never be allowed away.
+    let test_lines: Vec<(usize, usize)> =
+        test_ranges.iter().map(|&(lo, hi)| (toks[lo].line, toks[hi].line)).collect();
+    for a in &lexed.allows {
+        if test_lines.iter().any(|&(lo, hi)| a.line >= lo && a.line <= hi) {
+            continue;
+        }
+        for rule in &a.rules {
+            let earns_keep = findings
+                .iter()
+                .any(|f| f.rule == rule.as_str() && (a.line == f.line || a.line + 1 == f.line));
+            if !earns_keep {
+                findings.push(Finding {
+                    file: file_label.to_string(),
+                    line: a.line,
+                    rule: STALE_ALLOW,
+                    message: format!(
+                        "allow({rule}) suppresses nothing here; remove the stale directive"
+                    ),
+                    suppressed: false,
+                });
+            }
+        }
     }
     findings
 }
 
-fn ident(t: &Token) -> Option<&str> {
+pub(crate) fn ident(t: &Token) -> Option<&str> {
     match &t.kind {
         TokenKind::Ident(s) => Some(s.as_str()),
         _ => None,
     }
 }
 
-fn punct(t: &Token) -> Option<char> {
+pub(crate) fn punct(t: &Token) -> Option<char> {
     match t.kind {
         TokenKind::Punct(c) => Some(c),
         _ => None,
@@ -142,7 +199,7 @@ fn test_module_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
     while i < toks.len() {
         if is_cfg_test_attr(toks, i) {
             let mut j = i + 7; // past `#[cfg(test)]`
-            // Skip further attributes between the cfg and the item.
+                               // Skip further attributes between the cfg and the item.
             while toks.get(j).and_then(punct) == Some('#')
                 && toks.get(j + 1).and_then(punct) == Some('[')
             {
@@ -249,7 +306,7 @@ fn skip_attr(toks: &[Token], i: usize) -> usize {
 }
 
 /// Index of the `}` matching the `{` at `open`.
-fn matching_brace(toks: &[Token], open: usize) -> usize {
+pub(crate) fn matching_brace(toks: &[Token], open: usize) -> usize {
     let mut depth = 0;
     for (j, t) in toks.iter().enumerate().skip(open) {
         match punct(t) {
@@ -404,9 +461,7 @@ fn check_must_use(file: &str, toks: &[Token], i: usize, out: &mut Vec<Finding>) 
         match punct(&toks[k]) {
             Some('(') | Some('[') => depth += 1,
             Some(')') | Some(']') => depth -= 1,
-            Some('-')
-                if depth == 0 && toks.get(k + 1).and_then(punct) == Some('>') =>
-            {
+            Some('-') if depth == 0 && toks.get(k + 1).and_then(punct) == Some('>') => {
                 arrow = Some(k + 2);
                 break;
             }
@@ -490,10 +545,7 @@ mod tests {
     use super::*;
 
     fn unsuppressed(src: &str) -> Vec<Finding> {
-        analyze_source("fixture.rs", src)
-            .into_iter()
-            .filter(|f| !f.suppressed)
-            .collect()
+        analyze_source("fixture.rs", src).into_iter().filter(|f| !f.suppressed).collect()
     }
 
     #[test]
@@ -538,7 +590,49 @@ mod tests {
     #[test]
     fn allow_of_other_rule_does_not_suppress() {
         let src = "fn f() { x.unwrap(); } // lint: allow(float-eq)";
-        assert_eq!(unsuppressed(src).len(), 1);
+        let fs = unsuppressed(src);
+        // The unwrap stays live, and the useless directive is itself
+        // flagged by the stale-suppression audit.
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs.iter().any(|f| f.rule == NO_UNWRAP));
+        assert!(fs.iter().any(|f| f.rule == STALE_ALLOW));
+    }
+
+    #[test]
+    fn stale_allow_is_flagged_and_live_allow_is_not() {
+        let src = "fn f() {\n  x.unwrap(); // lint: allow(no-unwrap)\n  y.ok(); // lint: allow(no-unwrap)\n}";
+        let fs = unsuppressed(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, STALE_ALLOW);
+        assert_eq!(fs[0].line, 3);
+        assert!(fs[0].message.contains("allow(no-unwrap)"));
+    }
+
+    #[test]
+    fn stale_allow_cannot_be_suppressed() {
+        let src = "fn f() {\n  // lint: allow(stale-allow)\n  x.ok(); // lint: allow(no-unwrap)\n}";
+        let fs = unsuppressed(src);
+        // Both directives are stale: the first allows a rule that never
+        // fires (and could not be silenced even by itself), the second
+        // covers a line with no finding.
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == STALE_ALLOW));
+    }
+
+    #[test]
+    fn allow_of_unknown_rule_is_stale() {
+        let src = "fn f() { x.ok(); } // lint: allow(no-such-rule)";
+        let fs = unsuppressed(src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, STALE_ALLOW);
+    }
+
+    #[test]
+    fn allow_inside_cfg_test_module_is_exempt_from_the_audit() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() {\n    x.unwrap(); // lint: allow(no-unwrap)\n  }\n}";
+        // The directive suppresses nothing (test findings are never
+        // computed) but sits inside the test module, so it is not stale.
+        assert!(unsuppressed(src).is_empty(), "{:?}", unsuppressed(src));
     }
 
     #[test]

@@ -36,11 +36,7 @@ impl Report {
             .iter()
             .map(|&rule| {
                 let total = self.findings.iter().filter(|f| f.rule == rule).count();
-                let sup = self
-                    .findings
-                    .iter()
-                    .filter(|f| f.rule == rule && f.suppressed)
-                    .count();
+                let sup = self.findings.iter().filter(|f| f.rule == rule && f.suppressed).count();
                 (rule, total, sup)
             })
             .collect()
@@ -51,10 +47,7 @@ impl Report {
         let mut s = String::new();
         s.push_str(&format!("scanned {} files\n", self.files_scanned));
         for (rule, total, sup) in self.per_rule_counts() {
-            s.push_str(&format!(
-                "  {rule:<18} {:>3} finding(s), {sup} allowed\n",
-                total
-            ));
+            s.push_str(&format!("  {rule:<18} {:>3} finding(s), {sup} allowed\n", total));
         }
         let live = self.unsuppressed().len();
         if live == 0 {
@@ -90,11 +83,8 @@ pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
 /// Recursively lists `.rs` files under `dir`, sorted for deterministic
 /// output.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries =
-        fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
-    let mut paths: Vec<PathBuf> = entries
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
+    let entries = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
     paths.sort();
     for p in paths {
         if p.is_dir() {
@@ -127,8 +117,7 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
         let mut sources: BTreeMap<PathBuf, String> = BTreeMap::new();
         let mut test_files: Vec<PathBuf> = Vec::new();
         for f in &files {
-            let text =
-                fs::read_to_string(f).map_err(|e| format!("read {}: {e}", f.display()))?;
+            let text = fs::read_to_string(f).map_err(|e| format!("read {}: {e}", f.display()))?;
             for m in cfg_test_mod_decls(&text) {
                 let dir = f.parent().unwrap_or(&src);
                 test_files.push(dir.join(format!("{m}.rs")));
@@ -141,18 +130,13 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
             if test_files.iter().any(|t| t == path) {
                 continue;
             }
-            let label = path
-                .strip_prefix(root)
-                .unwrap_or(path)
-                .to_string_lossy()
-                .replace('\\', "/");
+            let label =
+                path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
             report.findings.extend(analyze_source(&label, text));
             report.files_scanned += 1;
         }
     }
-    report.findings.sort_by(|a, b| {
-        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
-    });
+    report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(report)
 }
 
@@ -175,10 +159,7 @@ mod tests {
         assert!(report.files_scanned >= 30, "only {} files", report.files_scanned);
         // tests_support.rs is declared `#[cfg(test)] mod` by subfed-core
         // and must not be scanned.
-        assert!(report
-            .findings
-            .iter()
-            .all(|f| !f.file.contains("tests_support")));
+        assert!(report.findings.iter().all(|f| !f.file.contains("tests_support")));
     }
 
     #[test]

@@ -51,9 +51,7 @@ pub fn pack_mask(mask: &[f32]) -> Vec<u8> {
 
 /// Unpacks a bit-packed mask back into 0/1 floats.
 pub fn unpack_mask(bytes: &[u8], len: usize) -> Vec<f32> {
-    (0..len)
-        .map(|i| if bytes[i / 8] & (1 << (i % 8)) != 0 { 1.0 } else { 0.0 })
-        .collect()
+    (0..len).map(|i| if bytes[i / 8] & (1 << (i % 8)) != 0 { 1.0 } else { 0.0 }).collect()
 }
 
 /// Total cost of a dense-FedAvg-style run: `R` rounds, `clients_per_round`

@@ -26,8 +26,7 @@ impl MeanStd {
         let n = values.len();
         let mean = values.iter().sum::<f64>() / n as f64;
         let std = if n > 1 {
-            (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64)
-                .sqrt()
+            (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64).sqrt()
         } else {
             0.0
         };

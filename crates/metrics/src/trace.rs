@@ -17,11 +17,19 @@
 //! `assert_eq!`. Timestamps are durations in microseconds — never
 //! wall-clock epochs — so traces are diffable across runs.
 //!
+//! **Total order**: each enabled [`Tracer`] stamps events with a monotone
+//! `seq` counter at emission time. [`JsonlSink`] persists it, and the
+//! parse side ([`TraceLine`], [`TraceReader`]) recovers it, giving offline
+//! consumers (`subfed-lint conform`) a canonical total order even for
+//! multi-threaded runs. `seq` lives in the JSONL envelope, not in
+//! [`TraceEvent`], so it never perturbs [`canonicalize`].
+//!
 //! Schema reference and worked examples: `docs/OBSERVABILITY.md`.
 
 use crate::report::Table;
 use std::fmt;
-use std::io::Write;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -40,12 +48,18 @@ pub enum TraceEvent {
         /// `sampled`).
         survivors: Vec<usize>,
     },
-    /// A sampled client dropped out of the round (failure injection).
+    /// A sampled client dropped out of the round — the explicit skip
+    /// reason for a client that appears in `sampled` but completes no
+    /// train/prune/upload pipeline.
     Dropout {
         /// 1-based round number.
         round: usize,
         /// The dropped client.
         client: usize,
+        /// Why the client was skipped, e.g. `"crash-injected"` (failure
+        /// injection via `dropout_prob`). Never empty: conformance
+        /// checking requires every skipped client to say why.
+        reason: String,
     },
     /// Server→client transfer, as charged by the communication model.
     Download {
@@ -250,10 +264,25 @@ impl TraceEvent {
 
     /// Serialises the event as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
+        self.to_json_inner(None)
+    }
+
+    /// Serialises the event with its emission sequence number — the form
+    /// [`JsonlSink`] writes. `seq` is a per-[`Tracer`] monotone counter
+    /// assigned at emission time, giving multi-threaded traces a canonical
+    /// total order that offline verifiers (`subfed-lint conform`) replay.
+    pub fn to_json_seq(&self, seq: u64) -> String {
+        self.to_json_inner(Some(seq))
+    }
+
+    fn to_json_inner(&self, seq: Option<u64>) -> String {
         let mut s = String::with_capacity(96);
         s.push_str("{\"ev\":\"");
         s.push_str(self.kind());
         s.push('"');
+        if let Some(seq) = seq {
+            s.push_str(&format!(",\"seq\":{seq}"));
+        }
         let num = |s: &mut String, k: &str, v: &dyn fmt::Display| {
             s.push_str(",\"");
             s.push_str(k);
@@ -280,7 +309,10 @@ impl TraceEvent {
                     arr(survivors)
                 ));
             }
-            TraceEvent::Dropout { client, .. } => num(&mut s, "client", client),
+            TraceEvent::Dropout { client, reason, .. } => {
+                num(&mut s, "client", client);
+                s.push_str(&format!(",\"reason\":\"{reason}\""));
+            }
             TraceEvent::Download { client, bytes, .. }
             | TraceEvent::Upload { client, bytes, .. } => {
                 num(&mut s, "client", client);
@@ -356,7 +388,10 @@ impl TraceEvent {
     /// Returns a description of the malformation: invalid JSON, an unknown
     /// `ev` tag, or a missing/mistyped field.
     pub fn from_json(line: &str) -> Result<TraceEvent, String> {
-        let obj = json::parse(line)?;
+        Self::from_value(&json::parse(line)?)
+    }
+
+    fn from_value(obj: &json::Value) -> Result<TraceEvent, String> {
         let get = |k: &str| -> Result<&json::Value, String> {
             obj.field(k).ok_or_else(|| format!("missing field `{k}`"))
         };
@@ -373,7 +408,11 @@ impl TraceEvent {
                 sampled: ids_of("sampled")?,
                 survivors: ids_of("survivors")?,
             }),
-            "dropout" => Ok(TraceEvent::Dropout { round, client: usize_of("client")? }),
+            "dropout" => Ok(TraceEvent::Dropout {
+                round,
+                client: usize_of("client")?,
+                reason: str_of("reason")?,
+            }),
             "download" => Ok(TraceEvent::Download {
                 round,
                 client: usize_of("client")?,
@@ -424,11 +463,9 @@ impl TraceEvent {
                 us: u64_of("us")?,
                 updates: usize_of("updates")?,
             }),
-            "eval" => Ok(TraceEvent::Eval {
-                round,
-                us: u64_of("us")?,
-                avg_acc: f32_of("avg_acc")?,
-            }),
+            "eval" => {
+                Ok(TraceEvent::Eval { round, us: u64_of("us")?, avg_acc: f32_of("avg_acc")? })
+            }
             "invariant" => Ok(TraceEvent::Invariant {
                 round,
                 context: str_of("context")?,
@@ -473,10 +510,91 @@ fn sanitize_json_str(raw: &str) -> String {
         .collect()
 }
 
+/// One parsed JSON Lines trace record: the event plus the emission
+/// sequence number, when the producer recorded one.
+///
+/// [`JsonlSink`] always writes `seq`; hand-built or pre-`seq` traces may
+/// omit it, so it is optional on the parse side. Consumers that need a
+/// total order (the `subfed-lint conform` verifier) sort by `seq` when
+/// every record carries one and otherwise fall back to file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLine {
+    /// Emission sequence number (monotone per tracer), if recorded.
+    pub seq: Option<u64>,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl TraceLine {
+    /// Parses one JSON Lines record produced by [`JsonlSink`] (or by
+    /// [`TraceEvent::to_json`], in which case `seq` is `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation: invalid JSON, an unknown
+    /// `ev` tag, or a missing/mistyped field.
+    pub fn parse(line: &str) -> Result<TraceLine, String> {
+        let obj = json::parse(line)?;
+        let seq = match obj.field("seq") {
+            Some(v) => Some(v.as_u64("seq")?),
+            None => None,
+        };
+        Ok(TraceLine { seq, event: TraceEvent::from_value(&obj)? })
+    }
+}
+
+/// Streams [`TraceLine`]s out of a JSONL trace, one per non-empty line.
+///
+/// The iterator yields `(line_number, TraceLine)` pairs (1-based line
+/// numbers, so verifier reports can point back into the file) and surfaces
+/// both I/O and parse failures as `Err` items tagged with the offending
+/// line. This is the parse-side twin of [`JsonlSink`]: whatever the sink
+/// wrote, the reader returns — pinned by the round-trip tests.
+pub struct TraceReader<R> {
+    inner: R,
+    line: usize,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Wraps a buffered reader positioned at the start of a trace.
+    pub fn new(inner: R) -> Self {
+        Self { inner, line: 0 }
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Result<(usize, TraceLine), String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let mut buf = String::new();
+            self.line += 1;
+            match self.inner.read_line(&mut buf) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    let text = buf.trim();
+                    if text.is_empty() {
+                        continue;
+                    }
+                    return Some(
+                        TraceLine::parse(text)
+                            .map(|l| (self.line, l))
+                            .map_err(|e| format!("line {}: {e}", self.line)),
+                    );
+                }
+                Err(e) => return Some(Err(format!("line {}: read error: {e}", self.line))),
+            }
+        }
+    }
+}
+
 /// Puts a trace into canonical form for content comparison: wall-times
 /// (the only nondeterministic field) are zeroed and events are sorted by
-/// `(round, kind, client, serialised form)`. Two runs with the same seed
-/// canonicalize identically regardless of thread count.
+/// `(round, kind, client, serialised form)`. Sequence numbers are not part
+/// of [`TraceEvent`] (they live in the JSONL envelope — see [`TraceLine`]),
+/// so two runs with the same seed canonicalize identically regardless of
+/// thread count even though their emission orders, and therefore their
+/// `seq` assignments, differ.
 pub fn canonicalize(events: &[TraceEvent]) -> Vec<TraceEvent> {
     fn kind_rank(e: &TraceEvent) -> u8 {
         match e {
@@ -495,11 +613,8 @@ pub fn canonicalize(events: &[TraceEvent]) -> Vec<TraceEvent> {
             TraceEvent::RoundEnd { .. } => 12,
         }
     }
-    let mut out: Vec<TraceEvent> =
-        events.iter().map(|e| e.clone().with_zero_us()).collect();
-    out.sort_by_key(|e| {
-        (e.round(), kind_rank(e), e.client().unwrap_or(usize::MAX), e.to_json())
-    });
+    let mut out: Vec<TraceEvent> = events.iter().map(|e| e.clone().with_zero_us()).collect();
+    out.sort_by_key(|e| (e.round(), kind_rank(e), e.client().unwrap_or(usize::MAX), e.to_json()));
     out
 }
 
@@ -530,8 +645,11 @@ impl Span {
 /// Where trace events go. Implementations must be callable from the
 /// engine's worker threads.
 pub trait Sink: Send + Sync {
-    /// Records one event.
-    fn record(&self, event: &TraceEvent);
+    /// Records one event. `seq` is the emitting [`Tracer`]'s monotone
+    /// emission counter (0-based); sinks that serialise should persist it
+    /// (see [`TraceEvent::to_json_seq`]) so offline consumers can recover
+    /// the emission total order from a multi-threaded run.
+    fn record(&self, seq: u64, event: &TraceEvent);
 
     /// Flushes buffered output; a no-op for unbuffered sinks.
     fn flush(&self) {}
@@ -543,13 +661,13 @@ pub trait Sink: Send + Sync {
 pub struct NullSink;
 
 impl Sink for NullSink {
-    fn record(&self, _event: &TraceEvent) {}
+    fn record(&self, _seq: u64, _event: &TraceEvent) {}
 }
 
 /// Collects events in memory, for summaries and tests.
 #[derive(Debug, Default)]
 pub struct VecSink {
-    events: Mutex<Vec<TraceEvent>>,
+    events: Mutex<Vec<(u64, TraceEvent)>>,
 }
 
 impl VecSink {
@@ -558,8 +676,15 @@ impl VecSink {
         Self::default()
     }
 
-    /// A copy of every event recorded so far.
+    /// A copy of every event recorded so far, in arrival order.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink poisoned").iter().map(|(_, e)| e.clone()).collect()
+    }
+
+    /// A copy of every `(seq, event)` pair recorded so far, in arrival
+    /// order. Under worker threads arrival order may differ from `seq`
+    /// order; sort by the first element to recover the emission order.
+    pub fn seq_snapshot(&self) -> Vec<(u64, TraceEvent)> {
         self.events.lock().expect("trace sink poisoned").clone()
     }
 
@@ -575,14 +700,14 @@ impl VecSink {
 }
 
 impl Sink for VecSink {
-    fn record(&self, event: &TraceEvent) {
-        self.events.lock().expect("trace sink poisoned").push(event.clone());
+    fn record(&self, seq: u64, event: &TraceEvent) {
+        self.events.lock().expect("trace sink poisoned").push((seq, event.clone()));
     }
 }
 
-/// Streams events as JSON Lines — one `TraceEvent::to_json` object per
-/// line — through a buffered writer. Write errors are sticky: the first
-/// one is kept (see [`JsonlSink::take_error`]) and later events are
+/// Streams events as JSON Lines — one `TraceEvent::to_json_seq` object
+/// per line — through a buffered writer. Write errors are sticky: the
+/// first one is kept (see [`JsonlSink::take_error`]) and later events are
 /// dropped.
 pub struct JsonlSink {
     inner: Mutex<JsonlState>,
@@ -622,15 +747,15 @@ impl fmt::Debug for JsonlSink {
 }
 
 impl Sink for JsonlSink {
-    fn record(&self, event: &TraceEvent) {
+    fn record(&self, seq: u64, event: &TraceEvent) {
         let mut state = self.inner.lock().expect("trace sink poisoned");
         if state.error.is_some() {
             return;
         }
-        let line = event.to_json();
-        if let Err(e) = state.out.write_all(line.as_bytes()).and_then(|()| {
-            state.out.write_all(b"\n")
-        }) {
+        let line = event.to_json_seq(seq);
+        if let Err(e) =
+            state.out.write_all(line.as_bytes()).and_then(|()| state.out.write_all(b"\n"))
+        {
             state.error = Some(e);
         }
     }
@@ -666,9 +791,9 @@ impl fmt::Debug for MultiSink {
 }
 
 impl Sink for MultiSink {
-    fn record(&self, event: &TraceEvent) {
+    fn record(&self, seq: u64, event: &TraceEvent) {
         for s in &self.sinks {
-            s.record(event);
+            s.record(seq, event);
         }
     }
 
@@ -679,22 +804,31 @@ impl Sink for MultiSink {
     }
 }
 
+/// Shared state behind every clone of an enabled [`Tracer`]: the sink and
+/// the emission counter that stamps each event with a `seq` number.
+struct TracerShared {
+    sink: Arc<dyn Sink>,
+    seq: AtomicU64,
+}
+
 /// Cloneable handle the engine emits through. Disabled by default;
-/// cloning shares the underlying sink.
+/// cloning shares the underlying sink *and* the emission counter, so
+/// events emitted from worker threads still receive globally unique,
+/// monotone `seq` numbers.
 #[derive(Clone, Default)]
 pub struct Tracer {
-    sink: Option<Arc<dyn Sink>>,
+    shared: Option<Arc<TracerShared>>,
 }
 
 impl Tracer {
     /// A tracer that drops every event without touching the clock.
     pub fn disabled() -> Self {
-        Self { sink: None }
+        Self { shared: None }
     }
 
     /// A tracer feeding one sink.
     pub fn new(sink: Arc<dyn Sink>) -> Self {
-        Self { sink: Some(sink) }
+        Self { shared: Some(Arc::new(TracerShared { sink, seq: AtomicU64::new(0) })) }
     }
 
     /// A tracer feeding several sinks (disabled when `sinks` is empty).
@@ -708,20 +842,22 @@ impl Tracer {
 
     /// Whether events are being recorded.
     pub fn is_enabled(&self) -> bool {
-        self.sink.is_some()
+        self.shared.is_some()
     }
 
-    /// Records `event` (no-op when disabled).
+    /// Records `event` (no-op when disabled), stamping it with the next
+    /// emission sequence number.
     pub fn emit(&self, event: TraceEvent) {
-        if let Some(sink) = &self.sink {
-            sink.record(&event);
+        if let Some(shared) = &self.shared {
+            let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+            shared.sink.record(seq, &event);
         }
     }
 
     /// Starts a wall-time span; disabled tracers return a span that never
     /// reads the clock.
     pub fn span(&self) -> Span {
-        if self.sink.is_some() {
+        if self.shared.is_some() {
             Span::started()
         } else {
             Span::disabled()
@@ -730,8 +866,8 @@ impl Tracer {
 
     /// Flushes the sink (no-op when disabled).
     pub fn flush(&self) {
-        if let Some(sink) = &self.sink {
-            sink.flush();
+        if let Some(shared) = &self.shared {
+            shared.sink.flush();
         }
     }
 }
@@ -783,8 +919,7 @@ impl TraceSummary {
         const HELD: [&str; 3] = ["acc-below-threshold", "target-reached", "mask-stable"];
         let mut phases: Vec<(&'static str, PhaseStat)> =
             PHASES.iter().map(|&p| (p, PhaseStat::default())).collect();
-        let mut gates_held: Vec<(&'static str, usize)> =
-            HELD.iter().map(|&r| (r, 0)).collect();
+        let mut gates_held: Vec<(&'static str, usize)> = HELD.iter().map(|&r| (r, 0)).collect();
         let mut summary = TraceSummary::default();
         let mut max_round = 0usize;
         for e in events {
@@ -800,9 +935,7 @@ impl TraceSummary {
                 TraceEvent::PruneGate { fired, reason, .. } => {
                     if *fired {
                         summary.gates_fired += 1;
-                    } else if let Some(slot) =
-                        gates_held.iter_mut().find(|(r, _)| r == reason)
-                    {
+                    } else if let Some(slot) = gates_held.iter_mut().find(|(r, _)| r == reason) {
                         slot.1 += 1;
                     }
                 }
@@ -892,9 +1025,7 @@ mod json {
     impl Value {
         pub(super) fn field(&self, key: &str) -> Option<&Value> {
             match self {
-                Value::Obj(fields) => {
-                    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-                }
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
                 _ => None,
             }
         }
@@ -1080,7 +1211,7 @@ mod tests {
     fn one_of_each() -> Vec<TraceEvent> {
         vec![
             TraceEvent::RoundStart { round: 1, sampled: vec![0, 2, 3], survivors: vec![0, 3] },
-            TraceEvent::Dropout { round: 1, client: 2 },
+            TraceEvent::Dropout { round: 1, client: 2, reason: "crash-injected".into() },
             TraceEvent::Download { round: 1, client: 0, bytes: 4096 },
             TraceEvent::ClientTrain {
                 round: 1,
@@ -1118,8 +1249,7 @@ mod tests {
     fn json_round_trips_every_variant() {
         for event in one_of_each() {
             let line = event.to_json();
-            let back = TraceEvent::from_json(&line)
-                .unwrap_or_else(|e| panic!("{line}: {e}"));
+            let back = TraceEvent::from_json(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(back, event, "{line}");
         }
     }
@@ -1173,17 +1303,69 @@ mod tests {
     fn jsonl_sink_writes_one_parseable_line_per_event() {
         let sink = Arc::new(VecWriterSink::new());
         let jsonl = JsonlSink::new(Box::new(SharedWriter(sink.clone())));
-        for event in one_of_each() {
-            jsonl.record(&event);
+        for (i, event) in one_of_each().into_iter().enumerate() {
+            jsonl.record(i as u64, &event);
         }
         jsonl.flush();
         assert!(jsonl.take_error().is_none());
         let text = String::from_utf8(sink.bytes()).unwrap();
-        let parsed: Vec<TraceEvent> = text
-            .lines()
-            .map(|l| TraceEvent::from_json(l).expect("line parses"))
-            .collect();
-        assert_eq!(parsed, one_of_each());
+        let parsed: Vec<TraceLine> =
+            text.lines().map(|l| TraceLine::parse(l).expect("line parses")).collect();
+        let events: Vec<TraceEvent> = parsed.iter().map(|l| l.event.clone()).collect();
+        let seqs: Vec<u64> = parsed.iter().map(|l| l.seq.expect("seq present")).collect();
+        assert_eq!(events, one_of_each());
+        assert_eq!(seqs, (0..one_of_each().len() as u64).collect::<Vec<_>>());
+        // The seq-free accessor still parses sink output (ignoring seq).
+        for line in text.lines() {
+            TraceEvent::from_json(line).expect("from_json tolerates seq");
+        }
+    }
+
+    #[test]
+    fn seq_is_an_envelope_field_not_an_event_field() {
+        let event = TraceEvent::Dropout { round: 3, client: 7, reason: "crash-injected".into() };
+        let line = event.to_json_seq(41);
+        assert!(line.starts_with("{\"ev\":\"dropout\",\"seq\":41,"), "{line}");
+        let parsed = TraceLine::parse(&line).unwrap();
+        assert_eq!(parsed.seq, Some(41));
+        assert_eq!(parsed.event, event);
+        // Without a seq the envelope reports None.
+        let bare = TraceLine::parse(&event.to_json()).unwrap();
+        assert_eq!(bare.seq, None);
+        assert_eq!(bare.event, event);
+    }
+
+    #[test]
+    fn tracer_stamps_monotone_seq_shared_across_clones() {
+        let sink = Arc::new(VecSink::new());
+        let tracer = Tracer::new(sink.clone());
+        let clone = tracer.clone();
+        tracer.emit(TraceEvent::Dropout { round: 1, client: 0, reason: "crash-injected".into() });
+        clone.emit(TraceEvent::Dropout { round: 1, client: 1, reason: "crash-injected".into() });
+        tracer.emit(TraceEvent::Dropout { round: 1, client: 2, reason: "crash-injected".into() });
+        let seqs: Vec<u64> = sink.seq_snapshot().iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn trace_reader_streams_lines_with_numbers_and_reports_errors() {
+        let text = "\
+{\"ev\":\"round_start\",\"seq\":0,\"round\":1,\"sampled\":[0],\"survivors\":[0]}\n\
+\n\
+{\"ev\":\"dropout\",\"seq\":1,\"round\":1,\"client\":0,\"reason\":\"crash-injected\"}\n\
+not json\n";
+        let items: Vec<_> = TraceReader::new(text.as_bytes()).collect();
+        assert_eq!(items.len(), 3); // blank line skipped
+        let (n0, l0) = items[0].as_ref().unwrap();
+        assert_eq!((*n0, l0.seq), (1, Some(0)));
+        let (n1, l1) = items[1].as_ref().unwrap();
+        assert_eq!((*n1, l1.seq), (3, Some(1)));
+        assert_eq!(
+            l1.event,
+            TraceEvent::Dropout { round: 1, client: 0, reason: "crash-injected".into() }
+        );
+        let err = items[2].as_ref().unwrap_err();
+        assert!(err.starts_with("line 4:"), "{err}");
     }
 
     /// In-memory writer for exercising `JsonlSink` without touching disk.
@@ -1218,7 +1400,7 @@ mod tests {
     fn tracer_disabled_is_noop_and_spans_report_zero() {
         let tracer = Tracer::disabled();
         assert!(!tracer.is_enabled());
-        tracer.emit(TraceEvent::Dropout { round: 1, client: 0 });
+        tracer.emit(TraceEvent::Dropout { round: 1, client: 0, reason: "crash-injected".into() });
         assert_eq!(tracer.span().elapsed_us(), 0);
         tracer.flush();
         assert_eq!(format!("{tracer:?}"), "Tracer(disabled)");
@@ -1230,7 +1412,7 @@ mod tests {
         let b = Arc::new(VecSink::new());
         let tracer = Tracer::multi(vec![a.clone(), b.clone()]);
         assert!(tracer.is_enabled());
-        tracer.emit(TraceEvent::Dropout { round: 2, client: 1 });
+        tracer.emit(TraceEvent::Dropout { round: 2, client: 1, reason: "crash-injected".into() });
         assert_eq!(a.snapshot(), b.snapshot());
         assert_eq!(a.len(), 1);
         assert!(!Tracer::multi(vec![]).is_enabled());
@@ -1240,7 +1422,7 @@ mod tests {
     fn null_sink_discards() {
         let tracer = Tracer::new(Arc::new(NullSink));
         assert!(tracer.is_enabled());
-        tracer.emit(TraceEvent::Dropout { round: 1, client: 0 });
+        tracer.emit(TraceEvent::Dropout { round: 1, client: 0, reason: "crash-injected".into() });
         // Enabled tracers time for real.
         assert!(format!("{tracer:?}").contains("enabled"));
     }
@@ -1277,10 +1459,7 @@ mod tests {
         assert_eq!(summary.bytes_down, 4096);
         assert_eq!(summary.dropouts, 1);
         assert_eq!(summary.gates_fired, 1);
-        assert_eq!(
-            summary.gates_held.iter().find(|(r, _)| *r == "mask-stable").unwrap().1,
-            1
-        );
+        assert_eq!(summary.gates_held.iter().find(|(r, _)| *r == "mask-stable").unwrap().1, 1);
         let train = summary.phases.iter().find(|(p, _)| *p == "train").unwrap().1;
         assert_eq!(train, PhaseStat { events: 1, total_us: 1234 });
         let rendered = summary.render();

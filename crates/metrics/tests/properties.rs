@@ -12,10 +12,7 @@ use subfed_nn::models::ModelSpec;
 use subfed_pruning::ChannelMask;
 
 fn lenet_mask() -> impl Strategy<Value = ChannelMask> {
-    (
-        prop::collection::vec(prop::bool::ANY, 6),
-        prop::collection::vec(prop::bool::ANY, 16),
-    )
+    (prop::collection::vec(prop::bool::ANY, 6), prop::collection::vec(prop::bool::ANY, 16))
         .prop_map(|(mut a, mut b)| {
             // Keep at least one channel per block (the structural invariant
             // slimming_mask maintains).

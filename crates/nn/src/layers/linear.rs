@@ -23,7 +23,8 @@ impl Linear {
             ParamKind::FcWeight,
             kaiming_uniform(&[out_features, in_features], in_features, rng),
         );
-        let bias = Param::new(ParamKind::FcBias, kaiming_uniform(&[out_features], in_features, rng));
+        let bias =
+            Param::new(ParamKind::FcBias, kaiming_uniform(&[out_features], in_features, rng));
         Self { weight, bias, in_features, out_features, cache: None }
     }
 

@@ -241,11 +241,9 @@ mod tests {
     #[test]
     fn multi_channel_pooling_is_independent() {
         let mut pool = MaxPool2d::new(2, 2);
-        let x = Tensor::from_vec(
-            vec![1, 2, 2, 2],
-            vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(vec![1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0])
+                .unwrap();
         let y = pool.forward(&x, Mode::Eval);
         assert_eq!(y.data(), &[4.0, 40.0]);
     }
@@ -266,11 +264,7 @@ mod tests {
     #[test]
     fn avgpool_forward_known_values() {
         let mut pool = AvgPool2d::new(2, 2);
-        let x = Tensor::from_vec(
-            vec![1, 1, 4, 4],
-            (1..=16).map(|v| v as f32).collect(),
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 4, 4], (1..=16).map(|v| v as f32).collect()).unwrap();
         let y = pool.forward(&x, Mode::Eval);
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[3.5, 5.5, 11.5, 13.5]);

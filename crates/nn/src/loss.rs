@@ -57,8 +57,7 @@ mod tests {
 
     #[test]
     fn gradient_rows_sum_to_zero() {
-        let logits =
-            Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0]).unwrap();
+        let logits = Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0]).unwrap();
         let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
         for r in 0..2 {
             let s: f32 = grad.data()[r * 3..(r + 1) * 3].iter().sum();

@@ -239,9 +239,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "exactly 0 or 1")]
     fn from_tensors_rejects_non_binary() {
-        let _ = ModelMask::from_tensors(
-            vec![Tensor::from_slice(&[0.5])],
-            vec![ParamKind::FcWeight],
-        );
+        let _ =
+            ModelMask::from_tensors(vec![Tensor::from_slice(&[0.5])], vec![ParamKind::FcWeight]);
     }
 }

@@ -209,8 +209,7 @@ impl ModelSpec {
             // weight + bias + BN gamma/beta
             .map(|c| c.cout * c.cin * c.k * c.k + c.cout + 2 * c.cout)
             .sum();
-        let fc: usize =
-            self.fc_shapes().iter().map(|f| f.fan_in * f.fan_out + f.fan_out).sum();
+        let fc: usize = self.fc_shapes().iter().map(|f| f.fan_in * f.fan_out + f.fan_out).sum();
         conv + fc
     }
 

@@ -67,7 +67,12 @@ impl Sgd {
     /// # Panics
     ///
     /// Panics if `mask` or `prox` do not match the model layout.
-    pub fn step(&mut self, model: &mut Sequential, mask: Option<&ModelMask>, prox: Option<(&[Tensor], f32)>) {
+    pub fn step(
+        &mut self,
+        model: &mut Sequential,
+        mask: Option<&ModelMask>,
+        prox: Option<(&[Tensor], f32)>,
+    ) {
         let mut params = model.params_mut();
         if self.velocity.is_empty() {
             self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
@@ -247,24 +252,12 @@ mod tests {
         let x = subfed_tensor::init::uniform(&[2, 2, 3, 3], -1.0, 1.0, &mut rng);
         let y = m.forward(&x, Mode::Train);
         m.backward(&y);
-        let mean_before: Vec<f32> = m
-            .params()
-            .iter()
-            .find(|p| p.kind == ParamKind::BnMean)
-            .unwrap()
-            .value
-            .data()
-            .to_vec();
+        let mean_before: Vec<f32> =
+            m.params().iter().find(|p| p.kind == ParamKind::BnMean).unwrap().value.data().to_vec();
         let mut opt = Sgd::new(0.1, 0.0);
         opt.step(&mut m, None, None);
-        let mean_after: Vec<f32> = m
-            .params()
-            .iter()
-            .find(|p| p.kind == ParamKind::BnMean)
-            .unwrap()
-            .value
-            .data()
-            .to_vec();
+        let mean_after: Vec<f32> =
+            m.params().iter().find(|p| p.kind == ParamKind::BnMean).unwrap().value.data().to_vec();
         assert_eq!(mean_before, mean_after);
     }
 
@@ -303,12 +296,8 @@ mod tests {
         let mut opt = Sgd::new(1.0, 0.0).with_clip_norm(1.0);
         opt.step(&mut m, None, None);
         let after = m.flatten();
-        let step_norm: f32 = before
-            .iter()
-            .zip(after.iter())
-            .map(|(b, a)| (a - b) * (a - b))
-            .sum::<f32>()
-            .sqrt();
+        let step_norm: f32 =
+            before.iter().zip(after.iter()).map(|(b, a)| (a - b) * (a - b)).sum::<f32>().sqrt();
         // lr 1.0, clip 1.0 -> the displacement norm is exactly the clip.
         assert!((step_norm - 1.0).abs() < 1e-4, "step norm {step_norm}");
     }

@@ -170,10 +170,7 @@ impl UnstructuredController {
         };
         if reason.fired() {
             let frac = pruned_fraction(&m_le, self.scope);
-            (
-                Some(m_le),
-                GateDecision { reason, mask_distance: delta, pruned_fraction: frac },
-            )
+            (Some(m_le), GateDecision { reason, mask_distance: delta, pruned_fraction: frac })
         } else {
             let frac = pruned_fraction(current, self.scope);
             (None, GateDecision { reason, mask_distance: delta, pruned_fraction: frac })
@@ -446,7 +443,10 @@ mod tests {
         assert!(step.mask.pruned_fraction(|k| k == subfed_nn::ParamKind::FcWeight) > 0.0);
         assert!(step.mask.pruned_fraction(|k| k == subfed_nn::ParamKind::ConvWeight) > 0.0);
         // The unstructured base only touches FC weights.
-        assert_eq!(step.unstructured.pruned_fraction(|k| k == subfed_nn::ParamKind::ConvWeight), 0.0);
+        assert_eq!(
+            step.unstructured.pruned_fraction(|k| k == subfed_nn::ParamKind::ConvWeight),
+            0.0
+        );
     }
 
     #[test]

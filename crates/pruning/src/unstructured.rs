@@ -86,8 +86,8 @@ pub fn magnitude_mask(
                     }
                 }
             }
-            let n_prune = ((kept.len() as f32 * rate).floor() as usize)
-                .min(kept.len().saturating_sub(1));
+            let n_prune =
+                ((kept.len() as f32 * rate).floor() as usize).min(kept.len().saturating_sub(1));
             kept.sort_by(|a, b| a.0.total_cmp(&b.0));
             for &(_, i, j) in kept.iter().take(n_prune) {
                 next.tensors_mut()[i].data_mut()[j] = 0.0;
@@ -242,8 +242,7 @@ mod tests {
     fn zero_rate_is_identity() {
         let m = model();
         let current = ModelMask::ones_for(&m);
-        let next =
-            magnitude_mask(&m, &current, 0.0, PruneScope::AllWeights, Ranking::LayerWise);
+        let next = magnitude_mask(&m, &current, 0.0, PruneScope::AllWeights, Ranking::LayerWise);
         assert_eq!(next, current);
     }
 

@@ -177,8 +177,8 @@ mod tests {
         let mut rng = SeededRng::new(4);
         let t = normal(&[20_000], 1.0, 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
-            / (t.len() - 1) as f32;
+        let var =
+            t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / (t.len() - 1) as f32;
         assert!((mean - 1.0).abs() < 0.06, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
     }

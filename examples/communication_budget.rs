@@ -56,8 +56,7 @@ fn main() {
             .filter(|r| r.avg_acc.is_some())
             .map(|r| r.cum_bytes as f32 / 1e6)
             .collect();
-        let ys: Vec<f32> =
-            h.records.iter().filter_map(|r| r.avg_acc).collect();
+        let ys: Vec<f32> = h.records.iter().filter_map(|r| r.avg_acc).collect();
         print!("{}", render_series(&format!("{name} (x = MB transferred)"), &xs, &ys));
         table.row(&[
             name,

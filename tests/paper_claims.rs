@@ -1,11 +1,11 @@
 //! Integration tests pinning the paper's *qualitative claims* — the shape
 //! of the results the reproduction must preserve (DESIGN.md §1).
 
+use sub_fedavg::core::analysis::partner_separation;
 use sub_fedavg::core::{
     algorithms::{FedAvg, Standalone, SubFedAvgUn},
     FedConfig, FederatedAlgorithm, Federation,
 };
-use sub_fedavg::core::analysis::partner_separation;
 use sub_fedavg::data::stats::{label_jaccard, mean_labels_per_client};
 use sub_fedavg::data::{partition_pathological, PartitionConfig, SynthVision};
 use sub_fedavg::metrics::flops::{conv_flop_reduction, dense_conv_flops};
@@ -23,7 +23,14 @@ fn federation(rounds: usize) -> Federation {
     Federation::new(
         ModelSpec::cnn5(1, 16, 16, 10),
         clients,
-        FedConfig { rounds, sample_frac: 0.6, local_epochs: 3, eval_every: rounds, seed: 13, ..Default::default() },
+        FedConfig {
+            rounds,
+            sample_frac: 0.6,
+            local_epochs: 3,
+            eval_every: rounds,
+            seed: 13,
+            ..Default::default()
+        },
     )
 }
 
@@ -41,10 +48,7 @@ fn remark2_fedavg_loses_subfedavg_wins() {
         fedavg < standalone,
         "FedAvg ({fedavg}) should lose to Standalone ({standalone}) under pathological non-IID"
     );
-    assert!(
-        sub > fedavg,
-        "Sub-FedAvg ({sub}) should beat FedAvg ({fedavg})"
-    );
+    assert!(sub > fedavg, "Sub-FedAvg ({sub}) should beat FedAvg ({fedavg})");
     assert!(
         sub + 0.02 >= standalone,
         "Sub-FedAvg ({sub}) should at least match Standalone ({standalone})"

@@ -214,7 +214,9 @@ mod tests {
 
     #[test]
     fn bencher_records_samples() {
-        let mut c = Criterion::default().sample_size(3).warm_up_time(Duration::ZERO)
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::ZERO)
             .measurement_time(Duration::ZERO);
         c.test_mode = false;
         let mut runs = 0u64;
@@ -224,7 +226,9 @@ mod tests {
 
     #[test]
     fn iter_batched_gets_fresh_inputs() {
-        let mut c = Criterion::default().sample_size(2).warm_up_time(Duration::ZERO)
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::ZERO)
             .measurement_time(Duration::ZERO);
         c.test_mode = false;
         let mut seen = Vec::new();

@@ -84,8 +84,7 @@ pub trait SeedableRng: Sized {
 /// Types that [`Rng::gen_range`] can sample uniformly.
 pub trait SampleUniform: Sized + Copy + PartialOrd {
     /// Uniform draw from `[lo, hi)` (`hi` inclusive when `inclusive`).
-    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
 }
 
 /// Debiased multiply-shift rejection sampling (Lemire) of a value in
