@@ -7,8 +7,9 @@
 //! apart under pathological non-IID.
 
 use super::common::record_round;
-use crate::{fedavg_aggregate, train_client, FederatedAlgorithm, Federation, History};
+use crate::{fedavg_aggregate, train_client_ws, FederatedAlgorithm, Federation, History};
 use subfed_metrics::comm::dense_transfer_bytes;
+use subfed_metrics::flops;
 use subfed_metrics::trace::TraceEvent;
 
 /// Traditional FedAvg (Table 1's "FedAvg" row).
@@ -93,9 +94,11 @@ impl FederatedAlgorithm for FedAvg {
             // Quantised transfers degrade the *downloaded* model too.
             let download = self.maybe_quantize(&global);
             let download_ref = &download;
+            let dense_flops = flops::dense_flops(fed.spec());
             let outcomes = fed.par_map(&ids, |i| {
                 let span = fed.tracer().span();
-                let out = train_client(
+                let mut ws = fed.workspace();
+                let out = train_client_ws(
                     fed.spec(),
                     download_ref,
                     &fed.clients()[i],
@@ -103,6 +106,7 @@ impl FederatedAlgorithm for FedAvg {
                     None,
                     prox_mu.map(|mu| (download_ref.as_slice(), mu)),
                     fed.client_seed(round, i),
+                    &mut ws,
                 );
                 fed.tracer().emit(TraceEvent::ClientTrain {
                     round,
@@ -110,6 +114,9 @@ impl FederatedAlgorithm for FedAvg {
                     us: span.elapsed_us(),
                     val_acc: out.val_acc,
                     train_loss: out.mean_train_loss,
+                    // Dense training: the compute path does the full work.
+                    effective_flops: dense_flops,
+                    dense_flops,
                 });
                 out
             });

@@ -8,7 +8,8 @@
 //! FedAvg's.
 
 use super::common::record_round;
-use crate::{train_client, FederatedAlgorithm, Federation, History};
+use crate::{train_client_ws, FederatedAlgorithm, Federation, History};
+use subfed_metrics::flops;
 use subfed_metrics::trace::TraceEvent;
 use subfed_nn::ParamKind;
 
@@ -80,6 +81,7 @@ impl FederatedAlgorithm for LgFedAvg {
             let locals = &local_flats;
             let head_ranges = &self.head;
             let global_ref = &global_head;
+            let dense_flops = flops::dense_flops(fed.spec());
             let outcomes = fed.par_map(&ids, |i| {
                 // Download: overwrite the head with the global head, keep
                 // the local representation.
@@ -88,7 +90,8 @@ impl FederatedAlgorithm for LgFedAvg {
                     start[off..off + len].copy_from_slice(&global_ref[off..off + len]);
                 }
                 let span = fed.tracer().span();
-                let out = train_client(
+                let mut ws = fed.workspace();
+                let out = train_client_ws(
                     fed.spec(),
                     &start,
                     &fed.clients()[i],
@@ -96,6 +99,7 @@ impl FederatedAlgorithm for LgFedAvg {
                     None,
                     None,
                     fed.client_seed(round, i),
+                    &mut ws,
                 );
                 fed.tracer().emit(TraceEvent::ClientTrain {
                     round,
@@ -103,6 +107,8 @@ impl FederatedAlgorithm for LgFedAvg {
                     us: span.elapsed_us(),
                     val_acc: out.val_acc,
                     train_loss: out.mean_train_loss,
+                    effective_flops: dense_flops,
+                    dense_flops,
                 });
                 out
             });

@@ -9,8 +9,9 @@
 //! far the most expensive row of Table 1.
 
 use super::common::record_round;
-use crate::{train_client, FederatedAlgorithm, Federation, History};
+use crate::{train_client_ws, FederatedAlgorithm, Federation, History};
 use subfed_metrics::comm::{dense_transfer_bytes, mtl_run_bytes};
+use subfed_metrics::flops;
 use subfed_metrics::trace::TraceEvent;
 
 /// Federated MTL (Table 1's "MTL" row).
@@ -72,9 +73,11 @@ impl FederatedAlgorithm for FedMtl {
             let locals = &local_flats;
             let mean_ref = &mean;
             let coupling = self.coupling;
+            let dense_flops = flops::dense_flops(fed.spec());
             let outcomes = fed.par_map(&ids, |i| {
                 let span = fed.tracer().span();
-                let out = train_client(
+                let mut ws = fed.workspace();
+                let out = train_client_ws(
                     fed.spec(),
                     &locals[i],
                     &fed.clients()[i],
@@ -82,6 +85,7 @@ impl FederatedAlgorithm for FedMtl {
                     None,
                     if coupling > 0.0 { Some((mean_ref.as_slice(), coupling)) } else { None },
                     fed.client_seed(round, i),
+                    &mut ws,
                 );
                 fed.tracer().emit(TraceEvent::ClientTrain {
                     round,
@@ -89,6 +93,8 @@ impl FederatedAlgorithm for FedMtl {
                     us: span.elapsed_us(),
                     val_acc: out.val_acc,
                     train_loss: out.mean_train_loss,
+                    effective_flops: dense_flops,
+                    dense_flops,
                 });
                 out
             });

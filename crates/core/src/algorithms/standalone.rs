@@ -4,7 +4,8 @@
 //! which is exactly the paper's point about traditional FedAvg.
 
 use super::common::record_round;
-use crate::{train_client, FedConfig, FederatedAlgorithm, Federation, History};
+use crate::{train_client_ws, FedConfig, FederatedAlgorithm, Federation, History};
+use subfed_metrics::flops;
 use subfed_metrics::trace::TraceEvent;
 
 /// Local-only training (Table 1's "Standalone" row).
@@ -59,9 +60,11 @@ impl FederatedAlgorithm for Standalone {
                 }
             }
             let flats = &local_flats;
+            let dense_flops = flops::dense_flops(fed.spec());
             let outcomes = fed.par_map(&ids, |i| {
                 let span = fed.tracer().span();
-                let out = train_client(
+                let mut ws = fed.workspace();
+                let out = train_client_ws(
                     fed.spec(),
                     &flats[i],
                     &fed.clients()[i],
@@ -69,6 +72,7 @@ impl FederatedAlgorithm for Standalone {
                     None,
                     None,
                     fed.client_seed(round, i),
+                    &mut ws,
                 );
                 fed.tracer().emit(TraceEvent::ClientTrain {
                     round,
@@ -76,6 +80,8 @@ impl FederatedAlgorithm for Standalone {
                     us: span.elapsed_us(),
                     val_acc: out.val_acc,
                     train_loss: out.mean_train_loss,
+                    effective_flops: dense_flops,
+                    dense_flops,
                 });
                 out
             });

@@ -8,10 +8,11 @@
 
 use super::common::{apply_flat_mask, kept_count, record_round};
 use crate::{
-    flatten_mask, invariants, subfedavg_aggregate, train_client, wire, FederatedAlgorithm,
+    flatten_mask, invariants, subfedavg_aggregate, train_client_ws, wire, FederatedAlgorithm,
     Federation, History,
 };
 use subfed_metrics::comm::{mask_bytes, masked_transfer_bytes};
+use subfed_metrics::flops;
 use subfed_metrics::trace::TraceEvent;
 use subfed_nn::ModelMask;
 use subfed_pruning::{ChannelMask, GateDecision, HybridController};
@@ -109,9 +110,11 @@ impl FederatedAlgorithm for SubFedAvgHy {
             }
             let states_ref = &states;
             let global_ref = &global;
+            let dense_flops = flops::dense_flops(fed.spec());
             let outcomes = fed.par_map(&ids, |i| {
                 let span = fed.tracer().span();
-                let out = train_client(
+                let mut ws = fed.workspace();
+                let out = train_client_ws(
                     fed.spec(),
                     global_ref,
                     &fed.clients()[i],
@@ -119,6 +122,7 @@ impl FederatedAlgorithm for SubFedAvgHy {
                     Some(&states_ref[i].mask),
                     None,
                     fed.client_seed(round, i),
+                    &mut ws,
                 );
                 fed.tracer().emit(TraceEvent::ClientTrain {
                     round,
@@ -126,6 +130,9 @@ impl FederatedAlgorithm for SubFedAvgHy {
                     us: span.elapsed_us(),
                     val_acc: out.val_acc,
                     train_loss: out.mean_train_loss,
+                    // Per-kept-weight work of this client's hybrid mask.
+                    effective_flops: flops::effective_flops(fed.spec(), &states_ref[i].mask),
+                    dense_flops,
                 });
                 out
             });

@@ -25,10 +25,11 @@
 use super::common::{apply_flat_mask, kept_count, record_round};
 use crate::checkpoint::Checkpoint;
 use crate::{
-    flatten_mask, invariants, subfedavg_aggregate, train_client, wire, FederatedAlgorithm,
+    flatten_mask, invariants, subfedavg_aggregate, train_client_ws, wire, FederatedAlgorithm,
     Federation, History,
 };
 use subfed_metrics::comm::{mask_bytes, masked_transfer_bytes};
+use subfed_metrics::flops;
 use subfed_metrics::trace::TraceEvent;
 use subfed_nn::ModelMask;
 use subfed_pruning::UnstructuredController;
@@ -250,9 +251,11 @@ impl SubFedAvgUn {
         }
         let masks_ref = &state.masks;
         let global_ref = &state.global;
+        let dense_flops = flops::dense_flops(fed.spec());
         let outcomes = fed.par_map(&ids, |i| {
             let span = fed.tracer().span();
-            let out = train_client(
+            let mut ws = fed.workspace();
+            let out = train_client_ws(
                 fed.spec(),
                 global_ref,
                 &fed.clients()[i],
@@ -260,6 +263,7 @@ impl SubFedAvgUn {
                 Some(&masks_ref[i]),
                 None,
                 fed.client_seed(round, i),
+                &mut ws,
             );
             fed.tracer().emit(TraceEvent::ClientTrain {
                 round,
@@ -267,6 +271,9 @@ impl SubFedAvgUn {
                 us: span.elapsed_us(),
                 val_acc: out.val_acc,
                 train_loss: out.mean_train_loss,
+                // Per-kept-weight work of this client's subnetwork.
+                effective_flops: flops::effective_flops(fed.spec(), &masks_ref[i]),
+                dense_flops,
             });
             out
         });

@@ -1,6 +1,7 @@
 //! The round engine: client sampling, local training, parallel execution,
 //! and personalized evaluation shared by every algorithm.
 
+use crate::workspace::{PooledWorkspace, WorkspacePool};
 use crate::FedConfig;
 use subfed_data::{ClientData, Dataset};
 use subfed_metrics::trace::{TraceEvent, Tracer};
@@ -10,6 +11,7 @@ use subfed_nn::optim::Sgd;
 use subfed_nn::{Mode, ModelMask, Sequential};
 use subfed_tensor::init::SeededRng;
 use subfed_tensor::reduce::argmax_rows;
+use subfed_tensor::workspace::Workspace;
 
 /// A federation: one model architecture, a set of clients, and shared
 /// hyper-parameters. Algorithms consume a `Federation` and drive rounds on
@@ -20,6 +22,7 @@ pub struct Federation {
     clients: Vec<ClientData>,
     config: FedConfig,
     tracer: Tracer,
+    workspaces: WorkspacePool,
 }
 
 impl Federation {
@@ -32,7 +35,7 @@ impl Federation {
     pub fn new(spec: ModelSpec, clients: Vec<ClientData>, config: FedConfig) -> Self {
         config.validate();
         assert!(!clients.is_empty(), "federation needs at least one client");
-        Self { spec, clients, config, tracer: Tracer::disabled() }
+        Self { spec, clients, config, tracer: Tracer::disabled(), workspaces: WorkspacePool::new() }
     }
 
     /// Attaches a telemetry tracer: every algorithm driving this
@@ -66,6 +69,14 @@ impl Federation {
     /// Number of clients.
     pub fn num_clients(&self) -> usize {
         self.clients.len()
+    }
+
+    /// Checks a training workspace out of the federation's shared pool.
+    /// Worker closures grab one per client and pass it to
+    /// [`train_client_ws`]; the scratch buffers return to the pool when the
+    /// guard drops, so allocations amortise across epochs *and* rounds.
+    pub fn workspace(&self) -> PooledWorkspace {
+        self.workspaces.acquire()
     }
 
     /// Builds an uninitialised model skeleton (weights are overwritten by
@@ -239,12 +250,40 @@ pub fn train_client(
     prox: Option<(&[f32], f32)>,
     seed: u64,
 ) -> LocalOutcome {
+    train_client_ws(spec, init_flat, data, cfg, mask, prox, seed, &mut Workspace::new())
+}
+
+/// [`train_client`] with an explicit scratch [`Workspace`] — the hot path
+/// the federation workers use so im2col buffers, matmul panels, and
+/// gradient temporaries are allocated once per client slot and reused
+/// across batches, epochs, and rounds. Bit-identical to [`train_client`]
+/// (`Workspace::take` zero-fills), which is property-tested.
+///
+/// When a mask is supplied, its compressed-row patterns are installed on
+/// the model for the whole round, so pruned layers do proportionally less
+/// work in forward and backward.
+///
+/// # Panics
+///
+/// Panics if the client has no training data or shapes mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn train_client_ws(
+    spec: &ModelSpec,
+    init_flat: &[f32],
+    data: &ClientData,
+    cfg: &FedConfig,
+    mask: Option<&ModelMask>,
+    prox: Option<(&[f32], f32)>,
+    seed: u64,
+    ws: &mut Workspace,
+) -> LocalOutcome {
     assert!(!data.train.is_empty(), "client {} has no training data", data.id);
     let mut rng = SeededRng::new(seed);
     let mut model = spec.build(&mut rng);
     model.load_flat(init_flat);
     if let Some(m) = mask {
         m.apply(&mut model);
+        model.install_sparsity(m);
     }
     let anchor = prox.map(|(flat, mu)| {
         let mut scratch = spec.build(&mut SeededRng::new(0));
@@ -257,11 +296,11 @@ pub fn train_client(
     let mut loss_count = 0usize;
     for epoch in 0..cfg.local_epochs {
         for batch in data.train.shuffled_batches(cfg.batch_size, &mut rng) {
-            let logits = model.forward(&batch.images, Mode::Train);
+            let logits = model.forward_ws(&batch.images, Mode::Train, ws);
             let (loss, grad) = softmax_cross_entropy(&logits, &batch.labels);
             loss_sum += loss;
             loss_count += 1;
-            model.backward(&grad);
+            model.backward_ws(&grad, ws);
             let prox_ref = anchor.as_ref().map(|(a, mu)| (a.as_slice(), *mu));
             opt.step(&mut model, mask, prox_ref);
         }
@@ -402,6 +441,47 @@ mod tests {
         trained.load_flat(&out.final_flat);
         for i in 0..n / 2 {
             assert_eq!(trained.params()[0].value.data()[i], 0.0, "masked weight {i} moved");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        use subfed_pruning::unstructured::magnitude_mask;
+        use subfed_pruning::{PruneScope, Ranking};
+        let fed = tiny_federation(1);
+        let global = fed.init_global();
+        let mut model = fed.build_model();
+        model.load_flat(&global);
+        let mask = magnitude_mask(
+            &model,
+            &ModelMask::ones_for(&model),
+            0.5,
+            PruneScope::AllWeights,
+            Ranking::LayerWise,
+        );
+        let run = |ws: &mut Workspace| {
+            train_client_ws(
+                fed.spec(),
+                &global,
+                &fed.clients()[2],
+                fed.config(),
+                Some(&mask),
+                None,
+                9,
+                ws,
+            )
+        };
+        // One workspace used twice: the second run sees dirty buffers left
+        // over from the first, exercising the take_scratch reuse contract.
+        let mut shared = Workspace::new();
+        let a = run(&mut shared);
+        let b = run(&mut shared);
+        let c = run(&mut Workspace::new());
+        for out in [&b, &c] {
+            assert_eq!(a.final_flat, out.final_flat);
+            assert_eq!(a.first_epoch_flat, out.first_epoch_flat);
+            assert_eq!(a.val_acc, out.val_acc);
+            assert_eq!(a.mean_train_loss, out.mean_train_loss);
         }
     }
 

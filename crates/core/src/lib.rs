@@ -42,6 +42,7 @@ mod aggregate;
 mod config;
 mod engine;
 mod history;
+mod workspace;
 
 pub mod algorithms;
 pub mod analysis;
@@ -54,8 +55,9 @@ pub use aggregate::{
     fedavg_aggregate, flatten_mask, subfedavg_aggregate, subfedavg_aggregate_trimmed,
 };
 pub use config::FedConfig;
-pub use engine::{evaluate_accuracy, train_client, Federation, LocalOutcome};
+pub use engine::{evaluate_accuracy, train_client, train_client_ws, Federation, LocalOutcome};
 pub use history::{History, RoundRecord};
+pub use workspace::{PooledWorkspace, WorkspacePool};
 
 #[cfg(test)]
 pub(crate) mod tests_support;

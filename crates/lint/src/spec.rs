@@ -30,7 +30,10 @@
 //!   sampled clients and reports that count;
 //! - every sampled non-survivor carries a `Dropout` with an explicit
 //!   skip reason; every fired `PruneGate` follows a `ClientPrune`;
-//! - `RoundEnd.cum_bytes` equals the running sum of all transfer bytes.
+//! - `RoundEnd.cum_bytes` equals the running sum of all transfer bytes;
+//! - when a `ClientTrain` records FLOP accounting (`dense_flops > 0`),
+//!   its `effective_flops` never exceeds `dense_flops` — a subnetwork
+//!   cannot do more work than the dense model.
 //!
 //! The verifier front-end (file handling, `seq` ordering, reporting)
 //! lives in [`crate::conform`].
@@ -341,7 +344,20 @@ impl ProtocolSpec {
                 }
                 open.dropouts.push(*client);
             }
-            TraceEvent::ClientTrain { round, client, .. } => {
+            TraceEvent::ClientTrain { round, client, effective_flops, dense_flops, .. } => {
+                // FLOP fields are 0 in pre-FLOP-accounting traces; when
+                // recorded, the masked work can never exceed the dense work.
+                if *dense_flops > 0 && effective_flops > dense_flops {
+                    out.push(v(
+                        "train-flops",
+                        *round,
+                        Some(*client),
+                        format!(
+                            "client {client} reports effective_flops {effective_flops} \
+                             above dense_flops {dense_flops}"
+                        ),
+                    ));
+                }
                 out.extend(self.client_step(*round, *client, event.kind(), line, |c| {
                     Self::advance(c, Phase::Sampled, Phase::Trained)
                 }));
@@ -820,6 +836,8 @@ mod tests {
                 us: 1,
                 val_acc: 0.5,
                 train_loss: 1.0,
+                effective_flops: 100,
+                dense_flops: 100,
             });
         }
         for (&c, &k) in clients.iter().zip(kept) {
@@ -869,6 +887,33 @@ mod tests {
     #[test]
     fn clean_hand_built_round_passes() {
         let vs = verify(&clean_round(1, &[0, 1], &[80, 100]));
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn effective_flops_above_dense_is_flagged() {
+        let mut evs = clean_round(1, &[0], &[80]);
+        for e in &mut evs {
+            if let TraceEvent::ClientTrain { effective_flops, dense_flops, .. } = e {
+                *effective_flops = *dense_flops + 1;
+            }
+        }
+        let vs = verify(&evs);
+        assert!(vs.iter().any(|v| v.rule == "train-flops"), "{vs:?}");
+    }
+
+    #[test]
+    fn zero_flop_fields_are_legacy_and_clean() {
+        // Traces recorded before FLOP accounting parse with both fields 0;
+        // the predicate must not fire on them.
+        let mut evs = clean_round(1, &[0], &[80]);
+        for e in &mut evs {
+            if let TraceEvent::ClientTrain { effective_flops, dense_flops, .. } = e {
+                *effective_flops = 0;
+                *dense_flops = 0;
+            }
+        }
+        let vs = verify(&evs);
         assert!(vs.is_empty(), "{vs:?}");
     }
 

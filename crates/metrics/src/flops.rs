@@ -9,7 +9,8 @@
 //! (Un)) but removes parameters.
 
 use subfed_nn::models::{ConvShape, FcShape, ModelSpec};
-use subfed_pruning::ChannelMask;
+use subfed_nn::ParamKind;
+use subfed_pruning::{bridge, ChannelMask, ModelMask};
 
 /// FLOPs of one convolution layer (2 × MACs).
 pub fn conv_flops(shape: &ConvShape) -> u64 {
@@ -66,6 +67,48 @@ pub fn masked_fc_flops(spec: &ModelSpec, channels: &ChannelMask) -> u64 {
         let fan_in = if i == 0 { kept * spatial } else { fc.fan_in };
         total += 2 * (fan_in * fc.fan_out) as u64;
     }
+    total
+}
+
+/// FLOPs the *sparse compute path* actually performs for one input under
+/// a parameter [`ModelMask`]: each kept conv weight does `out_h·out_w`
+/// MACs, each kept FC weight one — exactly the work of the compressed-row
+/// kernels built by [`bridge::weight_patterns`]. Weight-only, like every
+/// count in this module (biases/BN are ignorable); a fully-dense mask
+/// reproduces [`dense_flops`].
+///
+/// Unlike [`masked_conv_flops`] (channel granularity, structured pruning
+/// only), this counts individual kept weights, so it also credits
+/// unstructured pruning — the quantity the `ClientTrain` trace events
+/// report as `effective_flops`.
+///
+/// # Panics
+///
+/// Panics if the mask's weight tensors do not line up with the spec.
+pub fn effective_flops(spec: &ModelSpec, mask: &ModelMask) -> u64 {
+    let convs = spec.conv_shapes();
+    let fcs = spec.fc_shapes();
+    let (mut conv_i, mut fc_i) = (0usize, 0usize);
+    let mut total = 0u64;
+    for (&kind, bits) in mask.kinds().iter().zip(mask.tensors()) {
+        let Some(pat) = bridge::weight_pattern(kind, bits) else { continue };
+        match kind {
+            ParamKind::ConvWeight => {
+                assert!(conv_i < convs.len(), "mask has more conv weights than spec");
+                let shape = &convs[conv_i];
+                conv_i += 1;
+                total += 2 * pat.nnz() as u64 * (shape.out_h * shape.out_w) as u64;
+            }
+            ParamKind::FcWeight => {
+                assert!(fc_i < fcs.len(), "mask has more fc weights than spec");
+                fc_i += 1;
+                total += 2 * pat.nnz() as u64;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(conv_i, convs.len(), "mask is missing conv weight tensors");
+    assert_eq!(fc_i, fcs.len(), "mask is missing fc weight tensors");
     total
 }
 
@@ -177,6 +220,36 @@ mod tests {
         assert_eq!(dense_flops(&spec), dense_conv_flops(&spec) + fc_total);
         // fc1 400x120 dominates fc FLOPs.
         assert_eq!(fc_total, 2 * (400 * 120 + 120 * 84 + 84 * 10) as u64);
+    }
+
+    #[test]
+    fn effective_flops_dense_mask_equals_dense_flops() {
+        let spec = lenet_paper();
+        let model = spec.build(&mut subfed_tensor::init::SeededRng::new(1));
+        let mask = ModelMask::ones_for(&model);
+        assert_eq!(effective_flops(&spec, &mask), dense_flops(&spec));
+    }
+
+    #[test]
+    fn effective_flops_scale_with_kept_weights() {
+        let spec = lenet_paper();
+        let model = spec.build(&mut subfed_tensor::init::SeededRng::new(2));
+        let mut mask = ModelMask::ones_for(&model);
+        // Zero every other weight of every conv/fc weight tensor.
+        for (kind, t) in mask.kinds().to_vec().into_iter().zip(mask.tensors_mut()) {
+            if matches!(kind, ParamKind::ConvWeight | ParamKind::FcWeight) {
+                for v in t.data_mut().iter_mut().step_by(2) {
+                    *v = 0.0;
+                }
+            }
+        }
+        let eff = effective_flops(&spec, &mask);
+        let dense = dense_flops(&spec);
+        assert!(eff < dense);
+        // Half the weights gone -> roughly half the FLOPs (rounding from
+        // odd tensor lengths only).
+        let ratio = eff as f64 / dense as f64;
+        assert!((0.45..0.55).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]

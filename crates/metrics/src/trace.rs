@@ -92,6 +92,15 @@ pub enum TraceEvent {
         val_acc: f32,
         /// Mean training loss over all local batches.
         train_loss: f32,
+        /// Per-input FLOPs the client's compute path actually performs
+        /// under its pruning mask (kept weights only); equals
+        /// `dense_flops` for unmasked training. `0` in traces recorded
+        /// before this field existed.
+        effective_flops: u64,
+        /// Per-input dense FLOPs of the model architecture — the
+        /// denominator of the paper's FLOP-reduction claim. `0` in traces
+        /// recorded before this field existed.
+        dense_flops: u64,
     },
     /// One client's pruning phase: candidate-mask derivation plus gating.
     ClientPrune {
@@ -318,11 +327,21 @@ impl TraceEvent {
                 num(&mut s, "client", client);
                 num(&mut s, "bytes", bytes);
             }
-            TraceEvent::ClientTrain { client, us, val_acc, train_loss, .. } => {
+            TraceEvent::ClientTrain {
+                client,
+                us,
+                val_acc,
+                train_loss,
+                effective_flops,
+                dense_flops,
+                ..
+            } => {
                 num(&mut s, "client", client);
                 num(&mut s, "us", us);
                 f32f(&mut s, "val_acc", *val_acc);
                 f32f(&mut s, "train_loss", *train_loss);
+                num(&mut s, "effective_flops", effective_flops);
+                num(&mut s, "dense_flops", dense_flops);
             }
             TraceEvent::ClientPrune { client, us, .. } => {
                 num(&mut s, "client", client);
@@ -399,6 +418,14 @@ impl TraceEvent {
         let u64_of = |k: &str| -> Result<u64, String> { get(k)?.as_u64(k) };
         let f32_of = |k: &str| -> Result<f32, String> { get(k)?.as_f32(k) };
         let str_of = |k: &str| -> Result<String, String> { get(k)?.as_str(k) };
+        // Fields added after the v1 trace format; absent in older traces,
+        // in which case they read as 0 ("not recorded").
+        let opt_u64 = |k: &str| -> Result<u64, String> {
+            match obj.field(k) {
+                Some(v) => v.as_u64(k),
+                None => Ok(0),
+            }
+        };
         let ids_of = |k: &str| -> Result<Vec<usize>, String> { get(k)?.as_usize_array(k) };
         let ev = str_of("ev")?;
         let round = usize_of("round")?;
@@ -429,6 +456,10 @@ impl TraceEvent {
                 us: u64_of("us")?,
                 val_acc: f32_of("val_acc")?,
                 train_loss: f32_of("train_loss")?,
+                // Optional for compatibility with traces recorded before
+                // FLOP accounting existed; 0 means "not recorded".
+                effective_flops: opt_u64("effective_flops")?,
+                dense_flops: opt_u64("dense_flops")?,
             }),
             "prune" => Ok(TraceEvent::ClientPrune {
                 round,
@@ -1219,6 +1250,8 @@ mod tests {
                 us: 1234,
                 val_acc: 0.625,
                 train_loss: 1.75,
+                effective_flops: 600_000,
+                dense_flops: 1_200_000,
             },
             TraceEvent::ClientPrune { round: 1, client: 0, us: 88 },
             TraceEvent::PruneGate {

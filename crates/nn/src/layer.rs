@@ -1,4 +1,5 @@
 use crate::Param;
+use subfed_tensor::workspace::Workspace;
 use subfed_tensor::Tensor;
 
 /// Forward-pass mode: training (batch statistics, dropout active) or
@@ -37,6 +38,38 @@ pub trait Layer: Send {
     ///
     /// Panics if called without a preceding training-mode `forward`.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// [`Layer::forward`] with an explicit scratch [`Workspace`].
+    ///
+    /// Compute-heavy layers override this to draw their temporaries from
+    /// `ws` instead of allocating; the default simply ignores the
+    /// workspace, so activation/pooling layers need no changes. Numeric
+    /// results are identical either way (`Workspace::take` returns
+    /// zero-filled buffers).
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, _ws: &mut Workspace) -> Tensor {
+        self.forward(input, mode)
+    }
+
+    /// [`Layer::backward`] with an explicit scratch [`Workspace`]; see
+    /// [`Layer::forward_ws`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-mode forward.
+    fn backward_ws(&mut self, grad_out: &Tensor, _ws: &mut Workspace) -> Tensor {
+        self.backward(grad_out)
+    }
+
+    /// Installs (or clears) the compressed-row fast path derived from this
+    /// layer's parameter masks. `param_masks` lines up with
+    /// [`Layer::params`] — one binary mask tensor per parameter; an empty
+    /// slice clears any installed pattern. The default is a no-op:
+    /// only weight-bearing layers (`Conv2d`, `Linear`) have a sparse path.
+    ///
+    /// Masked weights are exactly `0.0` and the optimizer keeps them
+    /// there, so routing compute through the kept-index pattern changes
+    /// cost, never results.
+    fn install_sparsity(&mut self, _param_masks: &[&Tensor]) {}
 
     /// The layer's parameters (possibly empty), in a stable order.
     fn params(&self) -> Vec<&Param> {

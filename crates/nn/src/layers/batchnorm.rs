@@ -96,10 +96,13 @@ impl Layer for BatchNorm2d {
                     let b = self.beta.value.data()[ch];
                     for i in 0..n {
                         let base = (i * c + ch) * plane;
-                        for j in 0..plane {
-                            let xh = (input.data()[base + j] - mean) * istd;
-                            xhat[base + j] = xh;
-                            out[base + j] = g * xh + b;
+                        let src = &input.data()[base..base + plane];
+                        let xh_dst = &mut xhat[base..base + plane];
+                        let dst = &mut out[base..base + plane];
+                        for ((d, xh_d), &s) in dst.iter_mut().zip(xh_dst.iter_mut()).zip(src) {
+                            let xh = (s - mean) * istd;
+                            *xh_d = xh;
+                            *d = g * xh + b;
                         }
                     }
                     // Exponential running estimates (unbiased variance, as
@@ -126,8 +129,10 @@ impl Layer for BatchNorm2d {
                     let b = self.beta.value.data()[ch];
                     for i in 0..n {
                         let base = (i * c + ch) * plane;
-                        for j in 0..plane {
-                            out[base + j] = g * (input.data()[base + j] - mean) * istd + b;
+                        let src = &input.data()[base..base + plane];
+                        let dst = &mut out[base..base + plane];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = g * (s - mean) * istd + b;
                         }
                     }
                 }
@@ -150,10 +155,11 @@ impl Layer for BatchNorm2d {
             let mut sum_dy_xhat = 0.0f32;
             for i in 0..n {
                 let base = (i * c + ch) * plane;
-                for j in 0..plane {
-                    let dy = grad_out.data()[base + j];
+                let dys = &grad_out.data()[base..base + plane];
+                let xhs = &cache.xhat.data()[base..base + plane];
+                for (&dy, &xh) in dys.iter().zip(xhs) {
                     sum_dy += dy;
-                    sum_dy_xhat += dy * cache.xhat.data()[base + j];
+                    sum_dy_xhat += dy * xh;
                 }
             }
             dgamma[ch] = sum_dy_xhat;
@@ -163,10 +169,11 @@ impl Layer for BatchNorm2d {
             let coeff = g * istd / m;
             for i in 0..n {
                 let base = (i * c + ch) * plane;
-                for j in 0..plane {
-                    let dy = grad_out.data()[base + j];
-                    let xh = cache.xhat.data()[base + j];
-                    dx[base + j] = coeff * (m * dy - sum_dy - xh * sum_dy_xhat);
+                let dys = &grad_out.data()[base..base + plane];
+                let xhs = &cache.xhat.data()[base..base + plane];
+                let dst = &mut dx[base..base + plane];
+                for ((d, &dy), &xh) in dst.iter_mut().zip(dys).zip(xhs) {
+                    *d = coeff * (m * dy - sum_dy - xh * sum_dy_xhat);
                 }
             }
         }

@@ -1,13 +1,28 @@
 use crate::layer::take_cache;
 use crate::{Layer, Mode, Param, ParamKind};
-use subfed_tensor::conv::{col2im, im2col, ConvGeom};
+use subfed_tensor::conv::{col2im_batch, im2col_batch, im2col_batch_select, ConvGeom};
 use subfed_tensor::init::{kaiming_uniform, SeededRng};
-use subfed_tensor::linalg::{matmul, matmul_nt, matmul_tn};
+use subfed_tensor::linalg::{gemm, gemm_nt, gemm_tn};
+use subfed_tensor::sparse::{
+    masked_dot_nt, spmm, spmm_t, RectPattern, RowPattern, SPARSE_DENSITY_MAX,
+};
+use subfed_tensor::workspace::Workspace;
 use subfed_tensor::Tensor;
 
-/// 2-D convolution with square kernels, implemented via `im2col` + matmul.
+/// 2-D convolution with square kernels, implemented via batch-fused
+/// `im2col` + one matmul per pass.
 ///
-/// Weight layout is `[out_ch, in_ch, kh, kw]`; input/output are NCHW.
+/// Weight layout is `[out_ch, in_ch, kh, kw]`; input/output are NCHW. The
+/// whole batch is lowered into a single `[C·KH·KW, N·Hout·Wout]` patch
+/// matrix so forward is one `[Cout, C·KH·KW]` multiply (and backward two),
+/// drawn from the caller's [`Workspace`] instead of per-sample heap
+/// allocations. When a pruning mask is installed via
+/// [`Layer::install_sparsity`], all three multiplies route through the
+/// compressed-row kernels and skip pruned weights entirely. A mask whose
+/// kept entries form a rectangle (structured channel pruning) additionally
+/// gets an inference fast path: the kept sub-matrix runs through the
+/// blocked *dense* kernel at the pruned network's smaller shape, and
+/// `im2col` lowers only the surviving patch rows.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param,
@@ -18,12 +33,17 @@ pub struct Conv2d {
     stride: usize,
     pad: usize,
     cache: Option<Cache>,
+    sparse: Option<RowPattern>,
+    /// Rectangular factorisation of `sparse`, when one exists (eval-only
+    /// fast path; training keeps the general compressed-row kernels).
+    rect: Option<RectPattern>,
 }
 
 #[derive(Debug, Clone)]
 struct Cache {
-    /// One `[col_rows, col_cols]` patch matrix per batch sample.
-    cols: Vec<Tensor>,
+    /// Fused `[col_rows, batch·col_cols]` patch matrix (workspace buffer;
+    /// returned to the workspace by `backward_ws`).
+    cols: Vec<f32>,
     geom: ConvGeom,
     batch: usize,
 }
@@ -45,7 +65,18 @@ impl Conv2d {
             kaiming_uniform(&[out_ch, in_ch, kernel, kernel], fan_in, rng),
         );
         let bias = Param::new(ParamKind::ConvBias, kaiming_uniform(&[out_ch], fan_in, rng));
-        Self { weight, bias, in_ch, out_ch, kernel, stride, pad, cache: None }
+        Self {
+            weight,
+            bias,
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            cache: None,
+            sparse: None,
+            rect: None,
+        }
     }
 
     /// Number of output channels.
@@ -63,6 +94,17 @@ impl Conv2d {
         self.kernel
     }
 
+    /// Whether a compressed-row fast path is currently installed.
+    pub fn has_sparse_path(&self) -> bool {
+        self.sparse.is_some()
+    }
+
+    /// Whether the installed mask is rectangular (structured), enabling
+    /// the compacted dense inference path.
+    pub fn has_rect_path(&self) -> bool {
+        self.rect.is_some()
+    }
+
     fn geom_for(&self, h: usize, w: usize) -> ConvGeom {
         ConvGeom {
             channels: self.in_ch,
@@ -76,12 +118,33 @@ impl Conv2d {
     }
 }
 
+/// Overwrites `param.grad` with `data` under `shape`, reusing the existing
+/// gradient tensor's allocation when the shape already matches (it always
+/// does after the first step).
+pub(crate) fn store_grad(param: &mut Param, shape: &[usize], data: &[f32]) {
+    if param.grad.shape() == shape {
+        param.grad.data_mut().copy_from_slice(data);
+    } else {
+        param.grad = Tensor::from_parts(shape.to_vec(), data.to_vec());
+    }
+}
+
 impl Layer for Conv2d {
     fn name(&self) -> &'static str {
         "conv2d"
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut ws = Workspace::new();
+        self.forward_ws(input, mode, &mut ws)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
         assert_eq!(input.ndim(), 4, "conv2d expects NCHW input, got {:?}", input.shape());
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         assert_eq!(c, self.in_ch, "conv2d: expected {} input channels, got {c}", self.in_ch);
@@ -89,36 +152,78 @@ impl Layer for Conv2d {
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let col_rows = geom.col_rows();
         let col_cols = geom.col_cols();
-        let wmat = self.weight.value.reshaped(&[self.out_ch, col_rows]);
-        let mut out = vec![0.0f32; n * self.out_ch * oh * ow];
-        let img_len = c * h * w;
-        let out_len = self.out_ch * oh * ow;
-        let mut cols_cache = Vec::with_capacity(n);
-        for i in 0..n {
-            let img = &input.data()[i * img_len..(i + 1) * img_len];
-            let mut cols = vec![0.0f32; col_rows * col_cols];
-            im2col(img, &geom, &mut cols);
-            let cols_t = Tensor::from_parts(vec![col_rows, col_cols], cols);
-            let prod = matmul(&wmat, &cols_t);
-            let dst = &mut out[i * out_len..(i + 1) * out_len];
-            dst.copy_from_slice(prod.data());
-            for oc in 0..self.out_ch {
-                let b = self.bias.value.data()[oc];
-                for v in &mut dst[oc * col_cols..(oc + 1) * col_cols] {
-                    *v += b;
+        let fused_cols = n * col_cols;
+        if mode == Mode::Eval {
+            self.cache = None;
+            if let Some(rect) = &self.rect {
+                // A rectangular (structured) mask is a smaller dense
+                // network: lower only the used patch rows, gather the kept
+                // weight sub-matrix, and run the blocked dense kernel at
+                // the pruned shape.
+                let kept = rect.keep_rows().len();
+                let used = rect.used_cols().len();
+                let mut cols = ws.take_scratch(used * fused_cols);
+                im2col_batch_select(input.data(), &geom, n, &mut cols, rect.used_cols());
+                let mut wc = ws.take_scratch(kept * used);
+                rect.gather_weights(self.weight.value.data(), &mut wc);
+                let mut prod = ws.take_scratch(kept * fused_cols);
+                gemm(kept, used, fused_cols, &wc, &cols, &mut prod);
+                ws.put(wc);
+                ws.put(cols);
+                // Compact-row position per output channel; pruned channels
+                // emit their (mask-zeroed) bias plane, exactly what the
+                // dense product over zero weights yields.
+                let mut pos = vec![usize::MAX; self.out_ch];
+                for (p, &r) in rect.keep_rows().iter().enumerate() {
+                    pos[r as usize] = p;
                 }
+                let mut out = Vec::with_capacity(n * self.out_ch * col_cols);
+                for i in 0..n {
+                    for (oc, &p) in pos.iter().enumerate() {
+                        let b = self.bias.value.data()[oc];
+                        if p == usize::MAX {
+                            out.extend(std::iter::repeat_n(b, col_cols));
+                        } else {
+                            let src = &prod[p * fused_cols + i * col_cols..][..col_cols];
+                            out.extend(src.iter().map(|&s| s + b));
+                        }
+                    }
+                }
+                ws.put(prod);
+                return Tensor::from_parts(vec![n, self.out_ch, oh, ow], out);
             }
-            cols_cache.push(cols_t);
         }
+        let mut cols = ws.take_scratch(col_rows * fused_cols);
+        im2col_batch(input.data(), &geom, n, &mut cols);
+        let mut prod = ws.take_scratch(self.out_ch * fused_cols);
+        let wvals = self.weight.value.data();
+        match &self.sparse {
+            Some(pat) => spmm(pat, wvals, &cols, fused_cols, &mut prod),
+            None => gemm(self.out_ch, col_rows, fused_cols, wvals, &cols, &mut prod),
+        }
+        // Permute [Cout, N·cc] -> NCHW and add the bias in the same pass.
+        // The destination advances sequentially (i outer, oc inner), so the
+        // output is built by extension — each element is touched exactly
+        // once instead of zero-filled and then overwritten.
+        let mut out = Vec::with_capacity(n * self.out_ch * col_cols);
+        for i in 0..n {
+            for oc in 0..self.out_ch {
+                let src = &prod[oc * fused_cols + i * col_cols..][..col_cols];
+                let b = self.bias.value.data()[oc];
+                out.extend(src.iter().map(|&s| s + b));
+            }
+        }
+        ws.put(prod);
         if mode == Mode::Train {
-            self.cache = Some(Cache { cols: cols_cache, geom, batch: n });
+            self.cache = Some(Cache { cols, geom, batch: n });
         } else {
+            ws.put(cols);
             self.cache = None;
         }
         Tensor::from_parts(vec![n, self.out_ch, oh, ow], out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let cache = take_cache(&mut self.cache, "conv2d");
         let geom = cache.geom;
         let (oh, ow) = (geom.out_h(), geom.out_w());
@@ -130,28 +235,61 @@ impl Layer for Conv2d {
             &[n, self.out_ch, oh, ow],
             "conv2d backward: unexpected grad shape"
         );
-        let wmat = self.weight.value.reshaped(&[self.out_ch, col_rows]);
-        let mut dw = Tensor::zeros(&[self.out_ch, col_rows]);
-        let mut db = vec![0.0f32; self.out_ch];
-        let img_len = geom.channels * geom.height * geom.width;
-        let out_len = self.out_ch * oh * ow;
-        let mut dx = vec![0.0f32; n * img_len];
+        let fused_cols = n * col_cols;
+        // Gather dOut from NCHW into the fused [Cout, N·cc] layout (the
+        // exact inverse of the forward permutation).
+        let mut dym = ws.take_scratch(self.out_ch * fused_cols);
         for i in 0..n {
-            let go = &grad_out.data()[i * out_len..(i + 1) * out_len];
-            let go_t = Tensor::from_parts(vec![self.out_ch, col_cols], go.to_vec());
-            // dW += dOut · colsᵀ
-            dw.add_assign(&matmul_nt(&go_t, &cache.cols[i]));
-            // db += rowwise sum of dOut
             for oc in 0..self.out_ch {
-                db[oc] += go[oc * col_cols..(oc + 1) * col_cols].iter().sum::<f32>();
+                let src = &grad_out.data()[(i * self.out_ch + oc) * col_cols..][..col_cols];
+                dym[oc * fused_cols + i * col_cols..][..col_cols].copy_from_slice(src);
             }
-            // dcols = Wᵀ · dOut, scattered back by col2im
-            let dcols = matmul_tn(&wmat, &go_t);
-            col2im(dcols.data(), &geom, &mut dx[i * img_len..(i + 1) * img_len]);
         }
-        self.weight.grad = dw.reshaped(&[self.out_ch, self.in_ch, self.kernel, self.kernel]);
-        self.bias.grad = Tensor::from_parts(vec![self.out_ch], db);
+        // dW = dOut · colsᵀ (only at kept positions under a mask).
+        let mut dw = ws.take_scratch(self.out_ch * col_rows);
+        match &self.sparse {
+            Some(pat) => masked_dot_nt(pat, &dym, &cache.cols, fused_cols, &mut dw),
+            None => gemm_nt(self.out_ch, fused_cols, col_rows, &dym, &cache.cols, &mut dw),
+        }
+        store_grad(&mut self.weight, &[self.out_ch, self.in_ch, self.kernel, self.kernel], &dw);
+        ws.put(dw);
+        // db = rowwise sum of dOut.
+        let mut db = ws.take_scratch(self.out_ch);
+        for (oc, d) in db.iter_mut().enumerate() {
+            *d = dym[oc * fused_cols..(oc + 1) * fused_cols].iter().sum::<f32>();
+        }
+        store_grad(&mut self.bias, &[self.out_ch], &db);
+        ws.put(db);
+        // dcols = Wᵀ · dOut, scattered back by col2im.
+        let mut dcols = ws.take_scratch(col_rows * fused_cols);
+        let wvals = self.weight.value.data();
+        match &self.sparse {
+            Some(pat) => spmm_t(pat, wvals, &dym, fused_cols, &mut dcols),
+            None => gemm_tn(self.out_ch, col_rows, fused_cols, wvals, &dym, &mut dcols),
+        }
+        let mut dx = vec![0.0f32; n * geom.channels * geom.height * geom.width];
+        col2im_batch(&dcols, &geom, n, &mut dx);
+        ws.put(dym);
+        ws.put(dcols);
+        ws.put(cache.cols);
         Tensor::from_parts(vec![n, geom.channels, geom.height, geom.width], dx)
+    }
+
+    fn install_sparsity(&mut self, param_masks: &[&Tensor]) {
+        self.sparse = None;
+        self.rect = None;
+        let Some(wm) = param_masks.first() else { return };
+        assert_eq!(
+            wm.shape(),
+            self.weight.value.shape(),
+            "conv2d install_sparsity: mask shape mismatch"
+        );
+        let pat =
+            RowPattern::from_mask(self.out_ch, self.in_ch * self.kernel * self.kernel, wm.data());
+        if pat.density() <= SPARSE_DENSITY_MAX {
+            self.rect = RectPattern::from_pattern(&pat);
+            self.sparse = Some(pat);
+        }
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -206,6 +344,136 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let conv = Conv2d::new(2, 2, 3, 2, 1, &mut rng);
         crate::gradcheck::check_layer(Box::new(conv), &[1, 2, 6, 6], 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_forward_and_backward() {
+        let mut rng = SeededRng::new(7);
+        let mut dense = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        // Prune ~half the weights (and keep weights and mask consistent).
+        let mut bits = vec![0.0f32; 4 * 2 * 3 * 3];
+        for (t, bit) in bits.iter_mut().enumerate() {
+            if t % 2 == 0 {
+                *bit = 1.0;
+            }
+        }
+        for (v, &bit) in dense.weight.value.data_mut().iter_mut().zip(&bits) {
+            *v *= bit;
+        }
+        let mut sparse = dense.clone();
+        let bits_t = Tensor::from_parts(vec![4, 2, 3, 3], bits);
+        let ones = Tensor::full(&[4], 1.0);
+        sparse.install_sparsity(&[&bits_t, &ones]);
+        assert!(sparse.has_sparse_path());
+
+        let x = uniform(&[3, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let yd = dense.forward(&x, Mode::Train);
+        let ys = sparse.forward(&x, Mode::Train);
+        subfed_tensor::assert_slice_close(ys.data(), yd.data(), 1e-5, 1e-5);
+
+        let dy = uniform(&[3, 4, 6, 6], -1.0, 1.0, &mut rng);
+        let dxd = dense.backward(&dy);
+        let dxs = sparse.backward(&dy);
+        subfed_tensor::assert_slice_close(dxs.data(), dxd.data(), 1e-4, 1e-4);
+        subfed_tensor::assert_slice_close(
+            dense.bias.grad.data(),
+            sparse.bias.grad.data(),
+            1e-4,
+            1e-4,
+        );
+        // Weight grads agree at kept positions; pruned positions are zero
+        // on the sparse path (the masked optimiser zeroes them anyway).
+        for ((&gd, &gs), &bit) in
+            dense.weight.grad.data().iter().zip(sparse.weight.grad.data()).zip(bits_t.data())
+        {
+            if bit == 0.0 {
+                assert_eq!(gs, 0.0);
+            } else {
+                assert!((gd - gs).abs() <= 1e-4 + 1e-4 * gd.abs(), "{gd} vs {gs}");
+            }
+        }
+    }
+
+    #[test]
+    fn structured_mask_takes_rect_path_and_matches_dense_eval() {
+        let mut rng = SeededRng::new(21);
+        let mut dense = Conv2d::new(4, 6, 3, 1, 1, &mut rng);
+        // Structured mask: drop output channels 1 and 4 entirely, and
+        // input channel 2 from every kept filter.
+        let mut bits = vec![0.0f32; 6 * 4 * 3 * 3];
+        for oc in [0usize, 2, 3, 5] {
+            for ic in [0usize, 1, 3] {
+                let base = (oc * 4 + ic) * 9;
+                bits[base..base + 9].fill(1.0);
+            }
+        }
+        for (v, &bit) in dense.weight.value.data_mut().iter_mut().zip(&bits) {
+            *v *= bit;
+        }
+        // Pruned output channels also lose their bias, as
+        // expand_channel_mask would arrange.
+        dense.bias.value.data_mut()[1] = 0.0;
+        dense.bias.value.data_mut()[4] = 0.0;
+        let mut rect = dense.clone();
+        let bits_t = Tensor::from_parts(vec![6, 4, 3, 3], bits);
+        let ones = Tensor::full(&[6], 1.0);
+        rect.install_sparsity(&[&bits_t, &ones]);
+        assert!(rect.has_sparse_path() && rect.has_rect_path());
+
+        let x = uniform(&[3, 4, 6, 6], -1.0, 1.0, &mut rng);
+        let yd = dense.forward(&x, Mode::Eval);
+        let yr = rect.forward(&x, Mode::Eval);
+        subfed_tensor::assert_slice_close(yr.data(), yd.data(), 1e-5, 1e-5);
+        // Pruned output channels are exact bias planes (zero here).
+        for i in 0..3 {
+            for oc in [1usize, 4] {
+                let plane = &yr.data()[(i * 6 + oc) * 36..][..36];
+                assert!(plane.iter().all(|&v| v == 0.0));
+            }
+        }
+        // Train mode stays on the general sparse path and still agrees.
+        let yt = rect.forward(&x, Mode::Train);
+        subfed_tensor::assert_slice_close(yt.data(), yd.data(), 1e-5, 1e-5);
+        let _ = rect.backward(&uniform(&[3, 6, 6, 6], -1.0, 1.0, &mut rng));
+    }
+
+    #[test]
+    fn unstructured_mask_has_no_rect_path() {
+        let mut rng = SeededRng::new(22);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 0, &mut rng);
+        let mut bits = vec![0.0f32; 3 * 2 * 3 * 3];
+        for (t, bit) in bits.iter_mut().enumerate() {
+            if t % 3 == 0 || t % 7 == 0 {
+                *bit = 1.0;
+            }
+        }
+        let bits_t = Tensor::from_parts(vec![3, 2, 3, 3], bits);
+        let ones = Tensor::full(&[3], 1.0);
+        conv.install_sparsity(&[&bits_t, &ones]);
+        assert!(conv.has_sparse_path());
+        assert!(!conv.has_rect_path());
+    }
+
+    #[test]
+    fn install_sparsity_with_empty_masks_clears_path() {
+        let mut rng = SeededRng::new(8);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, &mut rng);
+        let zeros = Tensor::zeros(&[2, 1, 3, 3]);
+        let ones = Tensor::full(&[2], 1.0);
+        conv.install_sparsity(&[&zeros, &ones]);
+        assert!(conv.has_sparse_path());
+        conv.install_sparsity(&[]);
+        assert!(!conv.has_sparse_path());
+    }
+
+    #[test]
+    fn dense_mask_stays_on_dense_path() {
+        let mut rng = SeededRng::new(9);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, &mut rng);
+        let ones_w = Tensor::full(&[2, 1, 3, 3], 1.0);
+        let ones_b = Tensor::full(&[2], 1.0);
+        conv.install_sparsity(&[&ones_w, &ones_b]);
+        assert!(!conv.has_sparse_path());
     }
 
     #[test]

@@ -48,12 +48,60 @@ impl Layer for MaxPool2d {
         assert_eq!(input.ndim(), 4, "maxpool2d expects NCHW input");
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let (oh, ow) = (self.out_side(h), self.out_side(w));
-        let mut out = vec![0.0f32; n * c * oh * ow];
-        let mut argmax = vec![0usize; out.len()];
-        for i in 0..n {
-            for ch in 0..c {
-                let in_base = (i * c + ch) * h * w;
-                let out_base = (i * c + ch) * oh * ow;
+        let planes = n * c;
+        let mut out = vec![0.0f32; planes * oh * ow];
+        // Eval never reads the argmax, so only Train pays for tracking it.
+        let need_argmax = mode == Mode::Train;
+        let mut argmax = vec![0usize; if need_argmax { out.len() } else { 0 }];
+        if self.window == 2 && self.stride == 2 {
+            // The paper's only configuration: row-pair slices instead of
+            // per-element window scans. The comparison order matches the
+            // generic path ((0,0),(0,1),(1,0),(1,1), strictly-greater
+            // wins), so values and argmax ties are identical.
+            for p in 0..planes {
+                let in_base = p * h * w;
+                let out_base = p * oh * ow;
+                for oy in 0..oh {
+                    let r0 = &input.data()[in_base + 2 * oy * w..][..w];
+                    let r1 = &input.data()[in_base + (2 * oy + 1) * w..][..w];
+                    let orow = &mut out[out_base + oy * ow..][..ow];
+                    if need_argmax {
+                        let arow = &mut argmax[out_base + oy * ow..][..ow];
+                        for (ox, (o, slot)) in orow.iter_mut().zip(arow.iter_mut()).enumerate() {
+                            let base0 = in_base + 2 * oy * w + 2 * ox;
+                            let base1 = in_base + (2 * oy + 1) * w + 2 * ox;
+                            let mut best = r0[2 * ox];
+                            let mut best_idx = base0;
+                            for (v, idx) in [
+                                (r0[2 * ox + 1], base0 + 1),
+                                (r1[2 * ox], base1),
+                                (r1[2 * ox + 1], base1 + 1),
+                            ] {
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                            *o = best;
+                            *slot = best_idx;
+                        }
+                    } else {
+                        for (ox, o) in orow.iter_mut().enumerate() {
+                            let mut best = r0[2 * ox];
+                            for v in [r0[2 * ox + 1], r1[2 * ox], r1[2 * ox + 1]] {
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                            *o = best;
+                        }
+                    }
+                }
+            }
+        } else {
+            for p in 0..planes {
+                let in_base = p * h * w;
+                let out_base = p * oh * ow;
                 for oy in 0..oh {
                     for ox in 0..ow {
                         let mut best = f32::NEG_INFINITY;
@@ -71,7 +119,9 @@ impl Layer for MaxPool2d {
                             }
                         }
                         out[out_base + oy * ow + ox] = best;
-                        argmax[out_base + oy * ow + ox] = best_idx;
+                        if need_argmax {
+                            argmax[out_base + oy * ow + ox] = best_idx;
+                        }
                     }
                 }
             }

@@ -1,4 +1,5 @@
-use crate::{Layer, Mode, Param, ParamMeta};
+use crate::{Layer, Mode, ModelMask, Param, ParamMeta};
+use subfed_tensor::workspace::Workspace;
 use subfed_tensor::Tensor;
 
 /// An ordered stack of layers trained end-to-end.
@@ -74,6 +75,64 @@ impl Sequential {
             g = layer.backward(&g);
         }
         g
+    }
+
+    /// [`Sequential::forward`] with an explicit scratch [`Workspace`]
+    /// threaded through every layer; numerically identical to the plain
+    /// forward, without per-layer heap allocation.
+    pub fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward_ws(&x, mode, ws);
+        }
+        x
+    }
+
+    /// [`Sequential::backward`] with an explicit scratch [`Workspace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training-mode forward preceded this call.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward_ws(&g, ws);
+        }
+        g
+    }
+
+    /// Installs each layer's compressed-row fast path from a model mask
+    /// whose tensors line up with [`Sequential::params`] (the layout
+    /// `ModelMask::ones_for` produces). Layers whose masks are dense stay
+    /// on the blocked dense kernels; call [`Sequential::clear_sparsity`]
+    /// to drop the patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask tensor count does not match the parameter count.
+    pub fn install_sparsity(&mut self, model_mask: &ModelMask) {
+        let tensors = model_mask.tensors();
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            let count = layer.params().len();
+            assert!(
+                offset + count <= tensors.len(),
+                "mask has {} tensors but model needs more",
+                tensors.len()
+            );
+            let layer_masks: Vec<&Tensor> = tensors[offset..offset + count].iter().collect();
+            layer.install_sparsity(&layer_masks);
+            offset += count;
+        }
+        assert_eq!(offset, tensors.len(), "mask does not line up with model parameters");
+    }
+
+    /// Clears every layer's compressed-row fast path (all compute returns
+    /// to the blocked dense kernels).
+    pub fn clear_sparsity(&mut self) {
+        for layer in &mut self.layers {
+            layer.install_sparsity(&[]);
+        }
     }
 
     /// All parameters in a stable order (layer order, then each layer's

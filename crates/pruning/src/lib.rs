@@ -18,6 +18,7 @@
 //! produce masks; applying a mask is the caller's (the federation
 //! engine's) decision.
 
+pub mod bridge;
 pub mod controller;
 pub mod structured;
 pub mod unstructured;

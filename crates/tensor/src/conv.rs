@@ -1,11 +1,23 @@
 //! `im2col`/`col2im` lowering for 2-D convolutions.
 //!
-//! Convolution forward is implemented as one matrix multiply per batch
-//! sample: the input patch matrix produced by [`im2col`] has shape
-//! `[C·KH·KW, Hout·Wout]`, and the kernel matrix `[Cout, C·KH·KW]` multiplies
-//! it. [`col2im`] is the exact adjoint (scatter-add) used for the input
-//! gradient, which the property tests verify via the inner-product identity
+//! Convolution forward is implemented as a matrix multiply over the patch
+//! matrix produced by [`im2col`] (`[C·KH·KW, Hout·Wout]` per image); the
+//! kernel matrix `[Cout, C·KH·KW]` multiplies it. [`col2im`] is the exact
+//! adjoint (scatter-add) used for the input gradient, which the property
+//! tests verify via the inner-product identity
 //! `⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩`.
+//!
+//! [`im2col_batch`]/[`col2im_batch`] lower a whole batch into **one**
+//! contiguous matrix of shape `[C·KH·KW, N·Hout·Wout]` (sample-major
+//! column blocks), so `Conv2d` can run a single fused matmul per batch
+//! instead of one per sample. Both batch variants are thin loops over the
+//! same strided single-image core.
+//!
+//! The core itself avoids per-element padding checks: for each kernel tap
+//! the valid output-column range is computed once, out-of-image spans are
+//! zeroed with `slice::fill`, and the in-image span is a `copy_from_slice`
+//! at stride 1 (a strided gather otherwise). Rows are addressed through
+//! slices so the inner loops carry no index arithmetic or bounds checks.
 
 use crate::Tensor;
 
@@ -62,6 +74,120 @@ impl ConvGeom {
     }
 }
 
+/// Output-column span `[lo, hi)` for kernel tap `kx` whose input index
+/// `ox·stride + kx - pad` lands inside `[0, w)`. Always `lo <= hi <= ow`.
+fn valid_span(ow: usize, stride: usize, kx: usize, pad: usize, w: usize) -> (usize, usize) {
+    let lo = if kx >= pad { 0 } else { (pad - kx).div_ceil(stride) };
+    let hi = if w + pad <= kx { 0 } else { (w + pad - kx - 1) / stride + 1 };
+    let lo = lo.min(ow);
+    (lo, hi.clamp(lo, ow))
+}
+
+/// Strided single-image im2col core: writes patch row `r` of `image` at
+/// `cols[r * row_stride + col_offset ..]`, enabling both the packed
+/// single-image layout and batch-fused column blocks.
+fn im2col_strided(
+    image: &[f32],
+    geom: &ConvGeom,
+    cols: &mut [f32],
+    row_stride: usize,
+    col_offset: usize,
+) {
+    let (c, h, w) = (geom.channels, geom.height, geom.width);
+    for ch in 0..c {
+        let plane = &image[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let row = (ch * geom.kh + ky) * geom.kw + kx;
+                im2col_fill_row(plane, geom, ky, kx, cols, row * row_stride + col_offset);
+            }
+        }
+    }
+}
+
+/// Writes one patch row (all output positions of one `(channel, ky, kx)`
+/// tap) into `cols` starting at `base`. Every element of the destination
+/// row is assigned (padding positions as `0.0`).
+fn im2col_fill_row(
+    plane: &[f32],
+    geom: &ConvGeom,
+    ky: usize,
+    kx: usize,
+    cols: &mut [f32],
+    base: usize,
+) {
+    let (h, w) = (geom.height, geom.width);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let (stride, pad) = (geom.stride, geom.pad);
+    let (lo, hi) = valid_span(ow, stride, kx, pad, w);
+    for oy in 0..oh {
+        let dst = &mut cols[base + oy * ow..base + (oy + 1) * ow];
+        let iy = (oy * stride + ky) as isize - pad as isize;
+        if iy < 0 || iy >= h as isize {
+            dst.fill(0.0);
+            continue;
+        }
+        let src = &plane[iy as usize * w..(iy as usize + 1) * w];
+        dst[..lo].fill(0.0);
+        dst[hi..].fill(0.0);
+        if lo < hi {
+            let ix0 = lo * stride + kx - pad;
+            if stride == 1 {
+                dst[lo..hi].copy_from_slice(&src[ix0..ix0 + hi - lo]);
+            } else {
+                for (t, d) in dst[lo..hi].iter_mut().enumerate() {
+                    *d = src[ix0 + t * stride];
+                }
+            }
+        }
+    }
+}
+
+/// Strided single-image col2im core (exact adjoint of [`im2col_strided`]):
+/// scatter-adds patch row `r` read from `cols[r * row_stride + col_offset ..]`.
+fn col2im_strided(
+    cols: &[f32],
+    geom: &ConvGeom,
+    image_grad: &mut [f32],
+    row_stride: usize,
+    col_offset: usize,
+) {
+    let (c, h, w) = (geom.channels, geom.height, geom.width);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let (stride, pad) = (geom.stride, geom.pad);
+    for ch in 0..c {
+        let plane = &mut image_grad[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let row = (ch * geom.kh + ky) * geom.kw + kx;
+                let base = row * row_stride + col_offset;
+                let (lo, hi) = valid_span(ow, stride, kx, pad, w);
+                if lo >= hi {
+                    continue;
+                }
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src = &cols[base + oy * ow + lo..base + oy * ow + hi];
+                    let grow = &mut plane[iy as usize * w..(iy as usize + 1) * w];
+                    let ix0 = lo * stride + kx - pad;
+                    if stride == 1 {
+                        for (g, &v) in grow[ix0..ix0 + hi - lo].iter_mut().zip(src) {
+                            *g += v;
+                        }
+                    } else {
+                        for (t, &v) in src.iter().enumerate() {
+                            grow[ix0 + t * stride] += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Lowers one image `[C, H, W]` (given as a flat slice) into a patch matrix
 /// `[C·KH·KW, Hout·Wout]` written into `cols`.
 ///
@@ -71,37 +197,8 @@ impl ConvGeom {
 pub fn im2col(image: &[f32], geom: &ConvGeom, cols: &mut [f32]) {
     let (c, h, w) = (geom.channels, geom.height, geom.width);
     assert_eq!(image.len(), c * h * w, "image length mismatch");
-    let (oh, ow) = (geom.out_h(), geom.out_w());
     assert_eq!(cols.len(), geom.col_rows() * geom.col_cols(), "cols length mismatch");
-    let pad = geom.pad as isize;
-    let stride = geom.stride;
-    let n_cols = oh * ow;
-    for ch in 0..c {
-        for ky in 0..geom.kh {
-            for kx in 0..geom.kw {
-                let row = (ch * geom.kh + ky) * geom.kw + kx;
-                let out_base = row * n_cols;
-                for oy in 0..oh {
-                    let iy = (oy * stride) as isize + ky as isize - pad;
-                    if iy < 0 || iy >= h as isize {
-                        for ox in 0..ow {
-                            cols[out_base + oy * ow + ox] = 0.0;
-                        }
-                        continue;
-                    }
-                    let img_row = (ch * h + iy as usize) * w;
-                    for ox in 0..ow {
-                        let ix = (ox * stride) as isize + kx as isize - pad;
-                        cols[out_base + oy * ow + ox] = if ix < 0 || ix >= w as isize {
-                            0.0
-                        } else {
-                            image[img_row + ix as usize]
-                        };
-                    }
-                }
-            }
-        }
-    }
+    im2col_strided(image, geom, cols, geom.col_cols(), 0);
 }
 
 /// Adjoint of [`im2col`]: scatter-adds a patch-matrix gradient back onto an
@@ -114,32 +211,87 @@ pub fn im2col(image: &[f32], geom: &ConvGeom, cols: &mut [f32]) {
 pub fn col2im(cols: &[f32], geom: &ConvGeom, image_grad: &mut [f32]) {
     let (c, h, w) = (geom.channels, geom.height, geom.width);
     assert_eq!(image_grad.len(), c * h * w, "image_grad length mismatch");
-    let (oh, ow) = (geom.out_h(), geom.out_w());
     assert_eq!(cols.len(), geom.col_rows() * geom.col_cols(), "cols length mismatch");
-    let pad = geom.pad as isize;
-    let stride = geom.stride;
-    let n_cols = oh * ow;
-    for ch in 0..c {
-        for ky in 0..geom.kh {
-            for kx in 0..geom.kw {
-                let row = (ch * geom.kh + ky) * geom.kw + kx;
-                let col_base = row * n_cols;
-                for oy in 0..oh {
-                    let iy = (oy * stride) as isize + ky as isize - pad;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    let img_row = (ch * h + iy as usize) * w;
-                    for ox in 0..ow {
-                        let ix = (ox * stride) as isize + kx as isize - pad;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        image_grad[img_row + ix as usize] += cols[col_base + oy * ow + ox];
-                    }
-                }
-            }
+    col2im_strided(cols, geom, image_grad, geom.col_cols(), 0);
+}
+
+/// Lowers a whole batch `[N, C, H, W]` into one patch matrix
+/// `[C·KH·KW, N·Hout·Wout]` with sample-major column blocks: sample `i`
+/// occupies columns `[i·col_cols, (i+1)·col_cols)`. One fused matmul over
+/// this matrix replaces `N` per-sample multiplies.
+///
+/// # Panics
+///
+/// Panics if `images` or `cols` have the wrong length.
+pub fn im2col_batch(images: &[f32], geom: &ConvGeom, batch: usize, cols: &mut [f32]) {
+    let img_len = geom.channels * geom.height * geom.width;
+    assert_eq!(images.len(), batch * img_len, "image length mismatch");
+    let cc = geom.col_cols();
+    assert_eq!(cols.len(), geom.col_rows() * batch * cc, "cols length mismatch");
+    for i in 0..batch {
+        im2col_strided(&images[i * img_len..(i + 1) * img_len], geom, cols, batch * cc, i * cc);
+    }
+}
+
+/// Batch-fused im2col over a **selection of patch rows**: lowers only the
+/// kernel-matrix rows listed in `rows` (indices into the full
+/// `C·KH·KW` row space), writing them *compacted* in the given order, so
+/// `cols` is `[rows.len(), batch · col_cols]`. Paired with
+/// [`RectPattern`](crate::sparse::RectPattern) this skips the lowering
+/// work for input channels a structured mask has pruned.
+///
+/// # Panics
+///
+/// Panics if `images` or `cols` have the wrong length, or any row index
+/// is out of range.
+pub fn im2col_batch_select(
+    images: &[f32],
+    geom: &ConvGeom,
+    batch: usize,
+    cols: &mut [f32],
+    rows: &[u32],
+) {
+    let img_len = geom.channels * geom.height * geom.width;
+    assert_eq!(images.len(), batch * img_len, "image length mismatch");
+    let cc = geom.col_cols();
+    assert_eq!(cols.len(), rows.len() * batch * cc, "cols length mismatch");
+    let taps = geom.kh * geom.kw;
+    let row_stride = batch * cc;
+    for i in 0..batch {
+        let image = &images[i * img_len..(i + 1) * img_len];
+        for (ri, &row) in rows.iter().enumerate() {
+            let row = row as usize;
+            assert!(row < geom.col_rows(), "patch row {row} out of range");
+            let (ch, tap) = (row / taps, row % taps);
+            let (ky, kx) = (tap / geom.kw, tap % geom.kw);
+            let plane = &image[ch * geom.height * geom.width..(ch + 1) * geom.height * geom.width];
+            im2col_fill_row(plane, geom, ky, kx, cols, ri * row_stride + i * cc);
         }
+    }
+}
+
+/// Adjoint of [`im2col_batch`]: scatters a fused patch-matrix gradient
+/// `[C·KH·KW, N·Hout·Wout]` back to image gradients `[N, C, H, W]`.
+/// Unlike [`col2im`], `images_grad` is **overwritten** (zeroed first) —
+/// the batch-fused backward owns the whole input-gradient buffer.
+///
+/// # Panics
+///
+/// Panics if `cols` or `images_grad` have the wrong length.
+pub fn col2im_batch(cols: &[f32], geom: &ConvGeom, batch: usize, images_grad: &mut [f32]) {
+    let img_len = geom.channels * geom.height * geom.width;
+    assert_eq!(images_grad.len(), batch * img_len, "image_grad length mismatch");
+    let cc = geom.col_cols();
+    assert_eq!(cols.len(), geom.col_rows() * batch * cc, "cols length mismatch");
+    images_grad.fill(0.0);
+    for i in 0..batch {
+        col2im_strided(
+            cols,
+            geom,
+            &mut images_grad[i * img_len..(i + 1) * img_len],
+            batch * cc,
+            i * cc,
+        );
     }
 }
 
@@ -246,6 +398,53 @@ mod tests {
         }
     }
 
+    /// Elementwise reference for the optimised core: the old per-element
+    /// bounds-checked loop.
+    fn im2col_reference(image: &[f32], g: &ConvGeom, cols: &mut [f32]) {
+        let (c, h, w) = (g.channels, g.height, g.width);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let pad = g.pad as isize;
+        for ch in 0..c {
+            for ky in 0..g.kh {
+                for kx in 0..g.kw {
+                    let row = (ch * g.kh + ky) * g.kw + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * g.stride) as isize + ky as isize - pad;
+                        for ox in 0..ow {
+                            let ix = (ox * g.stride) as isize + kx as isize - pad;
+                            let inside = iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize;
+                            cols[row * oh * ow + oy * ow + ox] = if inside {
+                                image[(ch * h + iy as usize) * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_matches_elementwise_reference() {
+        let mut rng = SeededRng::new(43);
+        for &(c, h, w, k, s, p) in &[
+            (1, 6, 6, 3, 1, 0),
+            (2, 8, 7, 3, 2, 1),
+            (3, 5, 5, 5, 1, 2),
+            (1, 4, 9, 3, 3, 2),
+            (2, 1, 1, 3, 1, 1),
+        ] {
+            let g = geom_full(c, h, w, k, s, p);
+            let x = uniform(&[c * h * w], -1.0, 1.0, &mut rng);
+            let mut fast = vec![0.0; g.col_rows() * g.col_cols()];
+            let mut slow = vec![0.0; fast.len()];
+            im2col(x.data(), &g, &mut fast);
+            im2col_reference(x.data(), &g, &mut slow);
+            assert_eq!(fast, slow, "geometry {g:?}");
+        }
+    }
+
     #[test]
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for random x, y.
@@ -266,6 +465,48 @@ mod tests {
 
     fn geom_full(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> ConvGeom {
         ConvGeom { channels: c, height: h, width: w, kh: k, kw: k, stride: s, pad: p }
+    }
+
+    #[test]
+    fn im2col_batch_blocks_match_single_image_calls() {
+        let mut rng = SeededRng::new(47);
+        for &(n, c, h, w, k, s, p) in
+            &[(1, 2, 7, 7, 3, 1, 1), (3, 2, 8, 6, 3, 2, 1), (2, 1, 5, 5, 5, 1, 2)]
+        {
+            let g = geom_full(c, h, w, k, s, p);
+            let imgs = uniform(&[n * c * h * w], -1.0, 1.0, &mut rng);
+            let (cr, cc) = (g.col_rows(), g.col_cols());
+            let mut fused = vec![0.0; cr * n * cc];
+            im2col_batch(imgs.data(), &g, n, &mut fused);
+            for i in 0..n {
+                let mut single = vec![0.0; cr * cc];
+                im2col(&imgs.data()[i * c * h * w..(i + 1) * c * h * w], &g, &mut single);
+                for r in 0..cr {
+                    assert_eq!(
+                        &fused[r * n * cc + i * cc..r * n * cc + (i + 1) * cc],
+                        &single[r * cc..(r + 1) * cc],
+                        "sample {i} row {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_batch_is_adjoint_of_im2col_batch() {
+        let mut rng = SeededRng::new(53);
+        for &(n, c, h, w, k, s, p) in &[(2, 2, 6, 6, 3, 1, 0), (3, 1, 8, 7, 3, 2, 1)] {
+            let g = geom_full(c, h, w, k, s, p);
+            let x = uniform(&[n * c * h * w], -1.0, 1.0, &mut rng);
+            let y = uniform(&[g.col_rows() * n * g.col_cols()], -1.0, 1.0, &mut rng);
+            let mut cols = vec![0.0; y.len()];
+            im2col_batch(x.data(), &g, n, &mut cols);
+            let lhs: f32 = cols.iter().zip(y.data()).map(|(a, b)| a * b).sum();
+            let mut xg = vec![9.0; x.len()]; // col2im_batch must overwrite
+            col2im_batch(y.data(), &g, n, &mut xg);
+            let rhs: f32 = x.data().iter().zip(xg.iter()).map(|(a, b)| a * b).sum();
+            assert!((lhs - rhs).abs() < 1e-2, "adjoint mismatch {lhs} vs {rhs}");
+        }
     }
 
     #[test]

@@ -9,9 +9,17 @@
 //! * elementwise and scalar arithmetic (allocating and in-place),
 //! * matrix multiplication including the transposed variants needed by
 //!   backprop ([`linalg::matmul`], [`linalg::matmul_tn`], [`linalg::matmul_nt`]),
-//! * `im2col`/`col2im` lowering for convolutions ([`conv`]),
+//!   as cache-blocked kernels with slice-level entry points,
+//! * mask-derived compressed-row kernels so pruned layers do
+//!   proportionally less work ([`sparse`]),
+//! * `im2col`/`col2im` lowering for convolutions, single-image and
+//!   batch-fused ([`conv`]),
+//! * a reusable scratch-buffer arena for the training hot path
+//!   ([`workspace`]),
 //! * reductions and softmax utilities ([`reduce`]),
 //! * seeded random initialisation ([`init`]).
+//!
+//! Kernel design and measured numbers live in `docs/PERFORMANCE.md`.
 //!
 //! # Example
 //!
@@ -32,6 +40,8 @@ pub mod conv;
 pub mod init;
 pub mod linalg;
 pub mod reduce;
+pub mod sparse;
+pub mod workspace;
 
 pub use error::{ShapeError, TensorError};
 pub use tensor::Tensor;

@@ -7,15 +7,290 @@
 //! * [`matmul_tn`]: `C = Aᵀ · B`    with `A: [k,m]`, `B: [k,n]`
 //! * [`matmul_nt`]: `C = A · Bᵀ`    with `A: [m,k]`, `B: [n,k]`
 //!
-//! The kernels are written i-k-j (or the equivalent) so the inner loop is a
-//! contiguous axpy, which the compiler auto-vectorises; this matters because
-//! the reproduction runs on plain CPUs.
+//! Each is a thin wrapper over a slice-level kernel ([`gemm`], [`gemm_tn`],
+//! [`gemm_nt`]) so hot paths can reuse [`crate::workspace::Workspace`]
+//! buffers instead of allocating per call.
+//!
+//! # Kernel design
+//!
+//! The axpy-form kernels (`gemm`, `gemm_tn`) are cache-blocked and
+//! register-tiled: the output is processed in column panels of [`NC`]
+//! floats (so the live output slices stay in L1), the reduction dimension
+//! in panels of [`KC`] (so the B panel stays in L2), and the microkernel
+//! updates two output rows from four B rows at a time — eight
+//! multiply-adds per loaded B value, all expressed as contiguous
+//! slice-zips the compiler auto-vectorises. The dot-form kernel
+//! (`gemm_nt`) runs eight independent accumulator lanes per dot product
+//! to break the serial dependency chain. No SIMD intrinsics: this
+//! reproduction targets plain CPUs and portable autovectorisation.
+//!
+//! # Pruned-zero policy
+//!
+//! The dense kernels perform **no per-element zero tests**. Earlier
+//! revisions skipped `a == 0.0` entries inside `matmul`/`matmul_tn` (but,
+//! inconsistently, not `matmul_nt`); that branch defeats vectorisation
+//! and made the three kernels disagree on cost for the same pruned
+//! weights. The policy is now uniform: dense kernels are branch-free, and
+//! pruned-weight sparsity is exploited *structurally* by the mask-derived
+//! compressed-row kernels in [`crate::sparse`], which are built once per
+//! round rather than re-checked per element. The [`naive_matmul`] family
+//! below keeps the plain triple-loop semantics (also without zero tests)
+//! as the oracle every optimised kernel is property-tested against.
 
 use crate::Tensor;
+
+/// Output-column panel width: live output slices stay within L1.
+pub const NC: usize = 256;
+/// Reduction panel depth: the B panel (`KC × NC` floats) stays within L2.
+pub const KC: usize = 512;
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
     assert_eq!(t.ndim(), 2, "{what} must be 2-D, got shape {:?}", t.shape());
     (t.shape()[0], t.shape()[1])
+}
+
+/// Microkernel: two output rows accumulate four scaled B rows.
+///
+/// All five read slices and both write slices have identical length, so
+/// the zip chain lowers to one bounds check and a vectorised loop of
+/// eight fused multiply-adds per element.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // two C rows + two scale quads + four B rows, by design
+fn mk2x4(
+    c0: &mut [f32],
+    c1: &mut [f32],
+    s0: [f32; 4],
+    s1: [f32; 4],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) {
+    let iter = c0.iter_mut().zip(c1.iter_mut()).zip(b0).zip(b1).zip(b2).zip(b3);
+    for (((((x0, x1), &v0), &v1), &v2), &v3) in iter {
+        *x0 += s0[0] * v0 + s0[1] * v1 + s0[2] * v2 + s0[3] * v3;
+        *x1 += s1[0] * v0 + s1[1] * v1 + s1[2] * v2 + s1[3] * v3;
+    }
+}
+
+/// Microkernel: two output rows accumulate one scaled B row (k remainder).
+#[inline(always)]
+fn mk2x1(c0: &mut [f32], c1: &mut [f32], s0: f32, s1: f32, b: &[f32]) {
+    for ((x0, x1), &v) in c0.iter_mut().zip(c1.iter_mut()).zip(b) {
+        *x0 += s0 * v;
+        *x1 += s1 * v;
+    }
+}
+
+/// Microkernel: one output row accumulates four scaled B rows (m remainder).
+#[inline(always)]
+pub(crate) fn mk1x4(c0: &mut [f32], s: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    let iter = c0.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3);
+    for ((((x0, &v0), &v1), &v2), &v3) in iter {
+        *x0 += s[0] * v0 + s[1] * v1 + s[2] * v2 + s[3] * v3;
+    }
+}
+
+/// Microkernel: plain axpy, `c += s · b`.
+#[inline(always)]
+pub(crate) fn axpy(c: &mut [f32], s: f32, b: &[f32]) {
+    for (x, &v) in c.iter_mut().zip(b) {
+        *x += s * v;
+    }
+}
+
+/// Eight-lane dot product: independent partial sums break the serial
+/// accumulation chain so the loop vectorises.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let ca = a.chunks_exact(8);
+    let cb = b.chunks_exact(8);
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    for (xa, xb) in ca.zip(cb) {
+        for (lane, (&x, &y)) in lanes.iter_mut().zip(xa.iter().zip(xb)) {
+            *lane += x * y;
+        }
+    }
+    tail + lanes.iter().sum::<f32>()
+}
+
+/// Slice-level `C = A · B` with `A: [m,k]`, `B: [k,n]`; `out` is
+/// overwritten. Blocked and register-tiled as described in the module
+/// header.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm: out length mismatch");
+    out.fill(0.0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = NC.min(n - j0);
+        let mut p0 = 0;
+        while p0 < k {
+            let kb = KC.min(k - p0);
+            let mut i = 0;
+            while i + 2 <= m {
+                let (head, tail) = out.split_at_mut((i + 1) * n);
+                let c0 = &mut head[i * n + j0..i * n + j0 + jn];
+                let c1 = &mut tail[j0..j0 + jn];
+                let a0 = &a[i * k..(i + 1) * k];
+                let a1 = &a[(i + 1) * k..(i + 2) * k];
+                let mut p = p0;
+                while p + 4 <= p0 + kb {
+                    let b0 = &b[p * n + j0..][..jn];
+                    let b1 = &b[(p + 1) * n + j0..][..jn];
+                    let b2 = &b[(p + 2) * n + j0..][..jn];
+                    let b3 = &b[(p + 3) * n + j0..][..jn];
+                    let s0 = [a0[p], a0[p + 1], a0[p + 2], a0[p + 3]];
+                    let s1 = [a1[p], a1[p + 1], a1[p + 2], a1[p + 3]];
+                    mk2x4(c0, c1, s0, s1, b0, b1, b2, b3);
+                    p += 4;
+                }
+                while p < p0 + kb {
+                    mk2x1(c0, c1, a0[p], a1[p], &b[p * n + j0..][..jn]);
+                    p += 1;
+                }
+                i += 2;
+            }
+            if i < m {
+                let c0 = &mut out[i * n + j0..i * n + j0 + jn];
+                let a0 = &a[i * k..(i + 1) * k];
+                let mut p = p0;
+                while p + 4 <= p0 + kb {
+                    let b0 = &b[p * n + j0..][..jn];
+                    let b1 = &b[(p + 1) * n + j0..][..jn];
+                    let b2 = &b[(p + 2) * n + j0..][..jn];
+                    let b3 = &b[(p + 3) * n + j0..][..jn];
+                    mk1x4(c0, [a0[p], a0[p + 1], a0[p + 2], a0[p + 3]], b0, b1, b2, b3);
+                    p += 4;
+                }
+                while p < p0 + kb {
+                    axpy(c0, a0[p], &b[p * n + j0..][..jn]);
+                    p += 1;
+                }
+            }
+            p0 += kb;
+        }
+        j0 += jn;
+    }
+}
+
+/// Slice-level `C = Aᵀ · B` with `A: [k,m]`, `B: [k,n]`; `out` is
+/// overwritten. Same blocking as [`gemm`]; only the scalar gather from A
+/// differs (column-strided instead of row-contiguous).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_tn(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "gemm_tn: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_tn: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_tn: out length mismatch");
+    out.fill(0.0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = NC.min(n - j0);
+        let mut p0 = 0;
+        while p0 < k {
+            let kb = KC.min(k - p0);
+            let mut i = 0;
+            while i + 2 <= m {
+                let (head, tail) = out.split_at_mut((i + 1) * n);
+                let c0 = &mut head[i * n + j0..i * n + j0 + jn];
+                let c1 = &mut tail[j0..j0 + jn];
+                let mut p = p0;
+                while p + 4 <= p0 + kb {
+                    let b0 = &b[p * n + j0..][..jn];
+                    let b1 = &b[(p + 1) * n + j0..][..jn];
+                    let b2 = &b[(p + 2) * n + j0..][..jn];
+                    let b3 = &b[(p + 3) * n + j0..][..jn];
+                    let s0 =
+                        [a[p * m + i], a[(p + 1) * m + i], a[(p + 2) * m + i], a[(p + 3) * m + i]];
+                    let s1 = [
+                        a[p * m + i + 1],
+                        a[(p + 1) * m + i + 1],
+                        a[(p + 2) * m + i + 1],
+                        a[(p + 3) * m + i + 1],
+                    ];
+                    mk2x4(c0, c1, s0, s1, b0, b1, b2, b3);
+                    p += 4;
+                }
+                while p < p0 + kb {
+                    mk2x1(c0, c1, a[p * m + i], a[p * m + i + 1], &b[p * n + j0..][..jn]);
+                    p += 1;
+                }
+                i += 2;
+            }
+            if i < m {
+                let c0 = &mut out[i * n + j0..i * n + j0 + jn];
+                let mut p = p0;
+                while p + 4 <= p0 + kb {
+                    let b0 = &b[p * n + j0..][..jn];
+                    let b1 = &b[(p + 1) * n + j0..][..jn];
+                    let b2 = &b[(p + 2) * n + j0..][..jn];
+                    let b3 = &b[(p + 3) * n + j0..][..jn];
+                    let s =
+                        [a[p * m + i], a[(p + 1) * m + i], a[(p + 2) * m + i], a[(p + 3) * m + i]];
+                    mk1x4(c0, s, b0, b1, b2, b3);
+                    p += 4;
+                }
+                while p < p0 + kb {
+                    axpy(c0, a[p * m + i], &b[p * n + j0..][..jn]);
+                    p += 1;
+                }
+            }
+            p0 += kb;
+        }
+        j0 += jn;
+    }
+}
+
+/// Slice-level `C = A · Bᵀ` with `A: [m,k]`, `B: [n,k]`; `out` is
+/// overwritten. Both operands are row-contiguous along `k`, so each output
+/// element is one eight-lane [`dot`].
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nt: lhs length mismatch");
+    assert_eq!(b.len(), n * k, "gemm_nt: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_nt: out length mismatch");
+    for (i, orow) in out.chunks_exact_mut(n.max(1)).take(m).enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = dot(arow, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// Transposes a `rows × cols` row-major slice into `dst` (`cols × rows`).
+///
+/// # Panics
+///
+/// Panics if either slice length disagrees with the dimensions.
+pub fn transpose_into(rows: usize, cols: usize, src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), rows * cols, "transpose_into: src length mismatch");
+    assert_eq!(dst.len(), rows * cols, "transpose_into: dst length mismatch");
+    for (r, row) in src.chunks_exact(cols.max(1)).take(rows).enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            dst[c * rows + r] = v;
+        }
+    }
 }
 
 /// `C = A · B` for `A: [m, k]` and `B: [k, n]`.
@@ -28,24 +303,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            // Exact-zero fast path: pruned weights are written as literal 0.0,
-            // so bitwise equality is the intended test.
-            // lint: allow(float-eq)
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
+    gemm(m, k, n, a.data(), b.data(), &mut out);
     Tensor::from_parts(vec![m, n], out)
 }
 
@@ -59,23 +317,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = dims2(b, "matmul_tn rhs");
     assert_eq!(k, k2, "matmul_tn: leading dims {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            // Exact-zero fast path over pruned weights, as in `matmul`.
-            // lint: allow(float-eq)
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
+    gemm_tn(k, m, n, a.data(), b.data(), &mut out);
     Tensor::from_parts(vec![m, n], out)
 }
 
@@ -89,20 +331,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = dims2(b, "matmul_nt rhs");
     assert_eq!(k, k2, "matmul_nt: trailing dims {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                acc += av * bv;
-            }
-            *o = acc;
-        }
-    }
+    gemm_nt(m, k, n, a.data(), b.data(), &mut out);
     Tensor::from_parts(vec![m, n], out)
 }
 
@@ -113,14 +342,83 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 /// Panics if the input is not 2-D.
 pub fn transpose(a: &Tensor) -> Tensor {
     let (m, n) = dims2(a, "transpose");
+    let mut out = vec![0.0f32; m * n];
+    transpose_into(m, n, a.data(), &mut out);
+    Tensor::from_parts(vec![n, m], out)
+}
+
+/// Reference `C = A · B`: the plain i-j-p triple loop, unblocked, untiled,
+/// and without any zero test. This is the oracle the optimised kernels are
+/// property-tested against; it is intentionally slow and obviously correct.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the inner dimensions disagree.
+pub fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "naive_matmul lhs");
+    let (k2, n) = dims2(b, "naive_matmul rhs");
+    assert_eq!(k, k2, "naive_matmul: inner dims {k} vs {k2}");
     let ad = a.data();
+    let bd = b.data();
     let mut out = vec![0.0f32; m * n];
     for i in 0..m {
         for j in 0..n {
-            out[j * m + i] = ad[i * n + j];
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += ad[i * k + p] * bd[p * n + j];
+            }
+            out[i * n + j] = acc;
         }
     }
-    Tensor::from_parts(vec![n, m], out)
+    Tensor::from_parts(vec![m, n], out)
+}
+
+/// Reference `C = Aᵀ · B` (see [`naive_matmul`] for the oracle contract).
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the leading dimensions disagree.
+pub fn naive_matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "naive_matmul_tn lhs");
+    let (k2, n) = dims2(b, "naive_matmul_tn rhs");
+    assert_eq!(k, k2, "naive_matmul_tn: leading dims {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += ad[p * m + i] * bd[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_parts(vec![m, n], out)
+}
+
+/// Reference `C = A · Bᵀ` (see [`naive_matmul`] for the oracle contract).
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the trailing dimensions disagree.
+pub fn naive_matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "naive_matmul_nt lhs");
+    let (n, k2) = dims2(b, "naive_matmul_nt rhs");
+    assert_eq!(k, k2, "naive_matmul_nt: trailing dims {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += ad[i * k + p] * bd[j * k + p];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_parts(vec![m, n], out)
 }
 
 #[cfg(test)]
@@ -130,23 +428,6 @@ mod tests {
 
     fn t(shape: &[usize], data: &[f32]) -> Tensor {
         Tensor::from_vec(shape.to_vec(), data.to_vec()).unwrap()
-    }
-
-    /// Naive triple-loop reference multiply.
-    fn reference_matmul(a: &Tensor, b: &Tensor) -> Vec<f32> {
-        let (m, k) = (a.shape()[0], a.shape()[1]);
-        let n = b.shape()[1];
-        let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0.0;
-                for p in 0..k {
-                    acc += a.data()[i * k + p] * b.data()[p * n + j];
-                }
-                out[i * n + j] = acc;
-            }
-        }
-        out
     }
 
     #[test]
@@ -167,36 +448,82 @@ mod tests {
     }
 
     #[test]
-    fn matmul_matches_reference_random() {
+    fn matmul_matches_naive_oracle_random() {
         let mut rng = crate::init::SeededRng::new(7);
-        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (8, 8, 8), (5, 17, 3)] {
+        // Shapes chosen to hit every blocking edge: odd m (row remainder),
+        // k % 4 != 0 (depth remainder), k and n crossing the KC/NC panels.
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 4, 5), (8, 8, 8), (5, 17, 3), (7, 513, 2), (2, 3, 300), (6, 75, 784)]
+        {
             let a = crate::init::uniform(&[m, k], -1.0, 1.0, &mut rng);
             let b = crate::init::uniform(&[k, n], -1.0, 1.0, &mut rng);
             let c = matmul(&a, &b);
-            assert_slice_close(c.data(), &reference_matmul(&a, &b), 1e-4, 1e-4);
+            assert_slice_close(c.data(), naive_matmul(&a, &b).data(), 1e-4, 1e-4);
         }
     }
 
     #[test]
     fn matmul_tn_equals_explicit_transpose() {
         let mut rng = crate::init::SeededRng::new(11);
-        let a = crate::init::uniform(&[4, 3], -1.0, 1.0, &mut rng);
-        let b = crate::init::uniform(&[4, 5], -1.0, 1.0, &mut rng);
-        let via_tn = matmul_tn(&a, &b);
-        let via_t = matmul(&transpose(&a), &b);
-        assert_eq!(via_tn.shape(), &[3, 5]);
-        assert_slice_close(via_tn.data(), via_t.data(), 1e-5, 1e-5);
+        for &(k, m, n) in &[(4, 3, 5), (9, 7, 11), (300, 5, 6)] {
+            let a = crate::init::uniform(&[k, m], -1.0, 1.0, &mut rng);
+            let b = crate::init::uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let via_tn = matmul_tn(&a, &b);
+            let via_t = matmul(&transpose(&a), &b);
+            assert_eq!(via_tn.shape(), &[m, n]);
+            assert_slice_close(via_tn.data(), via_t.data(), 1e-4, 1e-4);
+            assert_slice_close(via_tn.data(), naive_matmul_tn(&a, &b).data(), 1e-4, 1e-4);
+        }
     }
 
     #[test]
     fn matmul_nt_equals_explicit_transpose() {
         let mut rng = crate::init::SeededRng::new(13);
-        let a = crate::init::uniform(&[4, 3], -1.0, 1.0, &mut rng);
-        let b = crate::init::uniform(&[5, 3], -1.0, 1.0, &mut rng);
-        let via_nt = matmul_nt(&a, &b);
-        let via_t = matmul(&a, &transpose(&b));
-        assert_eq!(via_nt.shape(), &[4, 5]);
-        assert_slice_close(via_nt.data(), via_t.data(), 1e-5, 1e-5);
+        for &(m, k, n) in &[(4, 3, 5), (6, 19, 2), (3, 70, 9)] {
+            let a = crate::init::uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = crate::init::uniform(&[n, k], -1.0, 1.0, &mut rng);
+            let via_nt = matmul_nt(&a, &b);
+            let via_t = matmul(&a, &transpose(&b));
+            assert_eq!(via_nt.shape(), &[m, n]);
+            assert_slice_close(via_nt.data(), via_t.data(), 1e-4, 1e-4);
+            assert_slice_close(via_nt.data(), naive_matmul_nt(&a, &b).data(), 1e-4, 1e-4);
+        }
+    }
+
+    #[test]
+    fn dense_kernels_do_not_special_case_zeros() {
+        // Half-zeroed lhs: blocked and naive agree exactly on which
+        // positions are zero (no branchy skip path to diverge on).
+        let mut rng = crate::init::SeededRng::new(17);
+        let mut a = crate::init::uniform(&[5, 12], -1.0, 1.0, &mut rng);
+        for v in a.data_mut().iter_mut().step_by(2) {
+            *v = 0.0;
+        }
+        let b = crate::init::uniform(&[12, 7], -1.0, 1.0, &mut rng);
+        assert_slice_close(matmul(&a, &b).data(), naive_matmul(&a, &b).data(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn gemm_degenerate_dims_are_zero_filled() {
+        let mut out = vec![1.0f32; 0];
+        gemm(0, 3, 0, &[], &[0.0; 0], &mut out);
+        let a = Tensor::zeros(&[2, 0]);
+        let b = Tensor::zeros(&[0, 3]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert!(c.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dot_matches_scalar_sum() {
+        let mut rng = crate::init::SeededRng::new(19);
+        for &len in &[0usize, 1, 7, 8, 9, 64, 100] {
+            let a = crate::init::uniform(&[len.max(1)], -1.0, 1.0, &mut rng);
+            let b = crate::init::uniform(&[len.max(1)], -1.0, 1.0, &mut rng);
+            let (ad, bd) = (&a.data()[..len], &b.data()[..len]);
+            let expect: f32 = ad.iter().zip(bd).map(|(x, y)| x * y).sum();
+            assert!((dot(ad, bd) - expect).abs() < 1e-4);
+        }
     }
 
     #[test]
@@ -204,6 +531,15 @@ mod tests {
         let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let tt = transpose(&transpose(&a));
         assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let mut rng = crate::init::SeededRng::new(23);
+        let a = crate::init::uniform(&[5, 9], -1.0, 1.0, &mut rng);
+        let mut dst = vec![0.0; 45];
+        transpose_into(5, 9, a.data(), &mut dst);
+        assert_eq!(dst, transpose(&a).into_vec());
     }
 
     #[test]

@@ -1,0 +1,409 @@
+//! Mask-derived compressed-row kernels.
+//!
+//! Sub-FedAvg clients train under a fixed binary `ModelMask` for the
+//! whole round: masked weights are exactly `0.0` and stay zero through
+//! every SGD step (the optimiser re-zeros them). That makes the sparsity
+//! *structural* — the set of kept positions is known up front — so instead
+//! of testing every weight against zero inside the dense kernels, we build
+//! a [`RowPattern`] (CSR-style index structure, no values) **once per
+//! round** and run kernels that only ever touch kept entries.
+//!
+//! Values are *not* stored in the pattern: weights change on every SGD
+//! step while the pattern does not, so the kernels gather values from the
+//! live dense weight tensor at use time. Three kernels cover both layer
+//! types in forward and backward:
+//!
+//! * [`spmm`]          — `C = W · B` (forward lowering),
+//! * [`spmm_t`]        — `C = Wᵀ · B` (input gradient),
+//! * [`masked_dot_nt`] — `C = A · Bᵀ` evaluated only at kept positions
+//!   (weight gradient; masked positions are written as `0.0`, which is
+//!   exactly what the masked optimiser step would produce).
+//!
+//! All three stream contiguous row slices so the inner loops
+//! auto-vectorise; work scales with the number of kept weights, which is
+//! where the paper's ~2.4× FLOP-reduction claim becomes wall-clock time.
+//!
+//! `ModelMask` lives in `subfed-nn`; this crate only sees raw mask bits
+//! (`0.0`/`1.0` slices), keeping the dependency direction intact.
+
+use crate::linalg::{axpy, dot, mk1x4, NC};
+
+/// Density at or below which the sparse kernels beat the blocked dense
+/// path on the shapes this repo trains (see `docs/PERFORMANCE.md`).
+/// Layers denser than this should stay on the dense kernels.
+pub const SPARSE_DENSITY_MAX: f32 = 0.75;
+
+/// CSR-style row pattern over a `rows × cols` weight matrix: per row, the
+/// sorted column indices of *kept* (unmasked) entries. Indices only — the
+/// weight values are read from the dense tensor at kernel-call time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPattern {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+}
+
+impl RowPattern {
+    /// Builds the pattern from row-major mask bits (`0.0` = pruned,
+    /// anything else = kept), matching `ModelMask` semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != rows * cols` or the matrix is too large
+    /// for `u32` indexing (never the case for the paper's models).
+    pub fn from_mask(rows: usize, cols: usize, bits: &[f32]) -> Self {
+        assert_eq!(bits.len(), rows * cols, "mask bits length mismatch");
+        assert!(cols <= u32::MAX as usize, "column count overflows u32");
+        assert!(bits.len() <= u32::MAX as usize, "pattern size overflows u32");
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0u32);
+        for row_bits in bits.chunks_exact(cols.max(1)).take(rows) {
+            for (c, &bit) in row_bits.iter().enumerate() {
+                // lint: allow(float-eq)
+                if bit != 0.0 {
+                    col_idx.push(c as u32);
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Self { rows, cols, row_ptr, col_idx }
+    }
+
+    /// Number of matrix rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of matrix columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of kept entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Kept fraction in `[0, 1]`; `1.0` for a degenerate empty matrix.
+    pub fn density(&self) -> f32 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            1.0
+        } else {
+            self.nnz() as f32 / total as f32
+        }
+    }
+
+    /// Kept column indices of row `r`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[u32] {
+        let lo = self.row_ptr[r] as usize;
+        let hi = self.row_ptr[r + 1] as usize;
+        &self.col_idx[lo..hi]
+    }
+}
+
+/// Rectangular factorisation of a [`RowPattern`]: every kept row shares
+/// the same column support, so the kept entries form a dense
+/// `keep_rows × used_cols` sub-matrix.
+///
+/// This is exactly the shape structured (channel) pruning produces —
+/// removing an output channel empties a whole row, removing an input
+/// channel removes the same column block from every row. Compacting the
+/// kept weights into the rectangle lets forward inference run the
+/// *blocked dense* kernel on the small matrix, realising the "smaller
+/// network" structured pruning promises instead of paying the gather
+/// overhead of the general sparse path. Like [`RowPattern`], no weight
+/// values are stored: they change every SGD step, so
+/// [`gather_weights`](Self::gather_weights) compacts from the live dense
+/// tensor at call time (a few hundred floats for the paper's models).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RectPattern {
+    rows: usize,
+    cols: usize,
+    keep_rows: Vec<u32>,
+    used_cols: Vec<u32>,
+}
+
+impl RectPattern {
+    /// Returns the rectangle when `pat` is rectangular — every non-empty
+    /// row has the identical column support — and `None` otherwise
+    /// (unstructured masks almost never qualify).
+    pub fn from_pattern(pat: &RowPattern) -> Option<Self> {
+        let keep_rows: Vec<u32> =
+            (0..pat.rows()).filter(|&r| !pat.row(r).is_empty()).map(|r| r as u32).collect();
+        let used_cols: Vec<u32> = match keep_rows.first() {
+            Some(&first) => pat.row(first as usize).to_vec(),
+            None => Vec::new(),
+        };
+        for &r in &keep_rows {
+            if pat.row(r as usize) != used_cols.as_slice() {
+                return None;
+            }
+        }
+        Some(Self { rows: pat.rows(), cols: pat.cols(), keep_rows, used_cols })
+    }
+
+    /// Total rows of the underlying (uncompacted) matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total columns of the underlying (uncompacted) matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Indices of the kept rows, sorted ascending.
+    pub fn keep_rows(&self) -> &[u32] {
+        &self.keep_rows
+    }
+
+    /// Shared column support of the kept rows, sorted ascending.
+    pub fn used_cols(&self) -> &[u32] {
+        &self.used_cols
+    }
+
+    /// Gathers the kept sub-matrix of `vals` (row-major `rows × cols`)
+    /// into `out` (row-major `keep_rows.len() × used_cols.len()`),
+    /// overwriting every element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` or `out` have the wrong length.
+    pub fn gather_weights(&self, vals: &[f32], out: &mut [f32]) {
+        assert_eq!(vals.len(), self.rows * self.cols, "gather_weights: vals length mismatch");
+        assert_eq!(
+            out.len(),
+            self.keep_rows.len() * self.used_cols.len(),
+            "gather_weights: out length mismatch"
+        );
+        let width = self.used_cols.len();
+        for (dst, &r) in out.chunks_exact_mut(width.max(1)).zip(&self.keep_rows) {
+            let vrow = &vals[r as usize * self.cols..(r as usize + 1) * self.cols];
+            for (d, &c) in dst.iter_mut().zip(&self.used_cols) {
+                *d = vrow[c as usize];
+            }
+        }
+    }
+}
+
+/// `C = W · B` where only the kept entries of `W` (row-major
+/// `rows × cols`, read from `vals`) participate. `B` is `[cols, n]`,
+/// `out` is `[rows, n]` and is overwritten.
+///
+/// Column-panelled like the dense kernels so the live output slice stays
+/// in L1, with a four-way unrolled gather-axpy over kept columns.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the pattern and `n`.
+pub fn spmm(pat: &RowPattern, vals: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(vals.len(), pat.rows * pat.cols, "spmm: vals length mismatch");
+    assert_eq!(b.len(), pat.cols * n, "spmm: rhs length mismatch");
+    assert_eq!(out.len(), pat.rows * n, "spmm: out length mismatch");
+    out.fill(0.0);
+    if n == 0 {
+        return;
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = NC.min(n - j0);
+        for r in 0..pat.rows {
+            let crow = &mut out[r * n + j0..r * n + j0 + jn];
+            let vrow = &vals[r * pat.cols..(r + 1) * pat.cols];
+            let idx = pat.row(r);
+            let mut t = 0;
+            while t + 4 <= idx.len() {
+                let c0 = idx[t] as usize;
+                let c1 = idx[t + 1] as usize;
+                let c2 = idx[t + 2] as usize;
+                let c3 = idx[t + 3] as usize;
+                mk1x4(
+                    crow,
+                    [vrow[c0], vrow[c1], vrow[c2], vrow[c3]],
+                    &b[c0 * n + j0..][..jn],
+                    &b[c1 * n + j0..][..jn],
+                    &b[c2 * n + j0..][..jn],
+                    &b[c3 * n + j0..][..jn],
+                );
+                t += 4;
+            }
+            while t < idx.len() {
+                let c = idx[t] as usize;
+                axpy(crow, vrow[c], &b[c * n + j0..][..jn]);
+                t += 1;
+            }
+        }
+        j0 += jn;
+    }
+}
+
+/// `C = Wᵀ · B` where only the kept entries of `W` participate. `B` is
+/// `[rows, n]`, `out` is `[cols, n]` and is overwritten (pruned rows of
+/// `Wᵀ` yield zero rows).
+///
+/// Scatter-axpy form: each kept `(r, c)` adds `W[r,c] · B[r, ·]` into
+/// `out[c, ·]` — contiguous along `n`, panelled so the scattered output
+/// rows stay cache-resident within a column block.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the pattern and `n`.
+pub fn spmm_t(pat: &RowPattern, vals: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(vals.len(), pat.rows * pat.cols, "spmm_t: vals length mismatch");
+    assert_eq!(b.len(), pat.rows * n, "spmm_t: rhs length mismatch");
+    assert_eq!(out.len(), pat.cols * n, "spmm_t: out length mismatch");
+    out.fill(0.0);
+    if n == 0 {
+        return;
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = NC.min(n - j0);
+        for r in 0..pat.rows {
+            let brow = &b[r * n + j0..r * n + j0 + jn];
+            let vrow = &vals[r * pat.cols..(r + 1) * pat.cols];
+            for &ci in pat.row(r) {
+                let c = ci as usize;
+                axpy(&mut out[c * n + j0..c * n + j0 + jn], vrow[c], brow);
+            }
+        }
+        j0 += jn;
+    }
+}
+
+/// `C = A · Bᵀ` evaluated **only at kept positions** of the pattern;
+/// every pruned position of `out` is written as `0.0`. `A` is `[rows, n]`,
+/// `B` is `[cols, n]`, `out` is `[rows, cols]` and is overwritten.
+///
+/// This is the weight-gradient kernel: under a fixed mask the optimiser
+/// zeroes pruned-weight gradients anyway, so skipping them here is exact,
+/// not approximate. Each kept entry is one contiguous eight-lane [`dot`].
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the pattern and `n`.
+pub fn masked_dot_nt(pat: &RowPattern, a: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), pat.rows * n, "masked_dot_nt: lhs length mismatch");
+    assert_eq!(b.len(), pat.cols * n, "masked_dot_nt: rhs length mismatch");
+    assert_eq!(out.len(), pat.rows * pat.cols, "masked_dot_nt: out length mismatch");
+    out.fill(0.0);
+    for r in 0..pat.rows {
+        let arow = &a[r * n..(r + 1) * n];
+        let orow = &mut out[r * pat.cols..(r + 1) * pat.cols];
+        for &ci in pat.row(r) {
+            let c = ci as usize;
+            orow[c] = dot(arow, &b[c * n..(c + 1) * n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_slice_close;
+    use crate::init::{uniform, SeededRng};
+    use crate::linalg::{matmul, matmul_nt, matmul_tn};
+    use crate::Tensor;
+
+    /// Random 0/1 mask with roughly `density` kept bits.
+    fn random_mask(rows: usize, cols: usize, density: f32, rng: &mut SeededRng) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|_| if rng.uniform_f32(0.0, 1.0) < density { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    fn masked_tensor(shape: &[usize], bits: &[f32], rng: &mut SeededRng) -> Tensor {
+        let mut w = uniform(shape, -1.0, 1.0, rng);
+        for (v, &bit) in w.data_mut().iter_mut().zip(bits) {
+            *v *= bit;
+        }
+        w
+    }
+
+    #[test]
+    fn pattern_counts_and_rows() {
+        let bits = vec![1.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+        let pat = RowPattern::from_mask(2, 3, &bits);
+        assert_eq!((pat.rows(), pat.cols(), pat.nnz()), (2, 3, 2));
+        assert_eq!(pat.row(0), &[0, 2]);
+        assert_eq!(pat.row(1), &[] as &[u32]);
+        assert!((pat.density() - 2.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spmm_matches_dense_masked_matmul() {
+        let mut rng = SeededRng::new(31);
+        for &(rows, cols, n, density) in
+            &[(6, 75, 98, 0.5), (5, 7, 1, 0.3), (4, 9, 300, 0.1), (3, 8, 4, 1.0), (2, 6, 5, 0.0)]
+        {
+            let bits = random_mask(rows, cols, density, &mut rng);
+            let w = masked_tensor(&[rows, cols], &bits, &mut rng);
+            let bm = uniform(&[cols, n], -1.0, 1.0, &mut rng);
+            let pat = RowPattern::from_mask(rows, cols, &bits);
+            let mut out = vec![0.0f32; rows * n];
+            spmm(&pat, w.data(), bm.data(), n, &mut out);
+            assert_slice_close(&out, matmul(&w, &bm).data(), 1e-4, 1e-4);
+        }
+    }
+
+    #[test]
+    fn spmm_t_matches_dense_masked_matmul_tn() {
+        let mut rng = SeededRng::new(37);
+        for &(rows, cols, n, density) in &[(6, 75, 98, 0.5), (5, 7, 1, 0.25), (3, 4, 6, 0.0)] {
+            let bits = random_mask(rows, cols, density, &mut rng);
+            let w = masked_tensor(&[rows, cols], &bits, &mut rng);
+            let bm = uniform(&[rows, n], -1.0, 1.0, &mut rng);
+            let pat = RowPattern::from_mask(rows, cols, &bits);
+            let mut out = vec![0.0f32; cols * n];
+            spmm_t(&pat, w.data(), bm.data(), n, &mut out);
+            assert_slice_close(&out, matmul_tn(&w, &bm).data(), 1e-4, 1e-4);
+        }
+    }
+
+    #[test]
+    fn masked_dot_nt_matches_masked_dense_product() {
+        let mut rng = SeededRng::new(41);
+        for &(rows, cols, n, density) in &[(6, 75, 98, 0.5), (4, 5, 1, 0.4), (3, 6, 9, 0.0)] {
+            let bits = random_mask(rows, cols, density, &mut rng);
+            let a = uniform(&[rows, n], -1.0, 1.0, &mut rng);
+            let bm = uniform(&[cols, n], -1.0, 1.0, &mut rng);
+            let pat = RowPattern::from_mask(rows, cols, &bits);
+            let mut out = vec![0.0f32; rows * cols];
+            masked_dot_nt(&pat, a.data(), bm.data(), n, &mut out);
+            let mut dense = matmul_nt(&a, &bm);
+            for (v, &bit) in dense.data_mut().iter_mut().zip(&bits) {
+                *v *= bit;
+            }
+            assert_slice_close(&out, dense.data(), 1e-4, 1e-4);
+        }
+    }
+
+    #[test]
+    fn fully_pruned_rows_yield_zero_output() {
+        let pat = RowPattern::from_mask(3, 4, &[0.0; 12]);
+        let vals = vec![9.0f32; 12];
+        let bm = vec![1.0f32; 4 * 5];
+        let mut out = vec![7.0f32; 3 * 5];
+        spmm(&pat, &vals, &bm, 5, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_width_rhs_is_fine() {
+        let pat = RowPattern::from_mask(2, 3, &[1.0; 6]);
+        let vals = vec![1.0f32; 6];
+        let mut out = vec![0.0f32; 0];
+        spmm(&pat, &vals, &[], 0, &mut out);
+        spmm_t(&pat, &vals, &[], 0, &mut out);
+        let mut dw = vec![1.0f32; 6];
+        masked_dot_nt(&pat, &[], &[], 0, &mut dw);
+        assert!(dw.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,9 +1,16 @@
-//! Property-based tests of the tensor substrate's algebraic invariants.
+//! Property-based tests of the tensor substrate's algebraic invariants,
+//! plus new-vs-naive equivalence of the blocked and mask-derived kernels
+//! (including the degenerate shapes: zero inner dimension, fully-pruned
+//! rows, batch of one, stride > 1 with padding).
 
 use proptest::prelude::*;
-use subfed_tensor::conv::{col2im, im2col, ConvGeom};
-use subfed_tensor::linalg::{matmul, matmul_nt, matmul_tn, transpose};
+use subfed_tensor::conv::{col2im, im2col, im2col_batch, im2col_batch_select, ConvGeom};
+use subfed_tensor::linalg::{
+    gemm, matmul, matmul_nt, matmul_tn, naive_matmul, naive_matmul_nt, naive_matmul_tn, transpose,
+};
 use subfed_tensor::reduce::{argmax_rows, softmax_rows};
+use subfed_tensor::sparse::{masked_dot_nt, spmm, spmm_t, RectPattern, RowPattern};
+use subfed_tensor::workspace::Workspace;
 use subfed_tensor::Tensor;
 
 fn tensor2(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
@@ -152,4 +159,230 @@ proptest! {
             prop_assert!((c12[i] - (c1[i] + alpha * c2[i])).abs() < 1e-4);
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_kernels_match_naive(
+        m in 1usize..20,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = subfed_tensor::init::SeededRng::new(seed);
+        let a = subfed_tensor::init::uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = subfed_tensor::init::uniform(&[k, n], -1.0, 1.0, &mut rng);
+        subfed_tensor::assert_slice_close(
+            matmul(&a, &b).data(), naive_matmul(&a, &b).data(), 1e-4, 1e-4);
+        let at = transpose(&a); // [k, m]
+        subfed_tensor::assert_slice_close(
+            matmul_tn(&at, &b).data(), naive_matmul_tn(&at, &b).data(), 1e-4, 1e-4);
+        let bt = transpose(&b); // [n, k]
+        subfed_tensor::assert_slice_close(
+            matmul_nt(&a, &bt).data(), naive_matmul_nt(&a, &bt).data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn sparse_kernels_match_masked_dense(
+        rows in 1usize..12,
+        cols in 1usize..30,
+        n in 1usize..40,
+        density in 0.0f32..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = subfed_tensor::init::SeededRng::new(seed);
+        let bits: Vec<f32> = (0..rows * cols)
+            .map(|_| if rng.uniform_f32(0.0, 1.0) < density { 1.0 } else { 0.0 })
+            .collect();
+        let mut w = subfed_tensor::init::uniform(&[rows, cols], -1.0, 1.0, &mut rng);
+        for (v, &bit) in w.data_mut().iter_mut().zip(&bits) {
+            *v *= bit;
+        }
+        let pat = RowPattern::from_mask(rows, cols, &bits);
+
+        let b = subfed_tensor::init::uniform(&[cols, n], -1.0, 1.0, &mut rng);
+        let mut out = vec![0.0f32; rows * n];
+        spmm(&pat, w.data(), b.data(), n, &mut out);
+        subfed_tensor::assert_slice_close(&out, naive_matmul(&w, &b).data(), 1e-4, 1e-4);
+
+        let bt = subfed_tensor::init::uniform(&[rows, n], -1.0, 1.0, &mut rng);
+        let mut out_t = vec![0.0f32; cols * n];
+        spmm_t(&pat, w.data(), bt.data(), n, &mut out_t);
+        subfed_tensor::assert_slice_close(&out_t, naive_matmul_tn(&w, &bt).data(), 1e-4, 1e-4);
+
+        let a = subfed_tensor::init::uniform(&[rows, n], -1.0, 1.0, &mut rng);
+        let c = subfed_tensor::init::uniform(&[cols, n], -1.0, 1.0, &mut rng);
+        let mut dw = vec![0.0f32; rows * cols];
+        masked_dot_nt(&pat, a.data(), c.data(), n, &mut dw);
+        let mut dense = naive_matmul_nt(&a, &c);
+        for (v, &bit) in dense.data_mut().iter_mut().zip(&bits) {
+            *v *= bit;
+        }
+        subfed_tensor::assert_slice_close(&dw, dense.data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn rect_pattern_factorises_structured_masks(
+        rows in 1usize..10,
+        in_ch in 1usize..6,
+        taps in 1usize..9,
+        keep_row_bits in prop::collection::vec(prop::bool::ANY, 10),
+        keep_col_bits in prop::collection::vec(prop::bool::ANY, 6),
+        seed in 0u64..1000,
+    ) {
+        // Build a structured mask: whole rows × whole input-channel blocks.
+        let cols = in_ch * taps;
+        let bits: Vec<f32> = (0..rows * cols)
+            .map(|t| {
+                let (r, c) = (t / cols, t % cols);
+                if keep_row_bits[r] && keep_col_bits[c / taps] { 1.0 } else { 0.0 }
+            })
+            .collect();
+        let pat = RowPattern::from_mask(rows, cols, &bits);
+        let rect = RectPattern::from_pattern(&pat);
+        prop_assert!(rect.is_some(), "structured mask must factorise");
+        let rect = rect.unwrap();
+        // Keeping zero input channels empties every row, so the expected
+        // rectangle collapses entirely in that case.
+        let kept_ch = keep_col_bits[..in_ch].iter().filter(|&&b| b).count();
+        let kept_rows = if kept_ch == 0 {
+            0
+        } else {
+            keep_row_bits[..rows].iter().filter(|&&b| b).count()
+        };
+        let used_cols = if kept_rows == 0 { 0 } else { kept_ch * taps };
+        prop_assert_eq!(rect.keep_rows().len(), kept_rows);
+        prop_assert_eq!(rect.used_cols().len(), used_cols);
+
+        // Compact gemm over the gathered rectangle == masked dense product.
+        let mut rng = subfed_tensor::init::SeededRng::new(seed);
+        let mut w = subfed_tensor::init::uniform(&[rows, cols], -1.0, 1.0, &mut rng);
+        for (v, &bit) in w.data_mut().iter_mut().zip(&bits) {
+            *v *= bit;
+        }
+        let n = 7;
+        let b = subfed_tensor::init::uniform(&[cols, n], -1.0, 1.0, &mut rng);
+        let mut wc = vec![0.0f32; kept_rows * used_cols];
+        rect.gather_weights(w.data(), &mut wc);
+        let bc: Vec<f32> = rect
+            .used_cols()
+            .iter()
+            .flat_map(|&c| b.data()[c as usize * n..(c as usize + 1) * n].to_vec())
+            .collect();
+        let mut prod = vec![0.0f32; kept_rows * n];
+        gemm(kept_rows, used_cols, n, &wc, &bc, &mut prod);
+        let full = naive_matmul(&w, &b);
+        for (p, &r) in rect.keep_rows().iter().enumerate() {
+            subfed_tensor::assert_slice_close(
+                &prod[p * n..(p + 1) * n],
+                &full.data()[r as usize * n..(r as usize + 1) * n],
+                1e-4,
+                1e-4,
+            );
+        }
+    }
+
+    #[test]
+    fn im2col_select_matches_full_lowering(
+        c in 1usize..3,
+        h in 4usize..9,
+        w in 4usize..9,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        batch in 1usize..4,
+        row_bits in prop::collection::vec(prop::bool::ANY, 27),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let geom = ConvGeom { channels: c, height: h, width: w, kh: k, kw: k, stride, pad };
+        let mut rng = subfed_tensor::init::SeededRng::new(seed);
+        let x = subfed_tensor::init::uniform(&[batch * c * h * w], -1.0, 1.0, &mut rng);
+        let cc = geom.col_cols();
+        let mut full = vec![0.0f32; geom.col_rows() * batch * cc];
+        im2col_batch(x.data(), &geom, batch, &mut full);
+        let rows: Vec<u32> =
+            (0..geom.col_rows()).filter(|&r| row_bits[r % row_bits.len()]).map(|r| r as u32).collect();
+        let mut sel = vec![f32::NAN; rows.len() * batch * cc];
+        im2col_batch_select(x.data(), &geom, batch, &mut sel, &rows);
+        for (ri, &r) in rows.iter().enumerate() {
+            let got = &sel[ri * batch * cc..(ri + 1) * batch * cc];
+            let want = &full[r as usize * batch * cc..(r as usize + 1) * batch * cc];
+            prop_assert_eq!(got, want, "selected row {} differs", r);
+        }
+    }
+
+    #[test]
+    fn take_scratch_reuse_is_bit_identical_for_kernels(
+        m in 1usize..8,
+        k in 1usize..16,
+        n in 1usize..24,
+        density in 0.0f32..1.0,
+        seed in 0u64..1000,
+    ) {
+        // The kernels overwrite their outputs in full, so running them in
+        // a dirty reused scratch buffer must be bit-identical to a fresh
+        // zeroed allocation.
+        let mut rng = subfed_tensor::init::SeededRng::new(seed);
+        let a = subfed_tensor::init::uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = subfed_tensor::init::uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let mut fresh = vec![0.0f32; m * n];
+        gemm(m, k, n, a.data(), b.data(), &mut fresh);
+
+        let mut ws = Workspace::new();
+        let mut dirty = ws.take(m * n + 3);
+        dirty.iter_mut().for_each(|v| *v = f32::NAN);
+        ws.put(dirty);
+        let mut reused = ws.take_scratch(m * n);
+        gemm(m, k, n, a.data(), b.data(), &mut reused);
+        prop_assert_eq!(&fresh, &reused);
+
+        let bits: Vec<f32> = (0..m * k)
+            .map(|_| if rng.uniform_f32(0.0, 1.0) < density { 1.0 } else { 0.0 })
+            .collect();
+        let pat = RowPattern::from_mask(m, k, &bits);
+        let bk = subfed_tensor::init::uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let mut fresh_s = vec![0.0f32; m * n];
+        spmm(&pat, a.data(), bk.data(), n, &mut fresh_s);
+        reused.iter_mut().for_each(|v| *v = f32::NAN);
+        ws.put(reused);
+        let mut reused_s = ws.take_scratch(m * n);
+        spmm(&pat, a.data(), bk.data(), n, &mut reused_s);
+        prop_assert_eq!(&fresh_s, &reused_s);
+    }
+}
+
+#[test]
+fn blocked_kernels_handle_zero_inner_dimension() {
+    // k = 0: the product is all zeros and must not read the empty inputs.
+    let (m, n) = (3, 5);
+    let mut out = vec![7.0f32; m * n];
+    gemm(m, 0, n, &[], &[], &mut out);
+    assert_eq!(out, vec![0.0; m * n]);
+}
+
+#[test]
+fn rect_pattern_rejects_ragged_masks() {
+    // Two kept rows with different column support: not rectangular.
+    let bits = vec![
+        1.0, 0.0, 1.0, //
+        1.0, 1.0, 0.0,
+    ];
+    let pat = RowPattern::from_mask(2, 3, &bits);
+    assert!(RectPattern::from_pattern(&pat).is_none());
+    // Empty rows are fine as long as the kept rows agree.
+    let bits = vec![
+        0.0, 0.0, 0.0, //
+        1.0, 0.0, 1.0,
+    ];
+    let pat = RowPattern::from_mask(2, 3, &bits);
+    let rect = RectPattern::from_pattern(&pat).expect("single-support mask");
+    assert_eq!(rect.keep_rows(), &[1]);
+    assert_eq!(rect.used_cols(), &[0, 2]);
+    // A fully-pruned matrix factorises into the empty rectangle.
+    let pat = RowPattern::from_mask(2, 3, &[0.0; 6]);
+    let rect = RectPattern::from_pattern(&pat).expect("empty mask");
+    assert!(rect.keep_rows().is_empty() && rect.used_cols().is_empty());
 }
