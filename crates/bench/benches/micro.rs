@@ -15,7 +15,13 @@
 //! # the artifact at the repo root where the baseline is committed.
 //! cargo bench -p subfed-bench --bench micro -- --json ../../BENCH_micro.json
 //! cargo bench -p subfed-bench --bench micro -- --test   # CI smoke mode
+//! cargo bench -p subfed-bench --bench micro -- --test --compare ../../BENCH_micro.json
 //! ```
+//!
+//! `--compare` diffs the fresh `speedups` against a committed baseline
+//! and prints an advisory warning when a ratio falls more than 25% below
+//! it; the exit code never changes, because shared CI runners have no
+//! stable clock.
 //!
 //! The JSON carries one record per bench (`name`, `median_ns`,
 //! `throughput`, `unit`) plus a `speedups` map with the ratios
@@ -246,13 +252,88 @@ fn smoke_mode() -> bool {
 
 /// `--json PATH` argument, if present.
 fn json_path() -> Option<String> {
+    arg_value("--json")
+}
+
+/// `--compare PATH` argument, if present: a committed baseline JSON
+/// whose `speedups` map the fresh run is diffed against.
+fn compare_path() -> Option<String> {
+    arg_value("--compare")
+}
+
+fn arg_value(flag: &str) -> Option<String> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
-        if a == "--json" {
+        if a == flag {
             return args.next();
         }
     }
     None
+}
+
+/// Fraction a speedup ratio may fall below its baseline before the
+/// comparison warns. Wall-clock on shared runners is noisy; this gate is
+/// advisory (it never changes the exit code), so it is deliberately wide.
+const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Pulls `"key": number` pairs out of the baseline's `speedups` object.
+/// Hand-rolled like the writer — the harness stays dependency-free.
+fn parse_baseline_speedups(text: &str) -> Vec<(String, f64)> {
+    let Some(at) = text.find("\"speedups\"") else { return Vec::new() };
+    let Some(open) = text[at..].find('{') else { return Vec::new() };
+    let body = &text[at + open + 1..];
+    let body = &body[..body.find('}').unwrap_or(body.len())];
+    let mut out = Vec::new();
+    for entry in body.split(',') {
+        let mut halves = entry.splitn(2, ':');
+        let (Some(key), Some(val)) = (halves.next(), halves.next()) else { continue };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = val.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Diffs the fresh speedups against the committed baseline. Purely
+/// advisory: regressions print a warning block but never fail the run —
+/// CI machines have no stable clock, so the committed numbers (recorded
+/// on a quiet machine) stay authoritative.
+fn compare_speedups(path: &str, fresh: &[(String, f64)]) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("compare: could not read baseline {path}: {e}");
+            return;
+        }
+    };
+    let baseline = parse_baseline_speedups(&text);
+    if baseline.is_empty() {
+        eprintln!("compare: no `speedups` map found in {path}");
+        return;
+    }
+    println!("\n-- speedups vs committed baseline ({path}) --");
+    let mut regressions = 0;
+    for (name, base) in &baseline {
+        let Some((_, now)) = fresh.iter().find(|(n, _)| n == name) else {
+            println!("  {name:<34} baseline {base:>6.2}x  (not measured this run)");
+            continue;
+        };
+        let floor = base * (1.0 - REGRESSION_TOLERANCE);
+        let verdict = if *now < floor { "WARN: >25% below baseline" } else { "ok" };
+        println!("  {name:<34} baseline {base:>6.2}x  now {now:>6.2}x  {verdict}");
+        if *now < floor {
+            regressions += 1;
+        }
+    }
+    if regressions > 0 {
+        println!(
+            "compare: {regressions} speedup(s) regressed more than 25% — advisory only; \
+             rerun on a quiet machine and refresh BENCH_micro.json if it reproduces"
+        );
+    } else {
+        println!("compare: all speedups within 25% of the committed baseline");
+    }
 }
 
 fn write_json(path: &str, records: &[Record], speedups: &[(String, f64)]) {
@@ -314,5 +395,8 @@ fn main() {
 
     if let Some(path) = json_path() {
         write_json(&path, &records, &speedups);
+    }
+    if let Some(path) = compare_path() {
+        compare_speedups(&path, &speedups);
     }
 }

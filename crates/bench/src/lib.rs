@@ -13,6 +13,8 @@
 //! the *same* scale, so orderings and ratios — the claims under test —
 //! are preserved. Set `SUBFED_BENCH_SCALE=quick` for a fast smoke pass.
 
+#![forbid(unsafe_code)]
+
 use subfed_core::{FedConfig, Federation};
 use subfed_pruning::{HybridController, UnstructuredController};
 

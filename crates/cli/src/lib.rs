@@ -14,6 +14,8 @@
 //! no CLI crate) and fully unit-tested; [`execute`] returns the printable
 //! report so the binary itself stays a three-line shim.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod run;
 

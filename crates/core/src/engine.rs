@@ -291,6 +291,7 @@ pub fn train_client_ws(
         (scratch.param_values(), mu)
     });
     let mut opt = Sgd::new(cfg.lr, cfg.momentum);
+    // lint: allow(hot-path-alloc) — first-epoch snapshot grows once per client-round, not per batch
     let mut first_epoch_flat = Vec::new();
     let mut loss_sum = 0.0f32;
     let mut loss_count = 0usize;

@@ -38,6 +38,8 @@
 //! println!("final accuracy: {:.3}", history.final_avg_acc());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod aggregate;
 mod config;
 mod engine;

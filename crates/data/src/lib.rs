@@ -18,6 +18,8 @@
 //!   robust-aggregation extension;
 //! * [`stats`] — partition diagnostics (label histograms, client overlap).
 
+#![forbid(unsafe_code)]
+
 mod dataset;
 
 pub mod corrupt;

@@ -1,0 +1,198 @@
+//! Driver for `subfed-lint analyze`: parse every library source, build
+//! the cross-crate call graph, run the dataflow rules, then apply and
+//! audit suppressions.
+//!
+//! The analyze command owns the three dataflow rules
+//! ([`crate::dataflow::ANALYZE_RULES`]) and audits only *their* allow
+//! directives for staleness — `check` audits the token/scope rules'
+//! directives and skips these, so each directive is judged exactly once,
+//! by the command that computes the findings it could suppress. The same
+//! pass audits `// lint: hot`/`cold` markers: a marker that attaches to
+//! no function (the `fn` on its own line or the line below) is reported
+//! as [`STALE_ALLOW`](crate::rules::STALE_ALLOW), because a drifted
+//! marker silently widens or narrows the hot set.
+
+use crate::callgraph::{CallGraph, SourceFile};
+use crate::dataflow::{dataflow_findings, ANALYZE_RULES};
+use crate::rules::{Finding, STALE_ALLOW};
+use crate::walk::{library_sources, Report};
+use std::path::Path;
+
+/// Runs the dataflow analyses over `(label, source)` pairs — the whole
+/// workspace at once, since hot-path reachability is cross-crate.
+pub fn analyze_sources(inputs: &[(String, String)]) -> Vec<Finding> {
+    let files: Vec<SourceFile> =
+        inputs.iter().map(|(label, text)| SourceFile::parse(label, text)).collect();
+    let graph = CallGraph::build(&files);
+    let mut findings = dataflow_findings(&files, &graph);
+
+    for f in &mut findings {
+        let Some(file) = files.iter().find(|s| s.label == f.file) else { continue };
+        f.suppressed = file.lexed.allows.iter().any(|a| {
+            (a.line == f.line || a.line + 1 == f.line) && a.rules.iter().any(|r| r == f.rule)
+        });
+    }
+
+    for file in &files {
+        audit_directives(file, &mut findings);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// Stale-suppression audit for the analyze-owned rules plus the marker
+/// attachment audit, one file at a time.
+fn audit_directives(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    let test_lines: Vec<(usize, usize)> =
+        file.test_ranges.iter().map(|&(lo, hi)| (toks[lo].line, toks[hi].line)).collect();
+    let in_test_lines = |line: usize| test_lines.iter().any(|&(lo, hi)| line >= lo && line <= hi);
+
+    let mut stale = Vec::new();
+    for a in &file.lexed.allows {
+        if in_test_lines(a.line) {
+            continue;
+        }
+        for rule in &a.rules {
+            if !ANALYZE_RULES.contains(&rule.as_str()) {
+                continue; // `check` audits the token/scope rules.
+            }
+            let earns_keep = findings.iter().any(|f| {
+                f.file == file.label
+                    && f.rule == rule.as_str()
+                    && (a.line == f.line || a.line + 1 == f.line)
+            });
+            if !earns_keep {
+                stale.push(Finding {
+                    file: file.label.clone(),
+                    line: a.line,
+                    rule: STALE_ALLOW,
+                    message: format!(
+                        "allow({rule}) suppresses nothing here; remove the stale directive"
+                    ),
+                    suppressed: false,
+                });
+            }
+        }
+    }
+    for m in &file.lexed.markers {
+        if in_test_lines(m.line) {
+            continue;
+        }
+        let attaches = file.defs.iter().any(|d| m.line == d.item.line || m.line + 1 == d.item.line);
+        if !attaches {
+            stale.push(Finding {
+                file: file.label.clone(),
+                line: m.line,
+                rule: STALE_ALLOW,
+                message: "lint: hot/cold marker attaches to no function (it must sit on \
+                          the fn's line or the line above); move or remove it"
+                    .to_string(),
+                suppressed: false,
+            });
+        }
+    }
+    findings.extend(stale);
+}
+
+/// Runs the dataflow analyses over the target crates' library sources
+/// under `root` — the `analyze` counterpart of
+/// [`check_workspace`](crate::walk::check_workspace).
+///
+/// # Errors
+///
+/// Returns a message when a source tree cannot be read.
+#[must_use = "the report carries the findings and the exit status"]
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    let sources = library_sources(root)?;
+    let findings = analyze_sources(&sources);
+    Ok(Report { findings, files_scanned: sources.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::{HOT_PATH_ALLOC, SCRATCH_BEFORE_READ};
+    use crate::walk::find_workspace_root;
+
+    fn one(src: &str) -> Vec<Finding> {
+        analyze_sources(&[("fixture.rs".to_string(), src.to_string())])
+    }
+
+    fn live(src: &str) -> Vec<Finding> {
+        one(src).into_iter().filter(|f| !f.suppressed).collect()
+    }
+
+    #[test]
+    fn allow_suppresses_a_dataflow_finding() {
+        let src = "pub fn forward_ws() {\n\
+                   let v = Vec::new(); // lint: allow(hot-path-alloc)\n\
+                   }";
+        let all = one(src);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].suppressed, "{all:?}");
+        assert!(live(src).is_empty());
+    }
+
+    #[test]
+    fn stale_analyze_allow_is_flagged_but_check_rules_are_ignored() {
+        let src = "pub fn cold_fn() {\n\
+                   let v = Vec::new(); // lint: allow(hot-path-alloc)\n\
+                   x.unwrap(); // lint: allow(no-unwrap)\n\
+                   }";
+        // `cold_fn` is not hot, so the hot-path-alloc allow is stale; the
+        // no-unwrap allow belongs to `check` and must not be judged here.
+        let fs = live(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, STALE_ALLOW);
+        assert_eq!(fs[0].line, 2);
+        assert!(fs[0].message.contains("hot-path-alloc"));
+    }
+
+    #[test]
+    fn orphan_marker_is_flagged_and_attached_marker_is_not() {
+        let attached = "// lint: cold\nfn setup() {}";
+        assert!(live(attached).is_empty(), "{:?}", live(attached));
+        let orphan = "// lint: cold\n\nfn setup() {}";
+        let fs = live(orphan);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, STALE_ALLOW);
+        assert!(fs[0].message.contains("marker"));
+    }
+
+    #[test]
+    fn cross_file_reachability_is_analyzed_in_one_graph() {
+        let core = "pub fn train_client_ws() { helper_step(); }".to_string();
+        let tensor = "pub fn helper_step() { let v = data.to_vec(); }".to_string();
+        let fs =
+            analyze_sources(&[("core.rs".to_string(), core), ("tensor.rs".to_string(), tensor)]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, HOT_PATH_ALLOC);
+        assert_eq!(fs[0].file, "tensor.rs");
+        assert!(fs[0].message.contains("train_client_ws"));
+    }
+
+    #[test]
+    fn scratch_rule_fires_regardless_of_heat() {
+        let src = "fn anywhere(ws: &mut W) { let b = ws.take_scratch(n); read(&b); }";
+        let fs = live(src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, SCRATCH_BEFORE_READ);
+    }
+
+    #[test]
+    fn workspace_analyze_is_clean() {
+        // The acceptance gate of the analyze command itself: zero
+        // unsuppressed dataflow findings in the four library crates.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let report = analyze_workspace(&root).expect("scan");
+        assert!(report.files_scanned >= 30, "only {} files", report.files_scanned);
+        let live = report.unsuppressed();
+        assert!(
+            live.is_empty(),
+            "unsuppressed analyze findings:\n{}",
+            live.iter().map(|f| f.render()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}

@@ -45,13 +45,36 @@ pub struct AllowDirective {
     pub rules: Vec<String>,
 }
 
-/// The output of [`lex`]: the token stream plus every allow directive.
+/// What a `// lint: hot` / `// lint: cold` marker says about the function
+/// it annotates (the `fn` on the same line or the line below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// The function is an additional hot-path entry point for the
+    /// call-graph analyses (see `crate::callgraph`).
+    Hot,
+    /// The function is cold (per-round setup, not per-batch work); the
+    /// call-graph analyses do not traverse through it.
+    Cold,
+}
+
+/// A `// lint: hot` or `// lint: cold` annotation comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Which temperature the annotated function is asserted to have.
+    pub kind: MarkerKind,
+}
+
+/// The output of [`lex`]: the token stream plus every lint directive.
 #[derive(Debug, Default)]
 pub struct Lexed {
     /// Tokens in source order.
     pub tokens: Vec<Token>,
     /// Suppression comments in source order.
     pub allows: Vec<AllowDirective>,
+    /// Hot/cold function annotations in source order.
+    pub markers: Vec<Marker>,
 }
 
 /// Lexes Rust source. Unterminated literals are tolerated (the rest of
@@ -78,6 +101,8 @@ pub fn lex(source: &str) -> Lexed {
             let comment: String = chars[start..i].iter().collect();
             if let Some(d) = parse_allow(&comment, line) {
                 out.allows.push(d);
+            } else if let Some(m) = parse_marker(&comment, line) {
+                out.markers.push(m);
             }
         } else if c == '/' && next == Some('*') {
             let mut depth = 1;
@@ -291,6 +316,20 @@ fn parse_allow(comment: &str, line: usize) -> Option<AllowDirective> {
         None
     } else {
         Some(AllowDirective { line, rules })
+    }
+}
+
+/// Parses a `// lint: hot` / `// lint: cold` comment, returning `None`
+/// for ordinary comments (trailing prose after the keyword is tolerated:
+/// `// lint: cold — once-per-round setup`).
+fn parse_marker(comment: &str, line: usize) -> Option<Marker> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("lint:")?.trim();
+    let keyword = rest.split(|c: char| !c.is_ascii_alphanumeric()).next()?;
+    match keyword {
+        "hot" => Some(Marker { line, kind: MarkerKind::Hot }),
+        "cold" => Some(Marker { line, kind: MarkerKind::Cold }),
+        _ => None,
     }
 }
 

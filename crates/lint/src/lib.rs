@@ -5,6 +5,10 @@
 //! * **`check`** — dependency-free static analysis: a Rust lexer
 //!   ([`lexer`]) plus a rule engine ([`rules`], [`scope`]) that reports
 //!   federated-learning-specific hazards the compiler cannot see;
+//! * **`analyze`** — dataflow-powered hot-path analysis: a lightweight
+//!   parser ([`parser`]), a workspace-wide call graph with hot-entry
+//!   reachability ([`callgraph`]), and the dataflow rules ([`dataflow`])
+//!   that defend the PR-4 performance contracts;
 //! * **`conform`** — an offline protocol verifier: an executable
 //!   state-machine spec of the federation round ([`spec`]) replayed over
 //!   JSONL traces ([`conform`]).
@@ -17,6 +21,9 @@
 //! | `must-use-result` | `pub fn … -> Result` without `#[must_use]` — dropped errors are how masks and models drift apart |
 //! | `mask-mutation-after-upload` | *(scope-aware)* a client mask mutated after the upload was charged — trace and state disagree |
 //! | `tracer-threading` | *(scope-aware)* `pub fn` taking `&mut` model/mask state but no `Tracer` — an observability hole |
+//! | `hot-path-alloc` | *(dataflow)* an allocation in code reachable from a hot entry point — per-batch allocator traffic |
+//! | `scratch-before-read` | *(dataflow)* a `take_scratch` buffer read before any full write — stale contents leak into results |
+//! | `pattern-rebuild-in-loop` | *(dataflow)* `RowPattern`/`RectPattern` built inside a hot loop — a once-per-round artifact paid per batch |
 //! | `stale-allow` | a `// lint: allow(…)` comment that no longer suppresses anything |
 //!
 //! Suppress an intentional occurrence with `// lint: allow(rule-id)` on
@@ -24,17 +31,26 @@
 //! Rule catalog, allow syntax, and CI wiring: `docs/STATIC_ANALYSIS.md`.
 //! The round-protocol spec and its predicate table: `docs/PROTOCOL.md`.
 //!
-//! Run it with `cargo run -p subfed-lint -- check` or
+//! Run it with `cargo run -p subfed-lint -- check`,
+//! `cargo run -p subfed-lint -- analyze`, or
 //! `cargo run -p subfed-lint -- conform trace.jsonl`.
 
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod callgraph;
 pub mod conform;
+pub mod dataflow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod scope;
 pub mod spec;
 pub mod walk;
 
+pub use analyze::{analyze_sources, analyze_workspace};
 pub use conform::{verify_events, verify_reader, ConformReport};
+pub use dataflow::ANALYZE_RULES;
 pub use rules::{analyze_source, Finding, ALL_RULES};
 pub use spec::{ProtocolSpec, Violation};
 pub use walk::{check_workspace, find_workspace_root, Report, TARGET_CRATES};

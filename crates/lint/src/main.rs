@@ -2,9 +2,15 @@
 //!
 //! ```text
 //! subfed-lint check [--root DIR] [--format text|json]   # exit 1 on findings
+//! subfed-lint analyze [--root DIR] [--format text|json] # dataflow rules
 //! subfed-lint conform [FILE] [--format text|json]       # verify a JSONL trace
 //! subfed-lint rules                                     # print the catalog
 //! ```
+//!
+//! `check` runs the token/scope rules; `analyze` runs the call-graph
+//! dataflow rules (hot-path allocation freedom, the `take_scratch`
+//! write-before-read contract, per-batch pattern rebuilds). Both exit 1
+//! on unsuppressed findings.
 //!
 //! `conform` replays a `--trace` JSONL log (from FILE, or stdin when FILE
 //! is absent or `-`) against the executable round-protocol spec and exits
@@ -15,10 +21,12 @@ use std::io::BufReader;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use subfed_lint::rules::rule_description;
-use subfed_lint::{check_workspace, find_workspace_root, verify_reader, ALL_RULES};
+use subfed_lint::{
+    analyze_workspace, check_workspace, find_workspace_root, verify_reader, Report, ALL_RULES,
+};
 
 fn usage() -> &'static str {
-    "usage: subfed-lint <check|conform|rules> [FILE] [--root DIR] [--format text|json]"
+    "usage: subfed-lint <check|analyze|conform|rules> [FILE] [--root DIR] [--format text|json]"
 }
 
 fn main() -> ExitCode {
@@ -34,7 +42,8 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "check" => run_check(&args[1..]),
+        "check" => run_scan(&args[1..], check_workspace),
+        "analyze" => run_scan(&args[1..], analyze_workspace),
         "conform" => run_conform(&args[1..]),
         other => {
             eprintln!("unknown command `{other}`\n{}", usage());
@@ -91,7 +100,7 @@ fn run_conform(flags: &[String]) -> ExitCode {
     ExitCode::from(report.exit_code())
 }
 
-fn run_check(flags: &[String]) -> ExitCode {
+fn run_scan(flags: &[String], scan: fn(&std::path::Path) -> Result<Report, String>) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = "text".to_string();
     let mut it = flags.iter();
@@ -136,7 +145,7 @@ fn run_check(flags: &[String]) -> ExitCode {
             }
         }
     };
-    let report = match check_workspace(&root) {
+    let report = match scan(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");

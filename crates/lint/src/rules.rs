@@ -25,14 +25,17 @@ pub const MUST_USE_RESULT: &str = "must-use-result";
 pub const STALE_ALLOW: &str = "stale-allow";
 
 /// Every rule id, in reporting order (the two scope-aware rules live in
-/// [`crate::scope`]).
-pub const ALL_RULES: [&str; 7] = [
+/// [`crate::scope`], the three dataflow rules in [`crate::dataflow`]).
+pub const ALL_RULES: [&str; 10] = [
     NO_UNWRAP,
     FLOAT_EQ,
     UNCHECKED_INDEX,
     MUST_USE_RESULT,
     crate::scope::MASK_MUTATION_AFTER_UPLOAD,
     crate::scope::TRACER_THREADING,
+    crate::dataflow::HOT_PATH_ALLOC,
+    crate::dataflow::SCRATCH_BEFORE_READ,
+    crate::dataflow::PATTERN_REBUILD_IN_LOOP,
     STALE_ALLOW,
 ];
 
@@ -59,6 +62,18 @@ pub fn rule_description(rule: &str) -> &'static str {
         rule if rule == crate::scope::TRACER_THREADING => {
             "pub engine/algorithm fn takes &mut model/mask state but no \
              Tracer; new code paths through it dodge observability"
+        }
+        rule if rule == crate::dataflow::HOT_PATH_ALLOC => {
+            "Vec::new/vec!/.clone()/.to_vec()/.collect() in code reachable \
+             from a hot entry point; hoist to setup or use the Workspace"
+        }
+        rule if rule == crate::dataflow::SCRATCH_BEFORE_READ => {
+            "a take_scratch buffer is read before any full write; stale \
+             contents leak into results — fill/copy/pack it first"
+        }
+        rule if rule == crate::dataflow::PATTERN_REBUILD_IN_LOOP => {
+            "RowPattern/RectPattern built inside a loop on the hot path; \
+             patterns are once-per-round artifacts, build at install time"
         }
         STALE_ALLOW => {
             "a `// lint: allow(…)` comment that suppresses no finding; \
@@ -159,6 +174,12 @@ pub fn analyze_source(file_label: &str, source: &str) -> Vec<Finding> {
             continue;
         }
         for rule in &a.rules {
+            // Directives for the dataflow rules are judged by `subfed-lint
+            // analyze` (which computes the findings they could suppress),
+            // not here.
+            if crate::dataflow::ANALYZE_RULES.contains(&rule.as_str()) {
+                continue;
+            }
             let earns_keep = findings
                 .iter()
                 .any(|f| f.rule == rule.as_str() && (a.line == f.line || a.line + 1 == f.line));
@@ -193,7 +214,7 @@ pub(crate) fn punct(t: &Token) -> Option<char> {
 }
 
 /// Token-index ranges covered by `#[cfg(test)] mod … { … }` blocks.
-fn test_module_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_module_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < toks.len() {

@@ -33,7 +33,9 @@
 //! - `RoundEnd.cum_bytes` equals the running sum of all transfer bytes;
 //! - when a `ClientTrain` records FLOP accounting (`dense_flops > 0`),
 //!   its `effective_flops` never exceeds `dense_flops` — a subnetwork
-//!   cannot do more work than the dense model.
+//!   cannot do more work than the dense model — and, per client, the
+//!   effective FLOPs never increase across rounds: masks only shrink,
+//!   so the per-batch work of a personalized subnetwork only falls.
 //!
 //! The verifier front-end (file handling, `seq` ordering, reporting)
 //! lives in [`crate::conform`].
@@ -203,6 +205,8 @@ pub struct ProtocolSpec {
     gate_fraction: BTreeMap<(usize, String), f32>,
     /// Last observed `Encode.kept` per client.
     prev_kept: BTreeMap<usize, u64>,
+    /// Last observed non-zero `ClientTrain.effective_flops` per client.
+    prev_flops: BTreeMap<usize, u64>,
     /// Packed-mask byte length, derived from the first `Encode`
     /// (`bytes - header - 4·kept`); constant for the whole trace.
     mask_overhead: Option<u64>,
@@ -357,6 +361,23 @@ impl ProtocolSpec {
                              above dense_flops {dense_flops}"
                         ),
                     ));
+                }
+                if *dense_flops > 0 {
+                    if let Some(&prev) = self.prev_flops.get(client) {
+                        if *effective_flops > prev {
+                            out.push(v(
+                                "flops-regrow",
+                                *round,
+                                Some(*client),
+                                format!(
+                                    "client {client} effective_flops rose from {prev} to \
+                                     {effective_flops} — masks only shrink, so per-batch \
+                                     work cannot grow"
+                                ),
+                            ));
+                        }
+                    }
+                    self.prev_flops.insert(*client, *effective_flops);
                 }
                 out.extend(self.client_step(*round, *client, event.kind(), line, |c| {
                     Self::advance(c, Phase::Sampled, Phase::Trained)
@@ -915,6 +936,57 @@ mod tests {
         }
         let vs = verify(&evs);
         assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    /// `clean_round` with the round's `ClientTrain.effective_flops`
+    /// overridden — for exercising the cross-round FLOP predicates.
+    fn round_with_flops(round: usize, kept: u64, effective: u64) -> Vec<TraceEvent> {
+        let mut evs = clean_round(round, &[0], &[kept]);
+        for e in &mut evs {
+            if let TraceEvent::ClientTrain { effective_flops, .. } = e {
+                *effective_flops = effective;
+            }
+        }
+        evs
+    }
+
+    #[test]
+    fn effective_flops_rising_across_rounds_is_flagged() {
+        let mut evs = round_with_flops(1, 80, 60);
+        evs.extend(round_with_flops(2, 80, 80)); // still ≤ dense, but rose
+        let vs = verify(&evs);
+        assert!(vs.iter().any(|v| v.rule == "flops-regrow"), "{vs:?}");
+        assert!(vs.iter().all(|v| v.rule != "train-flops"), "{vs:?}");
+    }
+
+    #[test]
+    fn effective_flops_nonincreasing_across_rounds_is_clean() {
+        let mut evs = round_with_flops(1, 80, 80);
+        evs.extend(round_with_flops(2, 80, 80)); // plateau: gates stopped
+        evs.extend(round_with_flops(3, 80, 60)); // further pruning
+                                                 // (Byte accounting across hand-built rounds is checked elsewhere;
+                                                 // here only the FLOP trajectory is under test.)
+        let vs = verify(&evs);
+        assert!(vs.iter().all(|v| v.rule != "flops-regrow"), "{vs:?}");
+        assert!(vs.iter().all(|v| v.rule != "train-flops"), "{vs:?}");
+    }
+
+    #[test]
+    fn legacy_zero_flop_rounds_do_not_reset_the_flops_baseline() {
+        let mut evs = round_with_flops(1, 80, 60);
+        // A legacy round with no FLOP accounting in between…
+        let mut legacy = clean_round(2, &[0], &[80]);
+        for e in &mut legacy {
+            if let TraceEvent::ClientTrain { effective_flops, dense_flops, .. } = e {
+                *effective_flops = 0;
+                *dense_flops = 0;
+            }
+        }
+        evs.extend(legacy);
+        // …must neither fire nor forget: a later rise is still caught.
+        evs.extend(round_with_flops(3, 80, 80));
+        let vs = verify(&evs);
+        assert_eq!(vs.iter().filter(|v| v.rule == "flops-regrow").count(), 1, "{vs:?}");
     }
 
     #[test]

@@ -96,14 +96,16 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs every rule over the target crates' library sources under `root`.
+/// Collects the `(label, source)` pairs every lint command scans: the
+/// target crates' library `.rs` files, minus modules declared
+/// `#[cfg(test)] mod name;`. Labels are workspace-relative with `/`
+/// separators; the list is sorted by label.
 ///
 /// # Errors
 ///
 /// Returns a message when a source tree cannot be read.
-#[must_use = "the report carries the findings and the exit status"]
-pub fn check_workspace(root: &Path) -> Result<Report, String> {
-    let mut report = Report::default();
+pub(crate) fn library_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
     for krate in TARGET_CRATES {
         let src = root.join("crates").join(krate).join("src");
         if !src.is_dir() {
@@ -126,15 +128,29 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
             sources.insert(f.clone(), text);
         }
 
-        for (path, text) in &sources {
-            if test_files.iter().any(|t| t == path) {
+        for (path, text) in sources {
+            if test_files.contains(&path) {
                 continue;
             }
             let label =
-                path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
-            report.findings.extend(analyze_source(&label, text));
-            report.files_scanned += 1;
+                path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            out.push((label, text));
         }
+    }
+    Ok(out)
+}
+
+/// Runs every rule over the target crates' library sources under `root`.
+///
+/// # Errors
+///
+/// Returns a message when a source tree cannot be read.
+#[must_use = "the report carries the findings and the exit status"]
+pub fn check_workspace(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    for (label, text) in library_sources(root)? {
+        report.findings.extend(analyze_source(&label, &text));
+        report.files_scanned += 1;
     }
     report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(report)

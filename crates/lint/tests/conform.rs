@@ -238,6 +238,87 @@ fn mutation_upload_after_aggregate_is_rejected() {
 }
 
 #[test]
+fn golden_traces_carry_flop_accounting() {
+    // The FLOP predicates are only exercised when dense_flops > 0; the
+    // engine must actually record the accounting, or the two mutation
+    // tests below are vacuous.
+    for events in [golden_un(0.0), golden_hy()] {
+        assert!(
+            events.iter().any(
+                |e| matches!(e, TraceEvent::ClientTrain { dense_flops, .. } if *dense_flops > 0)
+            ),
+            "golden trace has no FLOP accounting"
+        );
+    }
+}
+
+#[test]
+fn mutation_effective_flops_above_dense_is_rejected() {
+    let mut events = golden_un(0.0);
+    let at = events
+        .iter()
+        .position(|e| matches!(e, TraceEvent::ClientTrain { dense_flops, .. } if *dense_flops > 0))
+        .expect("a train event with FLOP accounting");
+    let (round, client) = (events[at].round(), events[at].client());
+    if let TraceEvent::ClientTrain { effective_flops, dense_flops, .. } = &mut events[at] {
+        *effective_flops = *dense_flops + 1;
+    }
+    let report = verify_events(&events);
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "train-flops")
+        .unwrap_or_else(|| panic!("no train-flops violation: {:?}", report.violations));
+    assert_eq!(v.round, round);
+    assert_eq!(v.client, client);
+    assert_eq!(v.event, "train");
+    assert_eq!(report.exit_code(), 1);
+}
+
+#[test]
+fn mutation_regrown_effective_flops_is_rejected() {
+    let mut events = golden_un(0.0);
+    // Two FLOP-accounted trains of the same client in different rounds;
+    // lower the earlier one so the later (unchanged) one reads as a rise.
+    // Effective FLOPs stay below dense, so only `flops-regrow` may fire.
+    let trains: Vec<(usize, usize, Option<usize>)> = events
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e {
+            TraceEvent::ClientTrain { dense_flops, .. } if *dense_flops > 0 => {
+                Some((i, e.round(), e.client()))
+            }
+            _ => None,
+        })
+        .collect();
+    let (earlier, later) = trains
+        .iter()
+        .find_map(|&(i, r, c)| {
+            trains.iter().find(|&&(j, r2, c2)| c2 == c && r2 > r && j > i).map(|&(j, ..)| (i, j))
+        })
+        .expect("a client trained in two FLOP-accounted rounds");
+    let (round, client) = (events[later].round(), events[later].client());
+    let later_flops = match &events[later] {
+        TraceEvent::ClientTrain { effective_flops, .. } => *effective_flops,
+        _ => unreachable!("`later` indexes a ClientTrain"),
+    };
+    if let TraceEvent::ClientTrain { effective_flops, .. } = &mut events[earlier] {
+        *effective_flops = later_flops.saturating_sub(1);
+    }
+    let report = verify_events(&events);
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "flops-regrow")
+        .unwrap_or_else(|| panic!("no flops-regrow violation: {:?}", report.violations));
+    assert_eq!(v.round, round);
+    assert_eq!(v.client, client);
+    assert_eq!(v.event, "train");
+    assert!(report.violations.iter().all(|v| v.rule != "train-flops"), "{:?}", report.violations);
+    assert_eq!(report.exit_code(), 1);
+}
+
+#[test]
 fn mutation_duplicate_round_start_is_rejected() {
     let mut events = golden_un(0.0);
     let rs2 = events

@@ -1,0 +1,137 @@
+//! Lexer/parser edge-case corpus plus the whole-workspace robustness
+//! sweep: every `.rs` file in every crate must lex and parse without a
+//! panic, because the analyzers run unattended in CI over whatever the
+//! workspace grows into.
+
+use std::path::{Path, PathBuf};
+
+use subfed_lint::lexer::{lex, TokenKind};
+use subfed_lint::parser::{call_sites, impl_ranges, loop_bodies, parse_file};
+
+#[test]
+fn lifetimes_lex_as_lifetimes_not_char_literals() {
+    let lexed = lex("fn longest<'a>(x: &'a str, y: &'a str) -> &'a str { x }");
+    let lifetimes = lexed.tokens.iter().filter(|t| matches!(t.kind, TokenKind::Lifetime)).count();
+    assert_eq!(lifetimes, 4, "{:?}", lexed.tokens);
+    // And a real char literal next to one still lexes as a char.
+    let mixed = lex("fn f<'a>() { let c = 'x'; let nl = '\\n'; }");
+    assert_eq!(
+        mixed.tokens.iter().filter(|t| matches!(t.kind, TokenKind::Char)).count(),
+        2,
+        "{:?}",
+        mixed.tokens
+    );
+}
+
+#[test]
+fn labeled_loops_and_breaks_parse_as_loops() {
+    let src = "fn f(n: usize) { 'outer: for i in 0..n { 'inner: loop { \
+               while go() { break 'outer; } break 'inner; } } }";
+    let lexed = lex(src);
+    let defs = parse_file(&lexed.tokens);
+    assert_eq!(defs.len(), 1);
+    let (open, close) = defs[0].item.body.expect("body");
+    // All three loops recovered despite the labels.
+    assert_eq!(loop_bodies(&lexed.tokens, open, close).len(), 3);
+}
+
+#[test]
+fn turbofish_is_a_call_not_a_comparison() {
+    let src = "fn f() { let v = src.iter().collect::<Vec<f32>>(); \
+               let w = parse::<u32>(text); }";
+    let lexed = lex(src);
+    let defs = parse_file(&lexed.tokens);
+    let (open, close) = defs[0].item.body.expect("body");
+    let calls = call_sites(&lexed.tokens, open, close);
+    let names: Vec<&str> = calls.iter().map(|c| c.callee.as_str()).collect();
+    assert!(names.contains(&"collect"), "{names:?}");
+    assert!(names.contains(&"parse"), "{names:?}");
+    // `Vec<f32>` inside the turbofish is a type, not a call.
+    assert!(!names.contains(&"Vec"), "{names:?}");
+}
+
+#[test]
+fn where_clauses_do_not_leak_into_impl_type_names() {
+    let src = "impl<T: Copy> Stack<T> where T: Default { fn push(&mut self, v: T) {} }\n\
+               impl<A, B> Pair<A, B> for Holder<A> where A: Clone, B: Sized { fn get(&self) {} }";
+    let lexed = lex(src);
+    let ranges = impl_ranges(&lexed.tokens);
+    let names: Vec<&str> = ranges.iter().map(|(n, _, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["Stack", "Holder"], "{ranges:?}");
+    let defs = parse_file(&lexed.tokens);
+    assert_eq!(defs[0].qualified(), "Stack::push");
+    assert_eq!(defs[1].qualified(), "Holder::get");
+}
+
+#[test]
+fn hrtb_bounds_and_impl_trait_args_survive_parsing() {
+    let src = "fn apply<F>(f: F) where F: for<'a> Fn(&'a str) -> usize { \
+               for x in items { f(x); } }\n\
+               fn take(it: impl Iterator<Item = f32>) -> f32 { it.sum() }";
+    let lexed = lex(src);
+    let defs = parse_file(&lexed.tokens);
+    assert_eq!(defs.len(), 2, "{defs:?}");
+    let (open, close) = defs[0].item.body.expect("body");
+    // The `for<'a>` HRTB is a bound, the `for x in items` is a loop.
+    assert_eq!(loop_bodies(&lexed.tokens, open, close).len(), 1);
+}
+
+#[test]
+fn raw_strings_nested_quotes_and_escapes_do_not_derail_the_lexer() {
+    let src = r####"fn f() { let a = r#"has "quotes" inside"#; let b = "esc \" ape"; g(); }"####;
+    let lexed = lex(src);
+    let defs = parse_file(&lexed.tokens);
+    assert_eq!(defs.len(), 1, "string handling swallowed the file: {:?}", lexed.tokens);
+    let (open, close) = defs[0].item.body.expect("body");
+    let calls = call_sites(&lexed.tokens, open, close);
+    assert_eq!(calls.len(), 1, "{calls:?}");
+    assert_eq!(calls[0].callee, "g");
+}
+
+/// Recursively collects every `.rs` file under `dir`.
+fn all_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            all_rs_files(&p, out);
+        } else if p.extension().and_then(|x| x.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_file_lexes_and_parses_without_panicking() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("crates/").to_path_buf();
+    let mut files = Vec::new();
+    all_rs_files(&root, &mut files);
+    assert!(files.len() >= 50, "workspace sweep found only {} files", files.len());
+    for path in files {
+        let source = std::fs::read_to_string(&path).expect("readable source");
+        let lexed = lex(&source);
+        // Token lines must stay within the file and never decrease —
+        // the cheap structural round-trip the findings' line numbers
+        // depend on.
+        let line_count = source.lines().count().max(1);
+        let mut prev = 1;
+        for t in &lexed.tokens {
+            assert!(
+                t.line >= prev && t.line <= line_count,
+                "{}: token line {} out of order (prev {prev}, file has {line_count})",
+                path.display(),
+                t.line
+            );
+            prev = t.line;
+        }
+        // The full analysis stack runs panic-free over every body.
+        let defs = parse_file(&lexed.tokens);
+        impl_ranges(&lexed.tokens);
+        for def in &defs {
+            if let Some((open, close)) = def.item.body {
+                call_sites(&lexed.tokens, open, close);
+                loop_bodies(&lexed.tokens, open, close);
+            }
+        }
+    }
+}

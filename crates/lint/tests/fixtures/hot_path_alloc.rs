@@ -1,0 +1,26 @@
+//! Seeded violations for `hot-path-alloc`: every allocation shape the
+//! rule knows, spread across a hot entry and a transitively-reachable
+//! helper two call-graph hops away.
+
+pub fn forward_ws(x: &[f32], ws: &mut Workspace) -> Vec<f32> {
+    let mut out = Vec::new(); // seeded: Vec::new() in a hot entry
+    stage_one(x, &mut out);
+    out
+}
+
+fn stage_one(x: &[f32], out: &mut Vec<f32>) {
+    let staging = vec![0.0f32; x.len()]; // seeded: vec![…] one hop down
+    stage_two(&staging, out);
+}
+
+fn stage_two(staging: &[f32], out: &mut Vec<f32>) {
+    let copy = staging.to_vec(); // seeded: .to_vec() two hops down
+    let again = copy.clone(); // seeded: .clone()
+    let sum: Vec<f32> = again.iter().map(|v| v * 2.0).collect(); // seeded: .collect()
+    out.extend_from_slice(&sum);
+}
+
+fn never_reached() {
+    // Unreachable from any hot entry: allocations here must NOT fire.
+    let _quiet = vec![1, 2, 3];
+}

@@ -1,0 +1,21 @@
+//! Seeded violation for `pattern-rebuild-in-loop`: a `RowPattern`
+//! constructed inside the per-batch loop of a hot-reachable function.
+
+pub fn train_client_ws(batches: usize, mask: &[f32]) {
+    for _b in 0..batches {
+        let p = RowPattern::from_mask(mask, 4); // seeded: per-batch rebuild
+        apply(&p);
+    }
+}
+
+// lint: cold — once-per-round install; loops over layers are fine here
+pub fn install_all(layers: usize, mask: &[f32]) {
+    // Cold code may build patterns in loops: must NOT fire.
+    for _l in 0..layers {
+        let p = RectPattern::from_mask(mask, 4, 4);
+        keep(&p);
+    }
+}
+
+fn apply(_p: &RowPattern) {}
+fn keep(_p: &RectPattern) {}

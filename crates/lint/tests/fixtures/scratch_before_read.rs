@@ -1,0 +1,20 @@
+//! Seeded violation for `scratch-before-read`: a `take_scratch` buffer
+//! whose first non-trivial use observes the stale contents. The rule is
+//! temperature-independent, so no hot entry is needed here.
+
+pub fn fused_reduce(ws: &mut Workspace, n: usize) -> f32 {
+    let mut cols = ws.take_scratch(n);
+    let total: f32 = cols.iter().sum(); // seeded: read before any write
+    cols.fill(0.0);
+    ws.put(cols);
+    total
+}
+
+pub fn disciplined_sibling(ws: &mut Workspace, src: &[f32]) -> f32 {
+    // The contract done right: write first, then read. Must NOT fire.
+    let mut cols = ws.take_scratch(src.len());
+    cols.copy_from_slice(src);
+    let total: f32 = cols.iter().sum();
+    ws.put(cols);
+    total
+}

@@ -14,6 +14,8 @@
 //!   span timers, JSONL/in-memory sinks, and end-of-run phase summaries
 //!   (schema documented in `docs/OBSERVABILITY.md`).
 
+#![forbid(unsafe_code)]
+
 pub mod comm;
 pub mod flops;
 pub mod report;

@@ -73,12 +73,14 @@ pub trait Layer: Send {
 
     /// The layer's parameters (possibly empty), in a stable order.
     fn params(&self) -> Vec<&Param> {
+        // lint: allow(hot-path-alloc) — empty Vec for stateless layers: zero capacity, no heap
         Vec::new()
     }
 
     /// Mutable access to the layer's parameters, in the same order as
     /// [`Layer::params`].
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // lint: allow(hot-path-alloc) — empty Vec for stateless layers: zero capacity, no heap
         Vec::new()
     }
 
@@ -88,6 +90,7 @@ pub trait Layer: Send {
 }
 
 impl Clone for Box<dyn Layer> {
+    // lint: cold — model cloning is per-round dispatch, never per-batch
     fn clone(&self) -> Self {
         self.clone_box()
     }

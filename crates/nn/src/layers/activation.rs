@@ -23,6 +23,7 @@ impl Layer for ReLU {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let out = input.map(|v| v.max(0.0));
         if mode == Mode::Train {
+            // lint: allow(hot-path-alloc) — backward cache snapshot; the value-path API owns its tensors
             self.cache = Some(input.clone());
         } else {
             self.cache = None;
@@ -68,6 +69,7 @@ impl Layer for LeakyReLU {
         let s = self.slope;
         let out = input.map(|v| if v > 0.0 { v } else { s * v });
         if mode == Mode::Train {
+            // lint: allow(hot-path-alloc) — backward cache snapshot; the value-path API owns its tensors
             self.cache = Some(input.clone());
         } else {
             self.cache = None;
@@ -109,6 +111,7 @@ impl Layer for Tanh {
         let out = input.map(f32::tanh);
         if mode == Mode::Train {
             // Cache the *output*: tanh' = 1 - tanh².
+            // lint: allow(hot-path-alloc) — backward cache snapshot; the value-path API owns its tensors
             self.cache = Some(out.clone());
         } else {
             self.cache = None;
@@ -147,6 +150,7 @@ impl Layer for Sigmoid {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
         if mode == Mode::Train {
+            // lint: allow(hot-path-alloc) — backward cache snapshot; the value-path API owns its tensors
             self.cache = Some(out.clone());
         } else {
             self.cache = None;

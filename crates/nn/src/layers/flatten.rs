@@ -25,6 +25,7 @@ impl Layer for Flatten {
         let batch = input.shape()[0];
         let features: usize = input.shape()[1..].iter().product();
         if mode == Mode::Train {
+            // lint: allow(hot-path-alloc) — shape metadata, not tensor data
             self.in_shape = Some(input.shape().to_vec());
         } else {
             self.in_shape = None;

@@ -97,6 +97,7 @@ impl Layer for Linear {
                 transpose_into(n, self.in_features, input.data(), &mut xt);
                 let mut yt = ws.take_scratch(self.out_features * n);
                 spmm(pat, self.weight.value.data(), &xt, n, &mut yt);
+                // lint: allow(hot-path-alloc) — output buffer returned as an owned Tensor by API contract
                 let mut y = vec![0.0f32; n * self.out_features];
                 transpose_into(self.out_features, n, &yt, &mut y);
                 ws.put(yt);
@@ -111,6 +112,7 @@ impl Layer for Linear {
                     ws.put(xt);
                     self.cache = None;
                 }
+                // lint: allow(hot-path-alloc) — shape metadata, not tensor data
                 Tensor::from_parts(vec![n, self.out_features], y)
             }
             None => {
@@ -123,6 +125,7 @@ impl Layer for Linear {
                     }
                 }
                 if mode == Mode::Train {
+                    // lint: allow(hot-path-alloc) — backward cache snapshot of the dense input
                     self.cache = Some(LinCache::Dense(input.clone()));
                 } else {
                     self.cache = None;
@@ -158,11 +161,13 @@ impl Layer for Linear {
                 // dxᵀ = Wᵀ · dyᵀ over kept weights only.
                 let mut dxt = ws.take_scratch(self.in_features * n);
                 spmm_t(pat, self.weight.value.data(), &dyt, n, &mut dxt);
+                // lint: allow(hot-path-alloc) — dx is returned as an owned Tensor by API contract
                 let mut dx = vec![0.0f32; n * self.in_features];
                 transpose_into(self.in_features, n, &dxt, &mut dx);
                 ws.put(dyt);
                 ws.put(dxt);
                 ws.put(xt);
+                // lint: allow(hot-path-alloc) — shape metadata, not tensor data
                 Tensor::from_parts(vec![n, self.in_features], dx)
             }
             (LinCache::Sparse { .. }, None) => {
@@ -174,6 +179,7 @@ impl Layer for Linear {
         }
     }
 
+    // lint: cold — pattern build happens once per round, on mask install
     fn install_sparsity(&mut self, param_masks: &[&Tensor]) {
         self.sparse = None;
         let Some(wm) = param_masks.first() else { return };
@@ -189,10 +195,12 @@ impl Layer for Linear {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // lint: allow(hot-path-alloc) — short Vec of param refs, cheap next to a batch
         vec![&self.weight, &self.bias]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // lint: allow(hot-path-alloc) — short Vec of param refs, cheap next to a batch
         vec![&mut self.weight, &mut self.bias]
     }
 

@@ -49,9 +49,11 @@ impl Layer for MaxPool2d {
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let (oh, ow) = (self.out_side(h), self.out_side(w));
         let planes = n * c;
+        // lint: allow(hot-path-alloc) — output buffer returned as an owned Tensor by API contract
         let mut out = vec![0.0f32; planes * oh * ow];
         // Eval never reads the argmax, so only Train pays for tracking it.
         let need_argmax = mode == Mode::Train;
+        // lint: allow(hot-path-alloc) — argmax cache sized with the output, owned by contract
         let mut argmax = vec![0usize; if need_argmax { out.len() } else { 0 }];
         if self.window == 2 && self.stride == 2 {
             // The paper's only configuration: row-pair slices instead of
@@ -126,11 +128,14 @@ impl Layer for MaxPool2d {
                 }
             }
         }
+        // lint: allow(hot-path-alloc) — shape metadata, not tensor data
         let out_shape = vec![n, c, oh, ow];
         if mode == Mode::Train {
             self.cache = Some(Cache {
                 argmax,
+                // lint: allow(hot-path-alloc) — shape metadata, not tensor data
                 in_shape: input.shape().to_vec(),
+                // lint: allow(hot-path-alloc) — shape metadata, not tensor data
                 out_shape: out_shape.clone(),
             });
         } else {
@@ -142,6 +147,7 @@ impl Layer for MaxPool2d {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = take_cache(&mut self.cache, "maxpool2d");
         assert_eq!(grad_out.shape(), &cache.out_shape[..], "maxpool2d backward shape mismatch");
+        // lint: allow(hot-path-alloc) — dx is returned as an owned Tensor by API contract
         let mut dx = vec![0.0f32; cache.in_shape.iter().product()];
         for (o, &src) in cache.argmax.iter().enumerate() {
             dx[src] += grad_out.data()[o];
@@ -190,6 +196,7 @@ impl Layer for AvgPool2d {
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let (oh, ow) = (self.out_side(h), self.out_side(w));
         let inv = 1.0 / (self.window * self.window) as f32;
+        // lint: allow(hot-path-alloc) — output buffer returned as an owned Tensor by API contract
         let mut out = vec![0.0f32; n * c * oh * ow];
         for i in 0..n {
             for ch in 0..c {
@@ -211,10 +218,12 @@ impl Layer for AvgPool2d {
             }
         }
         if mode == Mode::Train {
+            // lint: allow(hot-path-alloc) — shape metadata, not tensor data
             self.in_shape = Some(input.shape().to_vec());
         } else {
             self.in_shape = None;
         }
+        // lint: allow(hot-path-alloc) — shape metadata, not tensor data
         Tensor::from_parts(vec![n, c, oh, ow], out)
     }
 
@@ -224,6 +233,7 @@ impl Layer for AvgPool2d {
         let (oh, ow) = (self.out_side(h), self.out_side(w));
         assert_eq!(grad_out.shape(), &[n, c, oh, ow], "avgpool2d backward shape mismatch");
         let inv = 1.0 / (self.window * self.window) as f32;
+        // lint: allow(hot-path-alloc) — dx is returned as an owned Tensor by API contract
         let mut dx = vec![0.0f32; n * c * h * w];
         for i in 0..n {
             for ch in 0..c {

@@ -34,6 +34,8 @@
 //! assert!(l.is_finite());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod layer;
 mod mask;
 mod param;

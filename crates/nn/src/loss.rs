@@ -21,6 +21,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     assert!(n > 0, "cross-entropy over an empty batch");
     let probs = softmax_rows(logits);
     let mut loss = 0.0f32;
+    // lint: allow(hot-path-alloc) — the softmax probs double as the grad buffer: one owned copy per batch by design
     let mut grad = probs.clone().into_vec();
     let inv_n = 1.0 / n as f32;
     for (i, &label) in labels.iter().enumerate() {
@@ -32,6 +33,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     for g in &mut grad {
         *g *= inv_n;
     }
+    // lint: allow(hot-path-alloc) — shape metadata, not tensor data
     (loss * inv_n, Tensor::from_parts(vec![n, c], grad))
 }
 

@@ -218,6 +218,7 @@ impl ModelSpec {
     /// # Panics
     ///
     /// Panics if the input size is too small for the two conv/pool stages.
+    // lint: cold — model construction + weight init run once per client-round
     pub fn build(&self, rng: &mut SeededRng) -> Sequential {
         let mut m = Sequential::new();
         match *self {

@@ -25,6 +25,7 @@ impl Sgd {
     /// # Panics
     ///
     /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    // lint: cold — the optimizer is built once per client-round
     pub fn new(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
@@ -75,6 +76,7 @@ impl Sgd {
     ) {
         let mut params = model.params_mut();
         if self.velocity.is_empty() {
+            // lint: allow(hot-path-alloc) — velocity is lazily initialized on the first step only
             self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
         }
         assert_eq!(self.velocity.len(), params.len(), "optimizer bound to a different model");
@@ -91,6 +93,7 @@ impl Sgd {
                 grads.push(None);
                 continue;
             }
+            // lint: allow(hot-path-alloc) — owned grad copy so decay and masking never alias the param
             let mut grad = p.grad.clone();
             if let Some((anchor, mu)) = prox {
                 // FedProx: ∇ += μ (w − w_global)

@@ -56,6 +56,7 @@ impl Sequential {
 
     /// Runs the forward pass through every layer.
     pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        // lint: allow(hot-path-alloc) — one clone of the batch input; activations then move layer to layer
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x, mode);
@@ -70,6 +71,7 @@ impl Sequential {
     ///
     /// Panics if no training-mode forward preceded this call.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // lint: allow(hot-path-alloc) — one clone of the output grad; grads then move layer to layer
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
             g = layer.backward(&g);
@@ -81,6 +83,7 @@ impl Sequential {
     /// threaded through every layer; numerically identical to the plain
     /// forward, without per-layer heap allocation.
     pub fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        // lint: allow(hot-path-alloc) — one clone of the batch input; activations then move layer to layer
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward_ws(&x, mode, ws);
@@ -94,6 +97,7 @@ impl Sequential {
     ///
     /// Panics if no training-mode forward preceded this call.
     pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        // lint: allow(hot-path-alloc) — one clone of the output grad; grads then move layer to layer
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
             g = layer.backward_ws(&g, ws);
@@ -110,6 +114,7 @@ impl Sequential {
     /// # Panics
     ///
     /// Panics if the mask tensor count does not match the parameter count.
+    // lint: cold — patterns are rebuilt only when a round's mask changes
     pub fn install_sparsity(&mut self, model_mask: &ModelMask) {
         let tensors = model_mask.tensors();
         let mut offset = 0;
@@ -138,12 +143,14 @@ impl Sequential {
     /// All parameters in a stable order (layer order, then each layer's
     /// declared parameter order).
     pub fn params(&self) -> Vec<&Param> {
+        // lint: allow(hot-path-alloc) — short Vec of param refs, cheap next to a batch
         self.layers.iter().flat_map(|l| l.params()).collect()
     }
 
     /// Mutable access to all parameters, same order as
     /// [`Sequential::params`].
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        // lint: allow(hot-path-alloc) — short Vec of param refs, cheap next to a batch
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
     }
 
@@ -204,6 +211,7 @@ impl Sequential {
 
     /// Snapshots parameter values as per-parameter tensors (used for the
     /// FedProx proximal anchor).
+    // lint: cold — per-round anchor snapshot, not per-batch work
     pub fn param_values(&self) -> Vec<Tensor> {
         self.params().iter().map(|p| p.value.clone()).collect()
     }

@@ -135,6 +135,7 @@ impl UnstructuredController {
     /// One full client-side pruning decision: derive candidates from the
     /// first-epoch and last-epoch weights, gate on Δ, and return the new
     /// mask (the last-epoch candidate) if pruning fires.
+    // lint: cold — the pruning decision runs once per client-round
     pub fn step(
         &self,
         model_first_epoch: &Sequential,
@@ -250,6 +251,7 @@ impl HybridController {
     /// 14–23). The returned parameter mask is always the expansion of the
     /// (possibly unchanged) channel mask over the (possibly unchanged)
     /// unstructured base.
+    // lint: cold — the pruning decision runs once per client-round
     pub fn step(
         &self,
         model_first_epoch: &Sequential,

@@ -18,6 +18,8 @@
 //! produce masks; applying a mask is the caller's (the federation
 //! engine's) decision.
 
+#![forbid(unsafe_code)]
+
 pub mod bridge;
 pub mod controller;
 pub mod structured;

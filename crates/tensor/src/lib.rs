@@ -33,6 +33,8 @@
 //! # Ok::<(), subfed_tensor::ShapeError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod tensor;
 

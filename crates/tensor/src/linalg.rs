@@ -302,8 +302,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul lhs");
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
+    // lint: allow(hot-path-alloc) — value-path GEMM returns an owned Tensor; blocked ws kernels carry the steady-state load
     let mut out = vec![0.0f32; m * n];
     gemm(m, k, n, a.data(), b.data(), &mut out);
+    // lint: allow(hot-path-alloc) — shape metadata, not tensor data
     Tensor::from_parts(vec![m, n], out)
 }
 
@@ -316,8 +318,10 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = dims2(a, "matmul_tn lhs");
     let (k2, n) = dims2(b, "matmul_tn rhs");
     assert_eq!(k, k2, "matmul_tn: leading dims {k} vs {k2}");
+    // lint: allow(hot-path-alloc) — value-path GEMM returns an owned Tensor; blocked ws kernels carry the steady-state load
     let mut out = vec![0.0f32; m * n];
     gemm_tn(k, m, n, a.data(), b.data(), &mut out);
+    // lint: allow(hot-path-alloc) — shape metadata, not tensor data
     Tensor::from_parts(vec![m, n], out)
 }
 

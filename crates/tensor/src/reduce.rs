@@ -39,6 +39,7 @@ pub fn softmax_rows(t: &Tensor) -> Tensor {
     assert_eq!(t.ndim(), 2, "softmax_rows needs a 2-D tensor");
     let (rows, cols) = (t.shape()[0], t.shape()[1]);
     assert!(cols > 0, "softmax over zero columns");
+    // lint: allow(hot-path-alloc) — output buffer returned as an owned Tensor by API contract
     let mut out = vec![0.0f32; rows * cols];
     for r in 0..rows {
         let row = &t.data()[r * cols..(r + 1) * cols];
@@ -54,6 +55,7 @@ pub fn softmax_rows(t: &Tensor) -> Tensor {
             *o /= z;
         }
     }
+    // lint: allow(hot-path-alloc) — shape metadata, not tensor data
     Tensor::from_parts(vec![rows, cols], out)
 }
 
@@ -65,6 +67,7 @@ pub fn softmax_rows(t: &Tensor) -> Tensor {
 pub fn sum_rows(t: &Tensor) -> Tensor {
     assert_eq!(t.ndim(), 2, "sum_rows needs a 2-D tensor");
     let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    // lint: allow(hot-path-alloc) — output buffer returned as an owned Tensor by API contract
     let mut out = vec![0.0f32; cols];
     for r in 0..rows {
         let row = &t.data()[r * cols..(r + 1) * cols];
@@ -72,6 +75,7 @@ pub fn sum_rows(t: &Tensor) -> Tensor {
             *o += v;
         }
     }
+    // lint: allow(hot-path-alloc) — shape metadata, not tensor data
     Tensor::from_parts(vec![cols], out)
 }
 

@@ -38,6 +38,7 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let len = shape.iter().product();
+        // lint: allow(hot-path-alloc) — a constructor allocates by definition
         Self { shape: shape.to_vec(), data: vec![value; len] }
     }
 
@@ -193,6 +194,7 @@ impl Tensor {
             shape,
             expected
         );
+        // lint: allow(hot-path-alloc) — reshaped returns an owned copy by contract
         Self { shape: shape.to_vec(), data: self.data.clone() }
     }
 
@@ -282,6 +284,7 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        // lint: allow(hot-path-alloc) — map returns an owned result by contract
         Self { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
@@ -300,7 +303,9 @@ impl Tensor {
     pub fn zip_map(&self, other: &Self, f: impl Fn(f32, f32) -> f32, op: &str) -> Self {
         self.check_same_shape(other, op);
         Self {
+            // lint: allow(hot-path-alloc) — shape metadata, not tensor data
             shape: self.shape.clone(),
+            // lint: allow(hot-path-alloc) — zip_map returns an owned result by contract
             data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
