@@ -314,9 +314,11 @@ fn compare_speedups(path: &str, fresh: &[(String, f64)]) {
     }
     println!("\n-- speedups vs committed baseline ({path}) --");
     let mut regressions = 0;
+    let mut unmeasured: Vec<&str> = Vec::new();
     for (name, base) in &baseline {
         let Some((_, now)) = fresh.iter().find(|(n, _)| n == name) else {
             println!("  {name:<34} baseline {base:>6.2}x  (not measured this run)");
+            unmeasured.push(name);
             continue;
         };
         let floor = base * (1.0 - REGRESSION_TOLERANCE);
@@ -326,13 +328,30 @@ fn compare_speedups(path: &str, fresh: &[(String, f64)]) {
             regressions += 1;
         }
     }
+    for (name, _) in fresh {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("  {name:<34} new this run — not in the committed baseline");
+        }
+    }
+    if !unmeasured.is_empty() {
+        // Baseline rows this run never produced (e.g. rows added to
+        // BENCH_micro.json by a newer bench): warn by name rather than
+        // skewing the verdict below or panicking on the lookup.
+        eprintln!(
+            "compare: warning: {} baseline speedup(s) missing from this run: {}",
+            unmeasured.len(),
+            unmeasured.join(", ")
+        );
+    }
     if regressions > 0 {
         println!(
             "compare: {regressions} speedup(s) regressed more than 25% — advisory only; \
              rerun on a quiet machine and refresh BENCH_micro.json if it reproduces"
         );
-    } else {
+    } else if unmeasured.is_empty() {
         println!("compare: all speedups within 25% of the committed baseline");
+    } else {
+        println!("compare: measured speedups within 25% of the committed baseline");
     }
 }
 

@@ -73,6 +73,12 @@ pub struct RunSpec {
     pub trace: Option<String>,
     /// Print the aggregated phase-timing summary after the run.
     pub trace_summary: bool,
+    /// Registered population for the registry-scale path. `None` keeps
+    /// the classic materialized path over `clients`; `Some(n)` registers
+    /// `n` clients behind an on-demand provider and drives the streaming
+    /// Sub-FedAvg engine (`docs/SCALING.md`). Only `sub-fedavg-un`
+    /// supports this path.
+    pub num_clients: Option<usize>,
 }
 
 impl Default for RunSpec {
@@ -97,6 +103,7 @@ impl Default for RunSpec {
             csv: None,
             trace: None,
             trace_summary: false,
+            num_clients: None,
         }
     }
 }
@@ -137,17 +144,24 @@ pub fn usage() -> String {
          USAGE:\n\
          \x20 subfed run  [--dataset D] [--algo A] [--rounds N] [--clients N]\n\
          \x20             [--partition P] [--alpha F] [--skew F]\n\
-         \x20             [--sample-frac F] [--epochs N] [--batch N] [--lr F]\n\
-         \x20             [--momentum F] [--seed N] [--eval-every N] [--dropout F]\n\
-         \x20             [--threads N] [--target F] [--structured-target F]\n\
-         \x20             [--rate F] [--mu F] [--coupling F] [--csv PATH]\n\
-         \x20             [--trace PATH] [--trace-summary]\n\
+         \x20             [--sample-frac F | --frac F] [--epochs N] [--batch N]\n\
+         \x20             [--lr F] [--momentum F] [--seed N] [--eval-every N]\n\
+         \x20             [--dropout F] [--threads N] [--target F]\n\
+         \x20             [--structured-target F] [--rate F] [--mu F]\n\
+         \x20             [--coupling F] [--csv PATH] [--trace PATH]\n\
+         \x20             [--trace-summary] [--num-clients N]\n\
          \x20 subfed info [--dataset D] [--clients N] [--seed N]\n\
          \x20 subfed help\n\
          \n\
          DATASETS:   mnist | emnist | cifar10 | cifar100 (synthetic stand-ins)\n\
          PARTITIONS: pathological | dirichlet (--alpha) | quantity (--skew)\n\
          ALGOS:      {}\n\
+         \n\
+         SCALE:      --num-clients N registers N clients behind an on-demand\n\
+         \x20           provider and drives the registry + streaming Sub-FedAvg\n\
+         \x20           engine; each round samples --frac (alias of\n\
+         \x20           --sample-frac) of them as the cohort (docs/SCALING.md).\n\
+         \x20           sub-fedavg-un only.\n\
          \n\
          TRACES:     --trace PATH streams round-level JSONL telemetry\n\
          \x20           (docs/OBSERVABILITY.md); check a written trace against\n\
@@ -206,7 +220,8 @@ fn parse_run(args: &[String]) -> Result<RunSpec, String> {
             }
             "--rounds" => spec.config.rounds = parse_value(flag, value)?,
             "--clients" => spec.clients = parse_value(flag, value)?,
-            "--sample-frac" => spec.config.sample_frac = parse_value(flag, value)?,
+            "--sample-frac" | "--frac" => spec.config.sample_frac = parse_value(flag, value)?,
+            "--num-clients" => spec.num_clients = Some(parse_value(flag, value)?),
             "--epochs" => spec.config.local_epochs = parse_value(flag, value)?,
             "--batch" => spec.config.batch_size = parse_value(flag, value)?,
             "--lr" => spec.config.lr = parse_value(flag, value)?,
@@ -344,6 +359,29 @@ mod tests {
         let Command::Run(spec) = parse_args(&argv("run")).unwrap() else { panic!() };
         assert!(!spec.trace_summary);
         assert_eq!(spec.trace, None);
+    }
+
+    #[test]
+    fn frac_is_an_alias_of_sample_frac() {
+        let Command::Run(spec) = parse_args(&argv("run --frac 0.01")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(spec.config.sample_frac, 0.01);
+        assert_eq!(spec.num_clients, None);
+    }
+
+    #[test]
+    fn num_clients_selects_the_registry_scale_path() {
+        let Command::Run(spec) =
+            parse_args(&argv("run --num-clients 1000000 --frac 0.01 --rounds 2")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(spec.num_clients, Some(1_000_000));
+        assert_eq!(spec.config.sample_frac, 0.01);
+        assert!(parse_args(&argv("run --num-clients heaps"))
+            .unwrap_err()
+            .contains("invalid value"));
     }
 
     #[test]

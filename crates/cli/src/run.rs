@@ -7,8 +7,11 @@ use crate::args::{usage, AlgoKind, Command, InfoSpec, RunSpec};
 use subfed_core::algorithms::{
     FedAvg, FedMtl, FedProx, LgFedAvg, Standalone, SubFedAvgHy, SubFedAvgUn,
 };
+use subfed_core::presets::DatasetKind;
+use subfed_core::scale::ScaledSubFedAvg;
 use subfed_core::{FederatedAlgorithm, Federation};
 use subfed_data::stats::{label_histogram, mean_labels_per_client};
+use subfed_data::{SynthClientProvider, SynthProviderConfig, SynthVision};
 use subfed_metrics::comm::human_bytes;
 use subfed_metrics::report::Table;
 use subfed_metrics::trace::{JsonlSink, Sink, TraceSummary, Tracer, VecSink};
@@ -38,10 +41,12 @@ fn build_algorithm(spec: &RunSpec, fed: Federation) -> Box<dyn FederatedAlgorith
     }
 }
 
-fn execute_run(spec: &RunSpec) -> Result<String, String> {
-    let clients = spec.dataset.clients_with(spec.clients, spec.config.seed, spec.partition);
-    // Optional telemetry: a JSONL file sink, an in-memory sink feeding the
-    // end-of-run summary, or both.
+/// The telemetry stack of a run: the tracer plus its optional sinks (a
+/// JSONL file, an in-memory buffer feeding the end-of-run summary).
+type TracerStack = (Tracer, Option<Arc<JsonlSink>>, Option<Arc<VecSink>>);
+
+/// Builds the tracer stack shared by both run paths.
+fn build_tracer(spec: &RunSpec) -> Result<TracerStack, String> {
     let jsonl: Option<Arc<JsonlSink>> = match &spec.trace {
         Some(path) => Some(Arc::new(
             JsonlSink::create(path).map_err(|e| format!("cannot write {path}: {e}"))?,
@@ -56,7 +61,116 @@ fn execute_run(spec: &RunSpec) -> Result<String, String> {
     if let Some(s) = &summary_sink {
         sinks.push(s.clone());
     }
-    let tracer = Tracer::multi(sinks);
+    Ok((Tracer::multi(sinks), jsonl, summary_sink))
+}
+
+/// The registry-scale path (`--num-clients`): an on-demand client
+/// provider, a [`subfed_core::ClientRegistry`], sampled cohorts, and
+/// streaming aggregation. See `docs/SCALING.md`.
+fn execute_scaled_run(spec: &RunSpec, registered: usize) -> Result<String, String> {
+    if spec.algo != AlgoKind::SubFedAvgUn {
+        return Err("--num-clients drives the streaming Sub-FedAvg engine: \
+                    use --algo sub-fedavg-un"
+            .to_string());
+    }
+    if registered == 0 {
+        return Err("--num-clients must be positive".to_string());
+    }
+    let seed = spec.config.seed;
+    let synth = match spec.dataset {
+        DatasetKind::Mnist => SynthVision::mnist_like(seed, 1),
+        DatasetKind::Emnist => SynthVision::emnist_like(seed, 1),
+        DatasetKind::Cifar10 => SynthVision::cifar10_like(seed, 1),
+        DatasetKind::Cifar100 => SynthVision::cifar100_like(seed, 1, 20),
+    };
+    let provider = SynthClientProvider::new(
+        synth,
+        SynthProviderConfig {
+            num_clients: registered,
+            labels_per_client: 2,
+            train_per_label: 6,
+            val_per_label: 3,
+            test_per_label: 3,
+            seed,
+        },
+    );
+    let (tracer, jsonl, summary_sink) = build_tracer(spec)?;
+    let fed = Federation::from_provider(spec.dataset.spec(), Arc::new(provider), spec.config)
+        .with_tracer(tracer);
+    let tracer = fed.tracer().clone();
+    let mut controller = UnstructuredController::paper_defaults(spec.target);
+    controller.rate = spec.rate;
+    controller.acc_threshold = 0.3;
+    let mut driver = ScaledSubFedAvg::new(fed, controller);
+    let summary = driver.run();
+    tracer.flush();
+    if let (Some(sink), Some(path)) = (&jsonl, &spec.trace) {
+        if let Some(e) = sink.take_error() {
+            return Err(format!("cannot write {path}: {e}"));
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Sub-FedAvg (Un, streaming) on {} — {} registered clients, \
+         cohort {} ({} rounds)\n\n",
+        spec.dataset.label(),
+        summary.registered,
+        spec.config.clients_per_round(summary.registered),
+        spec.config.rounds,
+    ));
+    let mut table = Table::new(
+        "round history",
+        &["round", "cohort", "survivors", "val acc", "test acc", "comm", "agg mem"],
+    );
+    for r in &summary.records {
+        table.row(&[
+            r.round.to_string(),
+            r.cohort.to_string(),
+            r.survivors.to_string(),
+            format!("{:.1}%", 100.0 * r.avg_val_acc),
+            r.avg_test_acc.map_or_else(|| "—".to_string(), |a| format!("{:.1}%", 100.0 * a)),
+            human_bytes(r.cum_bytes),
+            human_bytes(r.agg_memory_bytes as u64),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nfinal: cohort val accuracy {:.1}%{}, total communication {}\n",
+        100.0 * summary.final_avg_val_acc,
+        summary
+            .final_avg_test_acc
+            .map_or_else(String::new, |a| format!(", cohort test accuracy {:.1}%", 100.0 * a)),
+        human_bytes(summary.cum_bytes),
+    ));
+    out.push_str(&format!(
+        "registry: {} of {} clients hold explicit masks, {} resident \
+         (server aggregation memory stays O(model): {})\n",
+        summary.allocated_masks,
+        summary.registered,
+        human_bytes(summary.registry_memory_bytes as u64),
+        human_bytes(summary.records.iter().map(|r| r.agg_memory_bytes).max().unwrap_or(0) as u64),
+    ));
+    if let Some(sink) = &summary_sink {
+        out.push('\n');
+        out.push_str(&TraceSummary::from_events(&sink.snapshot()).render());
+    }
+    if spec.csv.is_some() {
+        return Err("--csv is not supported on the --num-clients path yet".to_string());
+    }
+    if let Some(path) = &spec.trace {
+        out.push_str(&format!("trace written to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn execute_run(spec: &RunSpec) -> Result<String, String> {
+    if let Some(registered) = spec.num_clients {
+        return execute_scaled_run(spec, registered);
+    }
+    let clients = spec.dataset.clients_with(spec.clients, spec.config.seed, spec.partition);
+    // Optional telemetry: a JSONL file sink, an in-memory sink feeding the
+    // end-of-run summary, or both.
+    let (tracer, jsonl, summary_sink) = build_tracer(spec)?;
     let fed = Federation::new(spec.dataset.spec(), clients, spec.config).with_tracer(tracer);
     let tracer = fed.tracer().clone();
     let mut algo = build_algorithm(spec, fed);
@@ -260,5 +374,60 @@ mod tests {
     fn dataset_flag_reaches_the_run() {
         let out = quick_run("--dataset emnist --algo fedavg");
         assert!(out.contains(DatasetKind::Emnist.label()));
+    }
+
+    #[test]
+    fn scaled_run_reports_registry_and_streaming_memory() {
+        let cmd = parse_args(&argv(
+            "run --algo un --num-clients 200 --frac 0.03 --rounds 2 --epochs 1 \
+             --threads 2 --seed 3",
+        ))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("200 registered clients"), "{out}");
+        assert!(out.contains("cohort 6"), "{out}");
+        assert!(out.contains("agg mem"), "{out}");
+        assert!(out.contains("aggregation memory stays O(model)"), "{out}");
+    }
+
+    #[test]
+    fn scaled_run_requires_unstructured_subfedavg() {
+        let cmd =
+            parse_args(&argv("run --algo fedavg --num-clients 100 --rounds 1 --epochs 1")).unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.contains("sub-fedavg-un"), "{err}");
+    }
+
+    #[test]
+    fn scaled_trace_records_registry_and_cohort_sizes() {
+        use subfed_metrics::trace::TraceEvent;
+        let path = std::env::temp_dir().join("subfed_cli_scaled_trace.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let cmd = parse_args(&argv(&format!(
+            "run --algo un --num-clients 150 --frac 0.04 --rounds 2 --epochs 1 \
+             --seed 5 --trace {path_str}"
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("trace written to"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<TraceEvent> =
+            text.lines().map(|l| TraceEvent::from_json(l).expect("every line parses")).collect();
+        let starts: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RoundStart { registered, cohort_size, sampled, .. } => {
+                    Some((*registered, *cohort_size, sampled.len()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts.len(), 2);
+        for (registered, cohort_size, sampled) in starts {
+            assert_eq!(registered, 150);
+            assert_eq!(cohort_size, sampled);
+            assert!(cohort_size > 0);
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

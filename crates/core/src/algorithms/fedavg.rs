@@ -101,7 +101,7 @@ impl FederatedAlgorithm for FedAvg {
                 let out = train_client_ws(
                     fed.spec(),
                     download_ref,
-                    &fed.clients()[i],
+                    &fed.client_data(i),
                     fed.config(),
                     None,
                     prox_mu.map(|mu| (download_ref.as_slice(), mu)),
@@ -132,7 +132,7 @@ impl FederatedAlgorithm for FedAvg {
                 .map(|(o, &i)| {
                     fed.tracer().emit(TraceEvent::Download { round, client: i, bytes: transfer });
                     fed.tracer().emit(TraceEvent::Upload { round, client: i, bytes: transfer });
-                    (self.maybe_quantize(&o.final_flat), fed.clients()[i].train.len())
+                    (self.maybe_quantize(&o.final_flat), fed.client_data(i).train.len())
                 })
                 .collect();
             let agg_span = fed.tracer().span();
@@ -221,7 +221,7 @@ mod tests {
         let fed1 = tiny_federation(2, 4);
         let mut cfg = *fed1.config();
         cfg.threads = 3;
-        let fed3 = crate::Federation::new(*fed1.spec(), fed1.clients().to_vec(), cfg);
+        let fed3 = crate::Federation::new(*fed1.spec(), fed1.materialized_clients(), cfg);
         let h1 = FedAvg::new(fed1).run();
         let h3 = FedAvg::new(fed3).run();
         assert_eq!(h1, h3);
@@ -289,7 +289,7 @@ mod tests {
         let plain = crate::train_client(
             fed.spec(),
             &global,
-            &fed.clients()[0],
+            &fed.client_data(0),
             fed.config(),
             None,
             None,
@@ -300,7 +300,7 @@ mod tests {
         let prox = crate::train_client(
             fed.spec(),
             &global,
-            &fed.clients()[0],
+            &fed.client_data(0),
             fed.config(),
             None,
             Some((global.as_slice(), 20.0)),

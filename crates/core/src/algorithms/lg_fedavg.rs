@@ -94,7 +94,7 @@ impl FederatedAlgorithm for LgFedAvg {
                 let out = train_client_ws(
                     fed.spec(),
                     &start,
-                    &fed.clients()[i],
+                    &fed.client_data(i),
                     fed.config(),
                     None,
                     None,
@@ -114,10 +114,10 @@ impl FederatedAlgorithm for LgFedAvg {
             });
             // Upload: average the heads, weighted by sample count.
             let agg_span = fed.tracer().span();
-            let total: usize = ids.iter().map(|&i| fed.clients()[i].train.len()).sum();
+            let total: usize = ids.iter().map(|&i| fed.client_data(i).train.len()).sum();
             let mut new_head = vec![0.0f32; global_head.len()];
             for (out, &i) in outcomes.iter().zip(ids.iter()) {
-                let w = fed.clients()[i].train.len() as f32 / total as f32;
+                let w = fed.client_data(i).train.len() as f32 / total as f32;
                 for &(off, len) in &self.head {
                     for (dst, &src) in
                         new_head[off..off + len].iter_mut().zip(&out.final_flat[off..off + len])
@@ -193,7 +193,7 @@ mod tests {
         let fed = tiny_federation(1, 4);
         let mut cfg = *fed.config();
         cfg.sample_frac = 1.0;
-        let fed = crate::Federation::new(*fed.spec(), fed.clients().to_vec(), cfg);
+        let fed = crate::Federation::new(*fed.spec(), fed.materialized_clients(), cfg);
         let mut algo = LgFedAvg::new(fed);
         let h = algo.run();
         assert_eq!(h.records.len(), 1);

@@ -1,6 +1,6 @@
 //! The paper's algorithms and every baseline it compares against.
 
-mod common;
+pub(crate) mod common;
 mod fedavg;
 mod lg_fedavg;
 mod mtl;

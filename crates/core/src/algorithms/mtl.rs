@@ -80,7 +80,7 @@ impl FederatedAlgorithm for FedMtl {
                 let out = train_client_ws(
                     fed.spec(),
                     &locals[i],
-                    &fed.clients()[i],
+                    &fed.client_data(i),
                     fed.config(),
                     None,
                     if coupling > 0.0 { Some((mean_ref.as_slice(), coupling)) } else { None },

@@ -50,6 +50,8 @@ impl FederatedAlgorithm for Standalone {
                     round,
                     sampled: all.clone(),
                     survivors: ids.clone(),
+                    registered: fed.num_clients(),
+                    cohort_size: all.len(),
                 });
                 for &client in all.iter().filter(|c| !ids.contains(c)) {
                     fed.tracer().emit(TraceEvent::Dropout {
@@ -67,7 +69,7 @@ impl FederatedAlgorithm for Standalone {
                 let out = train_client_ws(
                     fed.spec(),
                     &flats[i],
-                    &fed.clients()[i],
+                    &fed.client_data(i),
                     fed.config(),
                     None,
                     None,

@@ -117,7 +117,7 @@ impl FederatedAlgorithm for SubFedAvgHy {
                 let out = train_client_ws(
                     fed.spec(),
                     global_ref,
-                    &fed.clients()[i],
+                    &fed.client_data(i),
                     fed.config(),
                     Some(&states_ref[i].mask),
                     None,

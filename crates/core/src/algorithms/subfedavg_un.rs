@@ -258,7 +258,7 @@ impl SubFedAvgUn {
             let out = train_client_ws(
                 fed.spec(),
                 global_ref,
-                &fed.clients()[i],
+                &fed.client_data(i),
                 fed.config(),
                 Some(&masks_ref[i]),
                 None,

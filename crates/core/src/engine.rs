@@ -1,9 +1,11 @@
 //! The round engine: client sampling, local training, parallel execution,
 //! and personalized evaluation shared by every algorithm.
 
+use crate::sampler::{CohortSampler, UniformSampler};
 use crate::workspace::{PooledWorkspace, WorkspacePool};
 use crate::FedConfig;
-use subfed_data::{ClientData, Dataset};
+use std::sync::Arc;
+use subfed_data::{ClientData, ClientProvider, Dataset, MaterializedClients};
 use subfed_metrics::trace::{TraceEvent, Tracer};
 use subfed_nn::loss::softmax_cross_entropy;
 use subfed_nn::models::ModelSpec;
@@ -13,29 +15,62 @@ use subfed_tensor::init::SeededRng;
 use subfed_tensor::reduce::argmax_rows;
 use subfed_tensor::workspace::Workspace;
 
-/// A federation: one model architecture, a set of clients, and shared
+/// A federation: one model architecture, a client population (materialized
+/// or served on demand by a [`ClientProvider`]), and shared
 /// hyper-parameters. Algorithms consume a `Federation` and drive rounds on
 /// top of its helpers.
 #[derive(Debug, Clone)]
 pub struct Federation {
     spec: ModelSpec,
-    clients: Vec<ClientData>,
+    provider: Arc<dyn ClientProvider>,
+    sampler: Arc<dyn CohortSampler>,
     config: FedConfig,
     tracer: Tracer,
     workspaces: WorkspacePool,
 }
 
 impl Federation {
-    /// Creates a federation (telemetry disabled; see
-    /// [`Federation::with_tracer`]).
+    /// Creates a federation over a materialized client list (telemetry
+    /// disabled; see [`Federation::with_tracer`]).
     ///
     /// # Panics
     ///
     /// Panics if `clients` is empty or the config fails validation.
     pub fn new(spec: ModelSpec, clients: Vec<ClientData>, config: FedConfig) -> Self {
-        config.validate();
         assert!(!clients.is_empty(), "federation needs at least one client");
-        Self { spec, clients, config, tracer: Tracer::disabled(), workspaces: WorkspacePool::new() }
+        Self::from_provider(spec, Arc::new(MaterializedClients::new(clients)), config)
+    }
+
+    /// Creates a federation over any client provider — the scaling path:
+    /// an on-demand provider lets the registered population exceed memory,
+    /// since only the sampled cohort's shards are ever materialized (see
+    /// `docs/SCALING.md`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the provider has no clients or the config fails
+    /// validation.
+    pub fn from_provider(
+        spec: ModelSpec,
+        provider: Arc<dyn ClientProvider>,
+        config: FedConfig,
+    ) -> Self {
+        config.validate();
+        assert!(provider.num_clients() > 0, "federation needs at least one client");
+        Self {
+            spec,
+            provider,
+            sampler: Arc::new(UniformSampler),
+            config,
+            tracer: Tracer::disabled(),
+            workspaces: WorkspacePool::new(),
+        }
+    }
+
+    /// Replaces the cohort sampler (uniform by default).
+    pub fn with_sampler(mut self, sampler: Arc<dyn CohortSampler>) -> Self {
+        self.sampler = sampler;
+        self
     }
 
     /// Attaches a telemetry tracer: every algorithm driving this
@@ -56,9 +91,36 @@ impl Federation {
         &self.spec
     }
 
-    /// The clients.
-    pub fn clients(&self) -> &[ClientData] {
-        &self.clients
+    /// The local data of client `i` (a vector lookup on materialized
+    /// federations; an on-demand synthesis otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the registered population.
+    pub fn client_data(&self, i: usize) -> Arc<ClientData> {
+        self.provider.client(i)
+    }
+
+    /// The client provider behind this federation.
+    pub fn provider(&self) -> &Arc<dyn ClientProvider> {
+        &self.provider
+    }
+
+    /// Clones out the full client list. Only valid on materialized
+    /// federations — callers that need every client at once must not run
+    /// against an on-demand registry-scale provider.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the provider is on-demand.
+    pub fn materialized_clients(&self) -> Vec<ClientData> {
+        self.provider
+            .materialized()
+            // lint: allow(no-unwrap) — documented panic: only valid on materialized providers
+            .expect("materialized_clients on an on-demand provider")
+            .iter()
+            .map(|c| (**c).clone())
+            .collect()
     }
 
     /// The shared configuration.
@@ -66,9 +128,9 @@ impl Federation {
         &self.config
     }
 
-    /// Number of clients.
+    /// Number of registered clients.
     pub fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.provider.num_clients()
     }
 
     /// Checks a training workspace out of the federation's shared pool.
@@ -93,13 +155,12 @@ impl Federation {
 
     /// Samples the participant set for `round` (1-based), deterministic in
     /// `(seed, round)` — independent of call order, so different
-    /// algorithms see identical schedules.
+    /// algorithms see identical schedules. Delegates to the federation's
+    /// [`CohortSampler`] (uniform unless replaced via
+    /// [`Federation::with_sampler`]).
     pub fn sample_round(&self, round: usize) -> Vec<usize> {
         let k = self.config.clients_per_round(self.num_clients());
-        let mut rng = SeededRng::new(self.config.seed ^ (round as u64).wrapping_mul(0x9E37));
-        let mut ids = rng.sample_indices(self.num_clients(), k);
-        ids.sort_unstable();
-        ids
+        self.sampler.sample(self.num_clients(), k, self.config.seed, round)
     }
 
     /// Failure injection: filters a sampled participant set down to the
@@ -138,6 +199,8 @@ impl Federation {
                 round,
                 sampled: sampled.clone(),
                 survivors: survivors.clone(),
+                registered: self.num_clients(),
+                cohort_size: sampled.len(),
             });
             for &client in sampled.iter().filter(|c| !survivors.contains(c)) {
                 self.tracer.emit(TraceEvent::Dropout {
@@ -211,7 +274,7 @@ impl Federation {
         self.par_map(&ids, |i| {
             let mut model = self.build_model();
             model.load_flat(&flats[i]);
-            evaluate_accuracy(&mut model, &self.clients[i].test, 64)
+            evaluate_accuracy(&mut model, &self.client_data(i).test, 64)
         })
     }
 }
@@ -400,7 +463,8 @@ mod tests {
     fn training_reduces_loss_and_changes_weights() {
         let fed = tiny_federation(1);
         let global = fed.init_global();
-        let out = train_client(fed.spec(), &global, &fed.clients()[0], fed.config(), None, None, 7);
+        let out =
+            train_client(fed.spec(), &global, &fed.client_data(0), fed.config(), None, None, 7);
         assert_ne!(out.final_flat, global);
         assert_ne!(out.first_epoch_flat, out.final_flat);
         assert!(out.mean_train_loss.is_finite());
@@ -411,10 +475,10 @@ mod tests {
     fn training_is_deterministic_in_seed() {
         let fed = tiny_federation(1);
         let global = fed.init_global();
-        let a = train_client(fed.spec(), &global, &fed.clients()[1], fed.config(), None, None, 3);
-        let b = train_client(fed.spec(), &global, &fed.clients()[1], fed.config(), None, None, 3);
+        let a = train_client(fed.spec(), &global, &fed.client_data(1), fed.config(), None, None, 3);
+        let b = train_client(fed.spec(), &global, &fed.client_data(1), fed.config(), None, None, 3);
         assert_eq!(a.final_flat, b.final_flat);
-        let c = train_client(fed.spec(), &global, &fed.clients()[1], fed.config(), None, None, 4);
+        let c = train_client(fed.spec(), &global, &fed.client_data(1), fed.config(), None, None, 4);
         assert_ne!(a.final_flat, c.final_flat);
     }
 
@@ -432,7 +496,7 @@ mod tests {
         let out = train_client(
             fed.spec(),
             &global,
-            &fed.clients()[0],
+            &fed.client_data(0),
             fed.config(),
             Some(&mask),
             None,
@@ -464,7 +528,7 @@ mod tests {
             train_client_ws(
                 fed.spec(),
                 &global,
-                &fed.clients()[2],
+                &fed.client_data(2),
                 fed.config(),
                 Some(&mask),
                 None,
@@ -517,7 +581,7 @@ mod tests {
         let fed = tiny_federation(1);
         let mut cfg = *fed.config();
         cfg.dropout_prob = 0.5;
-        let fed = Federation::new(*fed.spec(), fed.clients().to_vec(), cfg);
+        let fed = Federation::new(*fed.spec(), fed.materialized_clients(), cfg);
         let ids: Vec<usize> = (0..4).collect();
         let s1 = fed.survivors(2, &ids);
         let s2 = fed.survivors(2, &ids);

@@ -182,6 +182,28 @@ pub fn check_aggregation_coverage(
     }
 }
 
+/// Streaming-aggregation variant of [`check_aggregation_coverage`]: the
+/// sharded accumulator never materializes the cohort's `(params, mask)`
+/// pairs, so coverage is judged from its per-position holder counts
+/// instead. Zero folded updates or a zero-length model are trivially fine
+/// (other asserts own those cases).
+///
+/// # Errors
+///
+/// [`InvariantViolation::NoCoverage`] when `updates > 0` but every
+/// position's holder count is zero.
+#[must_use = "a dropped Result hides the violation it reports"]
+pub fn check_streaming_coverage(counts: &[f32], updates: usize) -> Result<(), InvariantViolation> {
+    if updates == 0 || counts.is_empty() {
+        return Ok(());
+    }
+    if counts.iter().any(|&c| c > 0.0) {
+        Ok(())
+    } else {
+        Err(InvariantViolation::NoCoverage { positions: counts.len() })
+    }
+}
+
 /// Records a violation on the trace (and flushes, so the event survives an
 /// imminent panic). Never panics; usable from release builds.
 pub fn report(tracer: &Tracer, round: usize, context: &str, violation: &InvariantViolation) {
@@ -289,6 +311,17 @@ mod tests {
         // Empty cohort and empty model are owned by other asserts.
         assert_eq!(check_aggregation_coverage(&[], 2), Ok(()));
         assert_eq!(check_aggregation_coverage(&all_zero, 0), Ok(()));
+    }
+
+    #[test]
+    fn streaming_coverage_mirrors_the_batch_check() {
+        assert_eq!(
+            check_streaming_coverage(&[0.0, 0.0], 3),
+            Err(InvariantViolation::NoCoverage { positions: 2 })
+        );
+        assert_eq!(check_streaming_coverage(&[0.0, 1.0], 3), Ok(()));
+        assert_eq!(check_streaming_coverage(&[0.0, 0.0], 0), Ok(()));
+        assert_eq!(check_streaming_coverage(&[], 3), Ok(()));
     }
 
     #[test]

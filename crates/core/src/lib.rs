@@ -51,6 +51,10 @@ pub mod analysis;
 pub mod checkpoint;
 pub mod invariants;
 pub mod presets;
+pub mod registry;
+pub mod sampler;
+pub mod scale;
+pub mod stream_agg;
 pub mod wire;
 
 pub use aggregate::{
@@ -59,6 +63,10 @@ pub use aggregate::{
 pub use config::FedConfig;
 pub use engine::{evaluate_accuracy, train_client, train_client_ws, Federation, LocalOutcome};
 pub use history::{History, RoundRecord};
+pub use registry::ClientRegistry;
+pub use sampler::{CohortSampler, UniformSampler};
+pub use scale::{ScaledSubFedAvg, ScaledSummary};
+pub use stream_agg::{ShardedAccumulator, StreamingAccumulator};
 pub use workspace::{PooledWorkspace, WorkspacePool};
 
 #[cfg(test)]

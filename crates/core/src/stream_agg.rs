@@ -1,0 +1,317 @@
+//! Streaming Sub-FedAvg aggregation: fold uploads into running
+//! `Σ mₖ·θₖ` / `Σ mₖ` accumulators instead of buffering the whole cohort.
+//!
+//! The batch rule ([`crate::aggregate::subfedavg_aggregate`]) takes every
+//! `(params, mask)` pair at once — O(cohort × model) server memory, which
+//! is exactly what a 10k-client cohort over a 62k-parameter model cannot
+//! afford to keep dense. Intersection averaging, however, is a pure
+//! position-wise fold: the server only ever needs the running masked sum
+//! and the running holder count, 2 × model floats regardless of cohort
+//! size. [`StreamingAccumulator`] is that fold; [`ShardedAccumulator`]
+//! wraps it in contiguous position-range shards behind mutexes so training
+//! workers fold their own upload on the way out instead of handing dense
+//! vectors back to the server loop.
+//!
+//! Floating-point caveat: folding order follows upload arrival, so with
+//! multiple worker threads the result can differ from the batch rule by
+//! f32 rounding. The property tests bound the gap at 1e-6; see
+//! `docs/SCALING.md` § "Numerical determinism".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use subfed_nn::is_kept;
+
+/// Running position-wise Sub-FedAvg state: one masked sum and one holder
+/// count per model position.
+#[derive(Debug, Clone)]
+pub struct StreamingAccumulator {
+    sum: Vec<f32>,
+    count: Vec<f32>,
+    updates: usize,
+}
+
+impl StreamingAccumulator {
+    /// An empty accumulator over a model of `num_params` positions.
+    pub fn new(num_params: usize) -> Self {
+        Self { sum: vec![0.0; num_params], count: vec![0.0; num_params], updates: 0 }
+    }
+
+    /// Folds one client upload: every kept position contributes its
+    /// parameter to the sum and one holder to the count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` or `mask` length differs from the model.
+    pub fn fold(&mut self, params: &[f32], mask: &[f32]) {
+        assert_eq!(params.len(), self.sum.len(), "update length mismatch");
+        assert_eq!(mask.len(), self.sum.len(), "mask length mismatch");
+        for (((s, c), &p), &m) in
+            self.sum.iter_mut().zip(self.count.iter_mut()).zip(params).zip(mask)
+        {
+            if is_kept(m) {
+                *s += p;
+                *c += 1.0;
+            }
+        }
+        self.updates += 1;
+    }
+
+    /// Uploads folded so far.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Per-position holder counts (for coverage checks).
+    pub fn counts(&self) -> &[f32] {
+        &self.count
+    }
+
+    /// Closes the round: positions at least one client kept take the
+    /// intersection mean, positions nobody kept retain the previous
+    /// global — the same rule as the batch aggregator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global` length differs, or nothing was folded.
+    pub fn finish(&self, global: &[f32]) -> Vec<f32> {
+        assert_eq!(global.len(), self.sum.len(), "global length mismatch");
+        assert!(self.updates > 0, "streaming sub-fedavg over zero updates");
+        self.sum
+            .iter()
+            .zip(self.count.iter())
+            .zip(global)
+            .map(|((&s, &c), &g)| if c > 0.0 { s / c } else { g })
+            .collect()
+    }
+
+    /// Resident bytes — 2 × model × 4, independent of cohort size. The
+    /// O(model) server-memory invariant `docs/SCALING.md` documents.
+    pub fn memory_bytes(&self) -> usize {
+        (self.sum.len() + self.count.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// One lock per contiguous position range.
+#[derive(Debug)]
+struct Shard {
+    sum: Vec<f32>,
+    count: Vec<f32>,
+}
+
+/// A [`StreamingAccumulator`] split into contiguous position-range shards,
+/// each behind its own mutex, so concurrent training workers fold uploads
+/// without serializing on one lock (workers touching different shards
+/// proceed in parallel; a model is split into [`ShardedAccumulator::DEFAULT_SHARDS`]
+/// ranges by default).
+#[derive(Debug)]
+pub struct ShardedAccumulator {
+    shards: Vec<Mutex<Shard>>,
+    /// Positions per shard (last shard may be short).
+    shard_size: usize,
+    num_params: usize,
+    updates: AtomicUsize,
+}
+
+impl ShardedAccumulator {
+    /// Default shard count — enough to keep 8–16 workers from contending.
+    pub const DEFAULT_SHARDS: usize = 32;
+
+    /// An empty sharded accumulator over `num_params` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty model or zero shards.
+    pub fn new(num_params: usize, shards: usize) -> Self {
+        assert!(num_params > 0, "accumulator needs a non-empty model");
+        assert!(shards > 0, "need at least one shard");
+        let shards = shards.min(num_params);
+        let shard_size = num_params.div_ceil(shards);
+        // Rounding can leave the last requested shards empty (e.g. 257
+        // positions over 32 shards → 9-position shards → 29 used); only
+        // materialize the ranges that actually hold positions.
+        let shards = num_params.div_ceil(shard_size);
+        let shards = (0..shards)
+            .map(|i| {
+                let lo = i * shard_size;
+                let hi = ((i + 1) * shard_size).min(num_params);
+                Mutex::new(Shard { sum: vec![0.0; hi - lo], count: vec![0.0; hi - lo] })
+            })
+            .collect();
+        Self { shards, shard_size, num_params, updates: AtomicUsize::new(0) }
+    }
+
+    /// Folds one upload, locking each position-range shard in turn.
+    /// Callable from any worker thread (`&self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` or `mask` length differs from the model, or a
+    /// shard lock is poisoned (a worker panicked mid-fold).
+    pub fn fold(&self, params: &[f32], mask: &[f32]) {
+        assert_eq!(params.len(), self.num_params, "update length mismatch");
+        assert_eq!(mask.len(), self.num_params, "mask length mismatch");
+        for (i, shard) in self.shards.iter().enumerate() {
+            let lo = i * self.shard_size;
+            let hi = ((i + 1) * self.shard_size).min(self.num_params);
+            // lint: allow(no-unwrap) — poisoned only if a sibling worker panicked, which re-raises anyway
+            let mut guard = shard.lock().unwrap();
+            let Shard { sum, count } = &mut *guard;
+            // lint: allow(unchecked-index) — lo..hi lies in 0..num_params by shard construction
+            let (ps, ms) = (&params[lo..hi], &mask[lo..hi]);
+            for (((s, c), &p), &m) in sum.iter_mut().zip(count.iter_mut()).zip(ps).zip(ms) {
+                if is_kept(m) {
+                    *s += p;
+                    *c += 1.0;
+                }
+            }
+        }
+        self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Uploads folded so far.
+    pub fn updates(&self) -> usize {
+        self.updates.load(Ordering::Relaxed)
+    }
+
+    /// Collapses the shards back into one [`StreamingAccumulator`] (after
+    /// the round's workers have joined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard lock is poisoned.
+    pub fn into_streaming(self) -> StreamingAccumulator {
+        let updates = self.updates.load(Ordering::Relaxed);
+        let mut sum = Vec::with_capacity(self.num_params);
+        let mut count = Vec::with_capacity(self.num_params);
+        for shard in self.shards {
+            // lint: allow(no-unwrap) — poisoned only if a worker panicked, which re-raises anyway
+            let inner = shard.into_inner().unwrap();
+            sum.extend_from_slice(&inner.sum);
+            count.extend_from_slice(&inner.count);
+        }
+        StreamingAccumulator { sum, count, updates }
+    }
+
+    /// Resident bytes across all shards — still 2 × model × 4.
+    pub fn memory_bytes(&self) -> usize {
+        2 * self.num_params * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::subfedavg_aggregate;
+    use subfed_tensor::init::SeededRng;
+
+    fn random_cohort(rng: &mut SeededRng, n: usize, len: usize) -> Vec<(Vec<f32>, Vec<f32>)> {
+        (0..n)
+            .map(|_| {
+                let params: Vec<f32> = (0..len).map(|_| rng.uniform_f32(-2.0, 2.0)).collect();
+                let mask: Vec<f32> = (0..len)
+                    .map(|_| if rng.uniform_f32(0.0, 1.0) < 0.6 { 1.0 } else { 0.0 })
+                    .collect();
+                (params, mask)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_batch_aggregation() {
+        // Property: across random cohorts/masks/sizes, folding upload-by-
+        // upload lands within 1e-6 of the batch oracle at every position.
+        let mut rng = SeededRng::new(99);
+        for case in 0..25 {
+            let len = 1 + (case * 37) % 400;
+            let cohort = 1 + case % 12;
+            let global: Vec<f32> = (0..len).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+            let updates = random_cohort(&mut rng, cohort, len);
+            let batch = subfedavg_aggregate(&global, &updates);
+            let mut acc = StreamingAccumulator::new(len);
+            for (p, m) in &updates {
+                acc.fold(p, m);
+            }
+            let streamed = acc.finish(&global);
+            assert_eq!(acc.updates(), cohort);
+            for (i, (a, b)) in batch.iter().zip(&streamed).enumerate() {
+                assert!((a - b).abs() <= 1e-6, "case {case} position {i}: batch {a} vs stream {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_batch_aggregation() {
+        let mut rng = SeededRng::new(7);
+        for &shards in &[1usize, 3, 32, 1000] {
+            let len = 257;
+            let global: Vec<f32> = (0..len).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+            let updates = random_cohort(&mut rng, 9, len);
+            let batch = subfedavg_aggregate(&global, &updates);
+            let acc = ShardedAccumulator::new(len, shards);
+            for (p, m) in &updates {
+                acc.fold(p, m);
+            }
+            assert_eq!(acc.updates(), 9);
+            let streamed = acc.into_streaming().finish(&global);
+            for (a, b) in batch.iter().zip(&streamed) {
+                assert!((a - b).abs() <= 1e-6, "shards={shards}: batch {a} vs stream {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_folds_land_within_tolerance() {
+        let len = 512;
+        let mut rng = SeededRng::new(13);
+        let global: Vec<f32> = (0..len).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+        let updates = random_cohort(&mut rng, 24, len);
+        let batch = subfedavg_aggregate(&global, &updates);
+        let acc = ShardedAccumulator::new(len, ShardedAccumulator::DEFAULT_SHARDS);
+        crossbeam::thread::scope(|s| {
+            for chunk in updates.chunks(6) {
+                let acc = &acc;
+                s.spawn(move |_| {
+                    for (p, m) in chunk {
+                        acc.fold(p, m);
+                    }
+                });
+            }
+        })
+        .expect("workers join");
+        assert_eq!(acc.updates(), 24);
+        let streamed = acc.into_streaming().finish(&global);
+        for (a, b) in batch.iter().zip(&streamed) {
+            assert!((a - b).abs() <= 1e-6, "batch {a} vs concurrent stream {b}");
+        }
+    }
+
+    #[test]
+    fn uncovered_positions_keep_previous_global() {
+        let global = vec![5.0, -3.0, 0.5];
+        let mut acc = StreamingAccumulator::new(3);
+        acc.fold(&[1.0, 9.0, 2.0], &[1.0, 0.0, 1.0]);
+        acc.fold(&[3.0, 9.0, 4.0], &[1.0, 0.0, 0.0]);
+        let out = acc.finish(&global);
+        assert_eq!(out, vec![2.0, -3.0, 2.0]);
+        assert_eq!(acc.counts()[1], 0.0);
+    }
+
+    #[test]
+    fn memory_is_o_model_not_o_cohort() {
+        let len = 1000;
+        let mut acc = StreamingAccumulator::new(len);
+        let before = acc.memory_bytes();
+        let ones = vec![1.0; len];
+        for _ in 0..100 {
+            acc.fold(&ones, &ones);
+        }
+        assert_eq!(acc.memory_bytes(), before, "folding must not grow the accumulator");
+        assert_eq!(before, 2 * len * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero updates")]
+    fn finish_without_updates_panics() {
+        let _ = StreamingAccumulator::new(4).finish(&[0.0; 4]);
+    }
+}

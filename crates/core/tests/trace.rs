@@ -144,7 +144,7 @@ fn dropout_injection_is_traced() {
         let start = events
             .iter()
             .find_map(|ev| match ev {
-                TraceEvent::RoundStart { round: r, sampled, survivors } if *r == round => {
+                TraceEvent::RoundStart { round: r, sampled, survivors, .. } if *r == round => {
                     Some((sampled, survivors))
                 }
                 _ => None,

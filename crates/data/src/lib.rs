@@ -16,7 +16,10 @@
 //!   heterogeneity model used by the extension benches);
 //! * [`corrupt`] — label-flipping corruption injection for the
 //!   robust-aggregation extension;
-//! * [`stats`] — partition diagnostics (label histograms, client overlap).
+//! * [`stats`] — partition diagnostics (label histograms, client overlap);
+//! * [`provider`] — client-data providers: the materialized classic path
+//!   plus an on-demand synthesizer so million-client registries never hold
+//!   more than the sampled cohort's shards in memory (`docs/SCALING.md`).
 
 #![forbid(unsafe_code)]
 
@@ -25,6 +28,7 @@ mod dataset;
 pub mod corrupt;
 pub mod dirichlet;
 pub mod partition;
+pub mod provider;
 pub mod stats;
 pub mod synth;
 
@@ -34,4 +38,5 @@ pub use partition::{
     partition_pathological, partition_quantity_skew, ClientData, PartitionConfig,
     QuantitySkewConfig,
 };
+pub use provider::{ClientProvider, MaterializedClients, SynthClientProvider, SynthProviderConfig};
 pub use synth::{SynthConfig, SynthVision};

@@ -147,6 +147,28 @@ impl SynthVision {
         })
     }
 
+    /// Draws `per_label` fresh samples of each label in `labels`, using the
+    /// same shift/noise process as the global train/test splits. This is
+    /// the substrate for on-demand client providers: a client's local
+    /// shard is a pure function of `(prototypes, labels, rng seed)`, so a
+    /// million-client federation never materializes data for clients that
+    /// are not in the current cohort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is out of range for this dataset's classes.
+    pub fn sample_labels(
+        &self,
+        labels: &[usize],
+        per_label: usize,
+        rng: &mut SeededRng,
+    ) -> Dataset {
+        for &l in labels {
+            assert!(l < self.config.classes, "label {l} out of range");
+        }
+        sample_labels(&self.config, &self.prototypes, labels, per_label, rng)
+    }
+
     /// CIFAR-100 stand-in: 3×16×16 with `classes` classes (the paper uses
     /// 100; the scaled benches use 20 to keep per-class counts sane).
     pub fn cifar100_like(seed: u64, scale: usize, classes: usize) -> Self {
@@ -200,12 +222,26 @@ fn sample_split(
     per_class: usize,
     rng: &mut SeededRng,
 ) -> Dataset {
+    let all: Vec<usize> = (0..config.classes).collect();
+    sample_labels(config, prototypes, &all, per_class, rng)
+}
+
+/// Draws `per_label` samples of each listed label (shared generation core
+/// of the global splits and the on-demand per-client sampler).
+fn sample_labels(
+    config: &SynthConfig,
+    prototypes: &[Vec<f32>],
+    which: &[usize],
+    per_label: usize,
+    rng: &mut SeededRng,
+) -> Dataset {
     let (c, h, w) = (config.channels, config.height, config.width);
-    let n = config.classes * per_class;
+    let n = which.len() * per_label;
     let mut data = Vec::with_capacity(n * c * h * w);
     let mut labels = Vec::with_capacity(n);
-    for (class, proto) in prototypes.iter().enumerate() {
-        for _ in 0..per_class {
+    for &class in which {
+        let proto = &prototypes[class];
+        for _ in 0..per_label {
             let (dy, dx) = if config.shift == 0 {
                 (0isize, 0isize)
             } else {

@@ -9,7 +9,7 @@
 //! by the command that computes the findings it could suppress. The same
 //! pass audits `// lint: hot`/`cold` markers: a marker that attaches to
 //! no function (the `fn` on its own line or the line below) is reported
-//! as [`STALE_ALLOW`](crate::rules::STALE_ALLOW), because a drifted
+//! as [`STALE_ALLOW`], because a drifted
 //! marker silently widens or narrows the hot set.
 
 use crate::callgraph::{CallGraph, SourceFile};

@@ -35,7 +35,12 @@
 //!   its `effective_flops` never exceeds `dense_flops` — a subnetwork
 //!   cannot do more work than the dense model — and, per client, the
 //!   effective FLOPs never increase across rounds: masks only shrink,
-//!   so the per-batch work of a personalized subnetwork only falls.
+//!   so the per-batch work of a personalized subnetwork only falls;
+//! - when a `RoundStart` records cohort sampling (`cohort_size > 0` /
+//!   `registered > 0`, see `docs/SCALING.md`), the sampled set must have
+//!   exactly `cohort_size` members and every sampled id must lie inside
+//!   the registered population — aggregate completeness is then checked
+//!   over the sampled *surviving* cohort, not the whole registry.
 //!
 //! The verifier front-end (file handling, `seq` ordering, reporting)
 //! lives in [`crate::conform`].
@@ -242,7 +247,8 @@ impl ProtocolSpec {
             Violation { rule, round, client, event: event.kind(), line, message }
         };
 
-        if let TraceEvent::RoundStart { round, sampled, survivors } = event {
+        if let TraceEvent::RoundStart { round, sampled, survivors, registered, cohort_size } = event
+        {
             if let Some(open) = &self.open {
                 out.push(v(
                     "round-overlap",
@@ -273,6 +279,35 @@ impl ProtocolSpec {
                         Some(*s),
                         format!("survivor {s} does not appear in the sampled set"),
                     ));
+                }
+            }
+            // Cohort-sampling fields are 0 in pre-registry traces ("not
+            // recorded"); when recorded, the sampled set must agree with
+            // the sampler's declared cohort and fit the registry.
+            if *cohort_size > 0 && sampled.len() != *cohort_size {
+                out.push(v(
+                    "cohort-size",
+                    *round,
+                    None,
+                    format!(
+                        "round declares a cohort of {cohort_size} clients but sampled {}",
+                        sampled.len()
+                    ),
+                ));
+            }
+            if *registered > 0 {
+                for s in sampled {
+                    if *s >= *registered {
+                        out.push(v(
+                            "cohort-bounds",
+                            *round,
+                            Some(*s),
+                            format!(
+                                "sampled client {s} lies outside the registered population \
+                                 of {registered}"
+                            ),
+                        ));
+                    }
                 }
             }
             let mut clients = BTreeMap::new();
@@ -843,7 +878,15 @@ mod tests {
     use super::*;
 
     fn ev_round_start(round: usize, sampled: &[usize], survivors: &[usize]) -> TraceEvent {
-        TraceEvent::RoundStart { round, sampled: sampled.to_vec(), survivors: survivors.to_vec() }
+        // Legacy (pre-cohort-sampling) shape: registered/cohort_size are
+        // "not recorded", so the cohort predicates stay silent.
+        TraceEvent::RoundStart {
+            round,
+            sampled: sampled.to_vec(),
+            survivors: survivors.to_vec(),
+            registered: 0,
+            cohort_size: 0,
+        }
     }
 
     /// A minimal clean round for client set `clients`, model of 100
@@ -1137,6 +1180,42 @@ mod tests {
         ];
         let vs = verify(&evs);
         assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn recorded_cohort_fields_pass_when_consistent() {
+        let mut evs = clean_round(1, &[0, 1], &[80, 100]);
+        if let TraceEvent::RoundStart { registered, cohort_size, .. } = &mut evs[0] {
+            *registered = 1_000_000;
+            *cohort_size = 2;
+        }
+        let vs = verify(&evs);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn wrong_cohort_size_is_flagged_by_name() {
+        let mut evs = clean_round(1, &[0, 1], &[80, 100]);
+        if let TraceEvent::RoundStart { registered, cohort_size, .. } = &mut evs[0] {
+            *registered = 1_000_000;
+            *cohort_size = 3; // claims 3, sampled only 2
+        }
+        let vs = verify(&evs);
+        let hit = vs.iter().find(|v| v.rule == "cohort-size").expect("cohort-size violation");
+        assert_eq!(hit.round, 1);
+        assert!(hit.message.contains("cohort of 3"), "{hit:?}");
+    }
+
+    #[test]
+    fn sampled_id_outside_registry_is_flagged() {
+        let mut evs = clean_round(1, &[0, 1], &[80, 100]);
+        if let TraceEvent::RoundStart { registered, cohort_size, .. } = &mut evs[0] {
+            *registered = 1; // client 1 is out of range
+            *cohort_size = 2;
+        }
+        let vs = verify(&evs);
+        let hit = vs.iter().find(|v| v.rule == "cohort-bounds").expect("cohort-bounds violation");
+        assert_eq!(hit.client, Some(1));
     }
 
     #[test]

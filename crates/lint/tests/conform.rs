@@ -354,3 +354,122 @@ fn mutated_jsonl_is_rejected_through_the_file_path_with_line_numbers() {
     assert!(rendered.contains("upload"), "{rendered}");
     assert!(rendered.contains("line"), "{rendered}");
 }
+
+/// A clean 3-round trace from the registry-scale engine: 300 registered
+/// clients, sampled cohorts, streaming aggregation (`docs/SCALING.md`).
+fn golden_sampled_cohort() -> Vec<TraceEvent> {
+    use subfed_core::scale::ScaledSubFedAvg;
+    use subfed_data::{SynthClientProvider, SynthProviderConfig};
+
+    let sink = Arc::new(VecSink::new());
+    let synth = SynthVision::generate(SynthConfig {
+        channels: 1,
+        height: 16,
+        width: 16,
+        classes: 4,
+        train_per_class: 24,
+        test_per_class: 6,
+        noise_std: 0.1,
+        shift: 1,
+        grid: 4,
+        seed: 9,
+    });
+    let provider = SynthClientProvider::new(
+        synth,
+        SynthProviderConfig {
+            num_clients: 300,
+            labels_per_client: 2,
+            train_per_label: 6,
+            val_per_label: 3,
+            test_per_label: 3,
+            seed: 9,
+        },
+    );
+    let fed = Federation::from_provider(
+        ModelSpec::cnn5(1, 16, 16, 4),
+        Arc::new(provider),
+        FedConfig {
+            rounds: 3,
+            sample_frac: 0.02,
+            local_epochs: 1,
+            eval_every: 2,
+            seed: 9,
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .with_tracer(Tracer::new(sink.clone()));
+    let mut controller = UnstructuredController::paper_defaults(0.5);
+    controller.acc_threshold = 0.0;
+    controller.rate = 0.2;
+    let _ = ScaledSubFedAvg::new(fed, controller).run();
+    sink.snapshot()
+}
+
+#[test]
+fn golden_sampled_cohort_trace_conforms() {
+    let events = golden_sampled_cohort();
+    // The registry fields really are recorded — otherwise the cohort
+    // predicates never fire and the mutation test below is vacuous.
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            TraceEvent::RoundStart { registered: 300, cohort_size, .. } if *cohort_size > 0
+        )),
+        "sampled-cohort trace carries no registry accounting"
+    );
+    let report = verify_events(&events);
+    assert!(
+        report.violations.is_empty(),
+        "golden sampled-cohort trace rejected:\n{}",
+        report.violations.iter().map(|v| v.render()).collect::<Vec<_>>().join("\n")
+    );
+    assert_eq!(report.exit_code(), 0);
+    assert_eq!(report.rounds, 3);
+
+    // And through the JSONL file path, as `subfed-lint conform` sees it.
+    let report = verify_reader(Cursor::new(to_jsonl(&events).as_bytes()));
+    assert!(report.is_clean(), "{:?}", (report.violations, report.parse_errors));
+}
+
+#[test]
+fn mutation_wrong_cohort_count_is_rejected() {
+    let mut events = golden_sampled_cohort();
+    let at = events
+        .iter()
+        .position(|e| e.kind() == "round_start" && e.round() == 2)
+        .expect("round-2 start");
+    if let TraceEvent::RoundStart { cohort_size, .. } = &mut events[at] {
+        *cohort_size += 1; // claims one more client than was sampled
+    }
+    let report = verify_events(&events);
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "cohort-size")
+        .unwrap_or_else(|| panic!("no cohort-size violation: {:?}", report.violations));
+    assert_eq!(v.round, 2);
+    assert_eq!(v.event, "round_start");
+    assert_eq!(report.exit_code(), 1);
+}
+
+#[test]
+fn mutation_sampled_id_outside_registry_is_rejected() {
+    let mut events = golden_sampled_cohort();
+    let at = events
+        .iter()
+        .position(|e| e.kind() == "round_start" && e.round() == 1)
+        .expect("round-1 start");
+    if let TraceEvent::RoundStart { sampled, cohort_size, registered, .. } = &mut events[at] {
+        sampled.push(*registered); // first id past the registry
+        *cohort_size = sampled.len();
+    }
+    let report = verify_events(&events);
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "cohort-bounds")
+        .unwrap_or_else(|| panic!("no cohort-bounds violation: {:?}", report.violations));
+    assert_eq!(v.round, 1);
+    assert_eq!(v.event, "round_start");
+}

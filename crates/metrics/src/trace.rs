@@ -47,6 +47,15 @@ pub enum TraceEvent {
         /// Surviving participant ids after dropout (subsequence of
         /// `sampled`).
         survivors: Vec<usize>,
+        /// Total registered client population the cohort was drawn from.
+        /// `0` in traces recorded before cohort sampling existed ("not
+        /// recorded").
+        registered: usize,
+        /// Number of clients the sampler selected this round — the
+        /// `frac`/C knob resolved against `registered`. Equals
+        /// `sampled.len()` in a well-formed trace; `0` in traces recorded
+        /// before this field existed.
+        cohort_size: usize,
     },
     /// A sampled client dropped out of the round — the explicit skip
     /// reason for a client that appears in `sampled` but completes no
@@ -307,7 +316,7 @@ impl TraceEvent {
         };
         num(&mut s, "round", &self.round());
         match self {
-            TraceEvent::RoundStart { sampled, survivors, .. } => {
+            TraceEvent::RoundStart { sampled, survivors, registered, cohort_size, .. } => {
                 let arr = |ids: &[usize]| {
                     let parts: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
                     format!("[{}]", parts.join(","))
@@ -317,6 +326,8 @@ impl TraceEvent {
                     arr(sampled),
                     arr(survivors)
                 ));
+                num(&mut s, "registered", registered);
+                num(&mut s, "cohort_size", cohort_size);
             }
             TraceEvent::Dropout { client, reason, .. } => {
                 num(&mut s, "client", client);
@@ -426,6 +437,12 @@ impl TraceEvent {
                 None => Ok(0),
             }
         };
+        let opt_usize = |k: &str| -> Result<usize, String> {
+            match obj.field(k) {
+                Some(v) => v.as_usize(k),
+                None => Ok(0),
+            }
+        };
         let ids_of = |k: &str| -> Result<Vec<usize>, String> { get(k)?.as_usize_array(k) };
         let ev = str_of("ev")?;
         let round = usize_of("round")?;
@@ -434,6 +451,10 @@ impl TraceEvent {
                 round,
                 sampled: ids_of("sampled")?,
                 survivors: ids_of("survivors")?,
+                // Optional for compatibility with traces recorded before
+                // cohort sampling existed; 0 means "not recorded".
+                registered: opt_usize("registered")?,
+                cohort_size: opt_usize("cohort_size")?,
             }),
             "dropout" => Ok(TraceEvent::Dropout {
                 round,
@@ -1241,7 +1262,13 @@ mod tests {
 
     fn one_of_each() -> Vec<TraceEvent> {
         vec![
-            TraceEvent::RoundStart { round: 1, sampled: vec![0, 2, 3], survivors: vec![0, 3] },
+            TraceEvent::RoundStart {
+                round: 1,
+                sampled: vec![0, 2, 3],
+                survivors: vec![0, 3],
+                registered: 5,
+                cohort_size: 3,
+            },
             TraceEvent::Dropout { round: 1, client: 2, reason: "crash-injected".into() },
             TraceEvent::Download { round: 1, client: 0, bytes: 4096 },
             TraceEvent::ClientTrain {
@@ -1311,6 +1338,24 @@ mod tests {
         assert!(TraceEvent::from_json("{\"ev\":\"dropout\",\"round\":1,\"client\":0} x")
             .unwrap_err()
             .contains("trailing input"));
+    }
+
+    #[test]
+    fn round_start_parses_pre_cohort_traces_as_not_recorded() {
+        // Traces written before cohort sampling existed lack the
+        // `registered`/`cohort_size` fields; they read back as 0.
+        let line = "{\"ev\":\"round_start\",\"round\":2,\"sampled\":[0,1],\"survivors\":[1]}";
+        let event = TraceEvent::from_json(line).expect("v1 round_start parses");
+        assert_eq!(
+            event,
+            TraceEvent::RoundStart {
+                round: 2,
+                sampled: vec![0, 1],
+                survivors: vec![1],
+                registered: 0,
+                cohort_size: 0,
+            }
+        );
     }
 
     #[test]

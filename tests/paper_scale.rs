@@ -69,7 +69,7 @@ fn paper_scale_partition_and_one_client_update() {
 
     // One full-scale local update: 500 examples, batch 10, one epoch.
     let global = fed.init_global();
-    let out = train_client(fed.spec(), &global, &fed.clients()[0], fed.config(), None, None, 1);
+    let out = train_client(fed.spec(), &global, &fed.client_data(0), fed.config(), None, None, 1);
     assert!(out.mean_train_loss.is_finite());
     assert_ne!(out.final_flat, global);
 
@@ -124,9 +124,9 @@ fn paper_scale_lenet5_has_papers_parameter_count_and_runs() {
     let mut model = fed.build_model();
     model.load_flat(&global);
     // Forward at full 32x32 resolution on a real batch.
-    let batch = fed.clients()[0].train.batches(10).into_iter().next().unwrap();
+    let batch = fed.client_data(0).train.batches(10).into_iter().next().unwrap();
     let logits = model.forward(&batch.images, Mode::Eval);
     assert_eq!(logits.shape(), &[10, 10]);
-    let acc = evaluate_accuracy(&mut model, &fed.clients()[0].val, 64);
+    let acc = evaluate_accuracy(&mut model, &fed.client_data(0).val, 64);
     assert!((0.0..=1.0).contains(&acc));
 }
