@@ -19,6 +19,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use subfed_metrics::sync::{into_inner_unpoisoned, lock_unpoisoned};
 use subfed_nn::is_kept;
 
 /// Running position-wise Sub-FedAvg state: one masked sum and one holder
@@ -140,21 +141,22 @@ impl ShardedAccumulator {
         Self { shards, shard_size, num_params, updates: AtomicUsize::new(0) }
     }
 
-    /// Folds one upload, locking each position-range shard in turn.
-    /// Callable from any worker thread (`&self`).
+    /// Folds one upload, locking each position-range shard in turn
+    /// (ascending position order — the workspace's lock order for
+    /// shards). Callable from any worker thread (`&self`).
     ///
     /// # Panics
     ///
-    /// Panics if `params` or `mask` length differs from the model, or a
-    /// shard lock is poisoned (a worker panicked mid-fold).
+    /// Panics if `params` or `mask` length differs from the model.
     pub fn fold(&self, params: &[f32], mask: &[f32]) {
         assert_eq!(params.len(), self.num_params, "update length mismatch");
         assert_eq!(mask.len(), self.num_params, "mask length mismatch");
         for (i, shard) in self.shards.iter().enumerate() {
             let lo = i * self.shard_size;
             let hi = ((i + 1) * self.shard_size).min(self.num_params);
-            // lint: allow(no-unwrap) — poisoned only if a sibling worker panicked, which re-raises anyway
-            let mut guard = shard.lock().unwrap();
+            // Poison-tolerant by policy: shard sums stay valid even if a
+            // sibling worker panicked, and that panic re-raises at join.
+            let mut guard = lock_unpoisoned(shard);
             let Shard { sum, count } = &mut *guard;
             // lint: allow(unchecked-index) — lo..hi lies in 0..num_params by shard construction
             let (ps, ms) = (&params[lo..hi], &mask[lo..hi]);
@@ -175,17 +177,12 @@ impl ShardedAccumulator {
 
     /// Collapses the shards back into one [`StreamingAccumulator`] (after
     /// the round's workers have joined).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any shard lock is poisoned.
     pub fn into_streaming(self) -> StreamingAccumulator {
         let updates = self.updates.load(Ordering::Relaxed);
         let mut sum = Vec::with_capacity(self.num_params);
         let mut count = Vec::with_capacity(self.num_params);
         for shard in self.shards {
-            // lint: allow(no-unwrap) — poisoned only if a worker panicked, which re-raises anyway
-            let inner = shard.into_inner().unwrap();
+            let inner = into_inner_unpoisoned(shard);
             sum.extend_from_slice(&inner.sum);
             count.extend_from_slice(&inner.count);
         }

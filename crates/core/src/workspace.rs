@@ -14,6 +14,7 @@
 
 use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Mutex, MutexGuard};
+use subfed_metrics::sync::lock_unpoisoned;
 use subfed_tensor::workspace::Workspace;
 
 /// A shared pool of [`Workspace`]s, cloneable across threads (clones share
@@ -24,12 +25,10 @@ pub struct WorkspacePool {
 }
 
 fn lock_pool(inner: &Mutex<Vec<Workspace>>) -> MutexGuard<'_, Vec<Workspace>> {
-    match inner.lock() {
-        Ok(guard) => guard,
-        // A worker panicking mid-round poisons the mutex; the pool holds
-        // only scratch buffers, so the state is still valid to reuse.
-        Err(poisoned) => poisoned.into_inner(),
-    }
+    // A worker panicking mid-round poisons the mutex; the pool holds
+    // only scratch buffers, so the state is still valid to reuse — the
+    // workspace-wide poisoning policy (subfed_metrics::sync).
+    lock_unpoisoned(inner)
 }
 
 impl WorkspacePool {

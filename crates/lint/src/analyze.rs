@@ -1,30 +1,37 @@
 //! Driver for `subfed-lint analyze`: parse every library source, build
-//! the cross-crate call graph, run the dataflow rules, then apply and
-//! audit suppressions.
+//! the cross-crate call graph, run the dataflow and concurrency rules,
+//! then apply and audit suppressions.
 //!
-//! The analyze command owns the three dataflow rules
-//! ([`crate::dataflow::ANALYZE_RULES`]) and audits only *their* allow
-//! directives for staleness — `check` audits the token/scope rules'
-//! directives and skips these, so each directive is judged exactly once,
-//! by the command that computes the findings it could suppress. The same
-//! pass audits `// lint: hot`/`cold` markers: a marker that attaches to
-//! no function (the `fn` on its own line or the line below) is reported
-//! as [`STALE_ALLOW`], because a drifted
-//! marker silently widens or narrows the hot set.
+//! The analyze command owns the seven analyze-side rules
+//! ([`crate::dataflow::ANALYZE_RULES`]: the three hot-path dataflow
+//! rules plus the four [`crate::locks`] concurrency rules) and audits
+//! only *their* allow directives for staleness — `check` audits the
+//! token/scope rules' directives and skips these, so each directive is
+//! judged exactly once, by the command that computes the findings it
+//! could suppress. The same pass audits `// lint: hot`/`cold` markers:
+//! a marker that attaches to no function (the `fn` on its own line or
+//! the line below), or a `hot` marker on a function that is already a
+//! built-in hot entry, is reported as [`STALE_ALLOW`], because a
+//! drifted marker silently widens or narrows the hot set.
 
-use crate::callgraph::{CallGraph, SourceFile};
+use crate::callgraph::{CallGraph, SourceFile, HOT_ENTRIES};
 use crate::dataflow::{dataflow_findings, ANALYZE_RULES};
+use crate::lexer::MarkerKind;
 use crate::rules::{Finding, STALE_ALLOW};
-use crate::walk::{library_sources, Report};
+use crate::summaries::Summaries;
+use crate::walk::{crate_sources, Report, ANALYZE_CRATES};
 use std::path::Path;
 
-/// Runs the dataflow analyses over `(label, source)` pairs — the whole
-/// workspace at once, since hot-path reachability is cross-crate.
+/// Runs the dataflow and concurrency analyses over `(label, source)`
+/// pairs — the whole workspace at once, since hot-path reachability and
+/// the lock-order graph are cross-crate.
 pub fn analyze_sources(inputs: &[(String, String)]) -> Vec<Finding> {
     let files: Vec<SourceFile> =
         inputs.iter().map(|(label, text)| SourceFile::parse(label, text)).collect();
     let graph = CallGraph::build(&files);
     let mut findings = dataflow_findings(&files, &graph);
+    let summaries = Summaries::build(&files, &graph);
+    findings.extend(crate::locks::lock_findings(&files, &graph, &summaries));
 
     for f in &mut findings {
         let Some(file) = files.iter().find(|s| s.label == f.file) else { continue };
@@ -79,9 +86,10 @@ fn audit_directives(file: &SourceFile, findings: &mut Vec<Finding>) {
         if in_test_lines(m.line) {
             continue;
         }
-        let attaches = file.defs.iter().any(|d| m.line == d.item.line || m.line + 1 == d.item.line);
-        if !attaches {
-            stale.push(Finding {
+        let attached =
+            file.defs.iter().find(|d| m.line == d.item.line || m.line + 1 == d.item.line);
+        match attached {
+            None => stale.push(Finding {
                 file: file.label.clone(),
                 line: m.line,
                 rule: STALE_ALLOW,
@@ -89,22 +97,39 @@ fn audit_directives(file: &SourceFile, findings: &mut Vec<Finding>) {
                           the fn's line or the line above); move or remove it"
                     .to_string(),
                 suppressed: false,
-            });
+            }),
+            // A `hot` marker on a built-in entry widens nothing: it is
+            // dead weight that would silently stop protecting the
+            // function if the entry list ever changed.
+            Some(d) if m.kind == MarkerKind::Hot && HOT_ENTRIES.contains(&d.item.name.as_str()) => {
+                stale.push(Finding {
+                    file: file.label.clone(),
+                    line: m.line,
+                    rule: STALE_ALLOW,
+                    message: format!(
+                        "lint: hot marker is redundant: `{}` is a built-in hot entry \
+                         point; remove the marker",
+                        d.item.name
+                    ),
+                    suppressed: false,
+                });
+            }
+            Some(_) => {}
         }
     }
     findings.extend(stale);
 }
 
-/// Runs the dataflow analyses over the target crates' library sources
-/// under `root` — the `analyze` counterpart of
-/// [`check_workspace`](crate::walk::check_workspace).
+/// Runs the dataflow and concurrency analyses over the
+/// [`ANALYZE_CRATES`] library sources under `root` — the `analyze`
+/// counterpart of [`check_workspace`](crate::walk::check_workspace).
 ///
 /// # Errors
 ///
 /// Returns a message when a source tree cannot be read.
 #[must_use = "the report carries the findings and the exit status"]
 pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
-    let sources = library_sources(root)?;
+    let sources = crate_sources(root, &ANALYZE_CRATES)?;
     let findings = analyze_sources(&sources);
     Ok(Report { findings, files_scanned: sources.len() })
 }

@@ -206,7 +206,7 @@ fn marker_temp(file: &SourceFile, def: &FnDef) -> Temp {
 
 /// All nodes a call with the given shape may land on (empty when the
 /// callee is outside the workspace, e.g. `Vec::new` or `slice.iter`).
-fn resolve(
+pub(crate) fn resolve(
     nodes: &[Node],
     files: &[SourceFile],
     caller: &Node,

@@ -1,5 +1,6 @@
-//! Dataflow-flavoured analyses over the call graph: the three rules
-//! behind `subfed-lint analyze`.
+//! Dataflow-flavoured analyses over the call graph: the three hot-path
+//! rules behind `subfed-lint analyze` (the four concurrency rules live
+//! in [`crate::locks`]).
 //!
 //! * [`HOT_PATH_ALLOC`] — no allocation in hot-reachable code. Flags
 //!   `Vec::new()`, `vec![…]`, `.clone()`, `.to_vec()` and `.collect()`
@@ -26,9 +27,10 @@
 //! `subfed-lint analyze` itself.
 
 use crate::callgraph::{CallGraph, SourceFile};
-use crate::lexer::{Token, TokenKind};
+use crate::lexer::Token;
 use crate::parser::{call_sites, loop_bodies};
 use crate::rules::{ident, punct, Finding};
+use crate::summaries::alloc_sites;
 
 /// Identifier of the allocation-on-hot-path rule.
 pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
@@ -38,16 +40,38 @@ pub const SCRATCH_BEFORE_READ: &str = "scratch-before-read";
 pub const PATTERN_REBUILD_IN_LOOP: &str = "pattern-rebuild-in-loop";
 
 /// The rules owned by `subfed-lint analyze` (vs `check`); `check`'s
-/// stale-allow audit ignores directives naming these.
-pub const ANALYZE_RULES: [&str; 3] = [HOT_PATH_ALLOC, SCRATCH_BEFORE_READ, PATTERN_REBUILD_IN_LOOP];
+/// stale-allow audit ignores directives naming these. The three hot-path
+/// rules live here; the four concurrency rules in [`crate::locks`].
+pub const ANALYZE_RULES: [&str; 7] = [
+    HOT_PATH_ALLOC,
+    SCRATCH_BEFORE_READ,
+    PATTERN_REBUILD_IN_LOOP,
+    crate::locks::RAW_LOCK_UNWRAP,
+    crate::locks::LOCK_ORDER,
+    crate::locks::ALLOC_UNDER_LOCK,
+    crate::locks::GUARD_ACROSS_SPAWN,
+];
 
-/// Runs all three analyses over the parsed workspace. Suppression is the
-/// caller's job (it needs the per-file allow directives).
+/// Whether the hot-path rules apply to a file. The metrics crate is
+/// scanned by `analyze` for the concurrency rules only: its sinks sit on
+/// the *reporting* path, and the name-resolved over-approximation
+/// (`.len()`, `.record()` collisions) would otherwise drag them into the
+/// hot set and bury the kernel-path signal in telemetry noise.
+fn hot_rules_apply(label: &str) -> bool {
+    !label.contains("crates/metrics/")
+}
+
+/// Runs the three hot-path analyses over the parsed workspace.
+/// Suppression is the caller's job (it needs the per-file allow
+/// directives).
 pub fn dataflow_findings(files: &[SourceFile], graph: &CallGraph) -> Vec<Finding> {
     let mut out = Vec::new();
     for (i, witness) in graph.hot_nodes() {
         let node = &graph.nodes[i];
         let file = &files[node.file];
+        if !hot_rules_apply(&file.label) {
+            continue;
+        }
         let def = &file.defs[node.def];
         let Some((open, close)) = def.item.body else { continue };
         check_hot_path_alloc(file, &def.item.name, witness, open, close, &mut out);
@@ -68,7 +92,9 @@ pub fn dataflow_findings(files: &[SourceFile], graph: &CallGraph) -> Vec<Finding
     out
 }
 
-/// Allocation shapes searched for inside hot bodies.
+/// Allocation shapes searched for inside hot bodies — the same site
+/// machinery the `alloc-under-lock` rule uses
+/// ([`crate::summaries::alloc_sites`]).
 fn check_hot_path_alloc(
     file: &SourceFile,
     fn_name: &str,
@@ -77,38 +103,19 @@ fn check_hot_path_alloc(
     close: usize,
     out: &mut Vec<Finding>,
 ) {
-    let toks = &file.lexed.tokens;
-    let mut push = |idx: usize, what: &str| {
+    for site in alloc_sites(&file.lexed.tokens, open, close) {
         out.push(Finding {
             file: file.label.clone(),
-            line: toks[idx].line,
+            line: site.line,
             rule: HOT_PATH_ALLOC,
             message: format!(
-                "{what} allocates in `{fn_name}`, which is on the hot path \
+                "{} allocates in `{fn_name}`, which is on the hot path \
                  (reachable from `{witness}`); hoist it to setup, take from the \
-                 Workspace, or justify with an allow"
+                 Workspace, or justify with an allow",
+                site.what
             ),
             suppressed: false,
         });
-    };
-    for i in open..=close {
-        let Some(name) = ident(&toks[i]) else { continue };
-        let prev = i.checked_sub(1).and_then(|p| toks.get(p)).and_then(punct);
-        let next = toks.get(i + 1).and_then(punct);
-        match name {
-            "Vec" if punct_run(toks, i + 1, "::") && ident_at(toks, i + 3) == Some("new") => {
-                push(i, "`Vec::new()`");
-            }
-            "vec" if next == Some('!') => push(i, "`vec![…]`"),
-            "clone" if prev == Some('.') && next == Some('(') => push(i, "`.clone()`"),
-            "to_vec" if prev == Some('.') && next == Some('(') => push(i, "`.to_vec()`"),
-            "collect"
-                if prev == Some('.') && (next == Some('(') || punct_run(toks, i + 1, "::<")) =>
-            {
-                push(i, "`.collect()`");
-            }
-            _ => {}
-        }
     }
 }
 
@@ -294,13 +301,6 @@ fn classify_use(toks: &[Token], i: usize) -> Use {
 
 fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
     toks.get(i).and_then(ident)
-}
-
-/// Whether the puncts starting at `i` spell exactly `pat`.
-fn punct_run(toks: &[Token], i: usize, pat: &str) -> bool {
-    pat.chars()
-        .enumerate()
-        .all(|(k, c)| toks.get(i + k).map(|t| t.kind == TokenKind::Punct(c)).unwrap_or(false))
 }
 
 fn matching_paren(toks: &[Token], open: usize) -> usize {

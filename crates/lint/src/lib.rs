@@ -5,10 +5,12 @@
 //! * **`check`** — dependency-free static analysis: a Rust lexer
 //!   ([`lexer`]) plus a rule engine ([`rules`], [`scope`]) that reports
 //!   federated-learning-specific hazards the compiler cannot see;
-//! * **`analyze`** — dataflow-powered hot-path analysis: a lightweight
-//!   parser ([`parser`]), a workspace-wide call graph with hot-entry
-//!   reachability ([`callgraph`]), and the dataflow rules ([`dataflow`])
-//!   that defend the PR-4 performance contracts;
+//! * **`analyze`** — dataflow-powered hot-path and concurrency
+//!   analysis: a lightweight parser ([`parser`]), a workspace-wide call
+//!   graph with hot-entry reachability ([`callgraph`]), the dataflow
+//!   rules ([`dataflow`]) that defend the PR-4 performance contracts,
+//!   bottom-up function summaries ([`summaries`]), and the
+//!   interprocedural lock-order / held-region rules ([`locks`]);
 //! * **`conform`** — an offline protocol verifier: an executable
 //!   state-machine spec of the federation round ([`spec`]) replayed over
 //!   JSONL traces ([`conform`]).
@@ -24,6 +26,10 @@
 //! | `hot-path-alloc` | *(dataflow)* an allocation in code reachable from a hot entry point — per-batch allocator traffic |
 //! | `scratch-before-read` | *(dataflow)* a `take_scratch` buffer read before any full write — stale contents leak into results |
 //! | `pattern-rebuild-in-loop` | *(dataflow)* `RowPattern`/`RectPattern` built inside a hot loop — a once-per-round artifact paid per batch |
+//! | `raw-lock-unwrap` | *(concurrency)* `.lock().unwrap()` and friends — poisoning policy must flow through `subfed_metrics::sync`, not panic |
+//! | `lock-order` | *(concurrency)* a cycle in the workspace lock-order graph — two threads interleaving the witness chains can deadlock |
+//! | `alloc-under-lock` | *(concurrency)* an allocation (direct or via a callee) inside a critical section — lock hold times balloon under contention |
+//! | `guard-across-spawn` | *(concurrency)* a guard held across `spawn`/`thread::scope`/`join()`/`recv()` or a lock-acquiring loop — workers contend on or deadlock against the held lock |
 //! | `stale-allow` | a `// lint: allow(…)` comment that no longer suppresses anything |
 //!
 //! Suppress an intentional occurrence with `// lint: allow(rule-id)` on
@@ -42,15 +48,21 @@ pub mod callgraph;
 pub mod conform;
 pub mod dataflow;
 pub mod lexer;
+pub mod locks;
 pub mod parser;
 pub mod rules;
 pub mod scope;
 pub mod spec;
+pub mod summaries;
 pub mod walk;
 
 pub use analyze::{analyze_sources, analyze_workspace};
 pub use conform::{verify_events, verify_reader, ConformReport};
 pub use dataflow::ANALYZE_RULES;
+pub use locks::{lock_findings, LockGraph};
 pub use rules::{analyze_source, Finding, ALL_RULES};
 pub use spec::{ProtocolSpec, Violation};
-pub use walk::{check_workspace, find_workspace_root, Report, TARGET_CRATES};
+pub use summaries::Summaries;
+pub use walk::{
+    check_workspace, crate_sources, find_workspace_root, Report, ANALYZE_CRATES, TARGET_CRATES,
+};

@@ -9,8 +9,10 @@
 //!
 //! `check` runs the token/scope rules; `analyze` runs the call-graph
 //! dataflow rules (hot-path allocation freedom, the `take_scratch`
-//! write-before-read contract, per-batch pattern rebuilds). Both exit 1
-//! on unsuppressed findings.
+//! write-before-read contract, per-batch pattern rebuilds) and the
+//! interprocedural concurrency rules (raw lock unwraps, lock-order
+//! cycles, allocation under a held guard, guards held across
+//! spawn/join). Both exit 1 on unsuppressed findings.
 //!
 //! `conform` replays a `--trace` JSONL log (from FILE, or stdin when FILE
 //! is absent or `-`) against the executable round-protocol spec and exits

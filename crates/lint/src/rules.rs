@@ -25,8 +25,9 @@ pub const MUST_USE_RESULT: &str = "must-use-result";
 pub const STALE_ALLOW: &str = "stale-allow";
 
 /// Every rule id, in reporting order (the two scope-aware rules live in
-/// [`crate::scope`], the three dataflow rules in [`crate::dataflow`]).
-pub const ALL_RULES: [&str; 10] = [
+/// [`crate::scope`], the three hot-path dataflow rules in
+/// [`crate::dataflow`], the four concurrency rules in [`crate::locks`]).
+pub const ALL_RULES: [&str; 14] = [
     NO_UNWRAP,
     FLOAT_EQ,
     UNCHECKED_INDEX,
@@ -36,6 +37,10 @@ pub const ALL_RULES: [&str; 10] = [
     crate::dataflow::HOT_PATH_ALLOC,
     crate::dataflow::SCRATCH_BEFORE_READ,
     crate::dataflow::PATTERN_REBUILD_IN_LOOP,
+    crate::locks::RAW_LOCK_UNWRAP,
+    crate::locks::LOCK_ORDER,
+    crate::locks::ALLOC_UNDER_LOCK,
+    crate::locks::GUARD_ACROSS_SPAWN,
     STALE_ALLOW,
 ];
 
@@ -74,6 +79,22 @@ pub fn rule_description(rule: &str) -> &'static str {
         rule if rule == crate::dataflow::PATTERN_REBUILD_IN_LOOP => {
             "RowPattern/RectPattern built inside a loop on the hot path; \
              patterns are once-per-round artifacts, build at install time"
+        }
+        rule if rule == crate::locks::RAW_LOCK_UNWRAP => {
+            "a lock result meets a bare .unwrap()/.expect(); route it \
+             through subfed_metrics::sync::lock_unpoisoned instead"
+        }
+        rule if rule == crate::locks::LOCK_ORDER => {
+            "a cycle in the derived lock-order graph; interleaved threads \
+             can deadlock — pick one global acquisition order"
+        }
+        rule if rule == crate::locks::ALLOC_UNDER_LOCK => {
+            "an allocation (direct or through a call) while a lock guard \
+             is live; shrink the critical section"
+        }
+        rule if rule == crate::locks::GUARD_ACROSS_SPAWN => {
+            "a guard held across spawn/thread::scope, a join()/recv(), or \
+             a loop acquiring another lock; release the guard first"
         }
         STALE_ALLOW => {
             "a `// lint: allow(…)` comment that suppresses no finding; \

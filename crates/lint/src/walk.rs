@@ -12,8 +12,14 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Crates whose `src/` trees the lint walks.
+/// Crates whose `src/` trees `subfed-lint check` walks.
 pub const TARGET_CRATES: [&str; 4] = ["tensor", "nn", "pruning", "core"];
+
+/// Crates whose `src/` trees `subfed-lint analyze` walks: the `check`
+/// set plus `metrics`, whose sinks are the workspace's most
+/// lock-dependent code — the concurrency rules must see them, while the
+/// hot-path rules skip them (see `crate::dataflow`).
+pub const ANALYZE_CRATES: [&str; 5] = ["tensor", "nn", "pruning", "core", "metrics"];
 
 /// The outcome of one full workspace scan.
 #[derive(Debug, Default)]
@@ -96,17 +102,17 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Collects the `(label, source)` pairs every lint command scans: the
-/// target crates' library `.rs` files, minus modules declared
+/// Collects the `(label, source)` pairs a lint command scans: the given
+/// crates' library `.rs` files, minus modules declared
 /// `#[cfg(test)] mod name;`. Labels are workspace-relative with `/`
-/// separators; the list is sorted by label.
+/// separators; the list is sorted by label within each crate.
 ///
 /// # Errors
 ///
 /// Returns a message when a source tree cannot be read.
-pub(crate) fn library_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+pub fn crate_sources(root: &Path, crates: &[&str]) -> Result<Vec<(String, String)>, String> {
     let mut out = Vec::new();
-    for krate in TARGET_CRATES {
+    for krate in crates {
         let src = root.join("crates").join(krate).join("src");
         if !src.is_dir() {
             return Err(format!("missing crate source tree {}", src.display()));
@@ -138,6 +144,15 @@ pub(crate) fn library_sources(root: &Path) -> Result<Vec<(String, String)>, Stri
         }
     }
     Ok(out)
+}
+
+/// The `check` scan set: [`TARGET_CRATES`]' library sources.
+///
+/// # Errors
+///
+/// Returns a message when a source tree cannot be read.
+pub(crate) fn library_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    crate_sources(root, &TARGET_CRATES)
 }
 
 /// Runs every rule over the target crates' library sources under `root`.

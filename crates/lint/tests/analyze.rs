@@ -75,6 +75,10 @@ fn corpus_rules_match_the_analyze_catalog() {
         ("hot_path_alloc.rs", include_str!("fixtures/hot_path_alloc.rs")),
         ("scratch_before_read.rs", include_str!("fixtures/scratch_before_read.rs")),
         ("pattern_rebuild_in_loop.rs", include_str!("fixtures/pattern_rebuild_in_loop.rs")),
+        ("raw_lock_unwrap.rs", include_str!("fixtures/raw_lock_unwrap.rs")),
+        ("lock_order_cycle.rs", include_str!("fixtures/lock_order_cycle.rs")),
+        ("alloc_under_lock.rs", include_str!("fixtures/alloc_under_lock.rs")),
+        ("guard_across_spawn.rs", include_str!("fixtures/guard_across_spawn.rs")),
     ];
     for rule in ANALYZE_RULES {
         assert!(

@@ -1,0 +1,49 @@
+//! Seeded violation: allocations inside a held critical section — one
+//! direct (`vec![…]` under the guard) and one transitive (a call to a
+//! helper whose bottom-up summary says it allocates). Allocator traffic
+//! under a lock stretches hold times exactly when contention is worst.
+//! The disciplined twin allocates first and locks last.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Roster {
+    entries: Mutex<Vec<u64>>,
+}
+
+/// The allocation `refresh` reaches one call away.
+fn rebuild_entries(seed: &[u64]) -> Vec<u64> {
+    seed.to_vec()
+}
+
+impl Roster {
+    /// Violation (direct): stages a buffer while `entries` is held.
+    pub fn swap_in(&self, seed: &[u64]) {
+        let mut entries = lock_entries(&self.entries);
+        let staged = vec![0; seed.len()];
+        entries.clear();
+        entries.extend_from_slice(&staged);
+    }
+
+    /// Violation (transitive): the allocation hides inside the callee.
+    pub fn refresh(&self, seed: &[u64]) {
+        let mut entries = lock_entries(&self.entries);
+        let fresh = rebuild_entries(seed);
+        entries.clear();
+        entries.extend_from_slice(&fresh);
+    }
+
+    /// The disciplined twin: allocate first, lock last.
+    pub fn refresh_scoped(&self, seed: &[u64]) {
+        let fresh = rebuild_entries(seed);
+        let mut entries = lock_entries(&self.entries);
+        entries.clear();
+        entries.extend_from_slice(&fresh);
+    }
+}
+
+fn lock_entries<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

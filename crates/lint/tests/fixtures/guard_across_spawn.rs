@@ -1,0 +1,47 @@
+//! Seeded violations: a guard held across a `thread::spawn` fan-out,
+//! and the loop variant — an outer guard held while a per-item lock is
+//! taken each iteration. Spawned workers contend on (or deadlock
+//! against) the lock their parent still holds; per-iteration locks
+//! under an outer guard serialise every worker behind it. The
+//! disciplined twin snapshots under the lock, releases, then fans out.
+
+use std::sync::{Mutex, MutexGuard};
+use std::thread;
+
+pub struct Fleet {
+    roster: Mutex<Vec<u64>>,
+    inflight: Mutex<u64>,
+}
+
+impl Fleet {
+    /// Violation (direct): the worker starts while `roster` is held.
+    pub fn dispatch_all(&self) {
+        let roster = lock_fleet(&self.roster);
+        thread::spawn(move || {});
+        drop(roster);
+    }
+
+    /// Violation (loop): `roster` held while `inflight` is taken per item.
+    pub fn drain(&self) {
+        let roster = lock_fleet(&self.roster);
+        for _ in roster.iter() {
+            let mut inflight = lock_fleet(&self.inflight);
+            *inflight += 1;
+        }
+    }
+
+    /// The disciplined twin: snapshot, release, then fan out.
+    pub fn dispatch_scoped(&self) {
+        let count = { lock_fleet(&self.roster).len() };
+        for _ in 0..count {
+            thread::spawn(move || {});
+        }
+    }
+}
+
+fn lock_fleet<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

@@ -1,0 +1,49 @@
+//! Seeded violation: two functions acquire the same pair of mutexes in
+//! opposite orders — the classic AB/BA deadlock `lock-order` exists to
+//! catch. `post` holds `accounts` while taking `audit`; `reconcile`
+//! holds `audit` while taking `accounts`; two threads interleaving them
+//! each hold the lock the other needs. The disciplined twin takes the
+//! pair in the same global order as `post` and adds no cycle.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Ledger {
+    accounts: Mutex<Vec<i64>>,
+    audit: Mutex<Vec<i64>>,
+}
+
+impl Ledger {
+    /// Holds `accounts`, then takes `audit`: the A → B direction.
+    pub fn post(&self, delta: i64) {
+        let mut accounts = lock_side(&self.accounts);
+        let mut audit = lock_side(&self.audit);
+        if let Some(head) = accounts.first_mut() {
+            *head += delta;
+        }
+        audit.push(delta);
+    }
+
+    /// Holds `audit`, then takes `accounts`: B → A — the cycle.
+    pub fn reconcile(&self) -> usize {
+        let audit = lock_side(&self.audit);
+        let accounts = lock_side(&self.accounts);
+        audit.len() + accounts.len()
+    }
+
+    /// The disciplined twin: same pair, same global order as `post`.
+    pub fn settle_consistently(&self, delta: i64) {
+        let mut accounts = lock_side(&self.accounts);
+        let mut audit = lock_side(&self.audit);
+        if let Some(head) = accounts.first_mut() {
+            *head -= delta;
+        }
+        audit.push(-delta);
+    }
+}
+
+fn lock_side<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

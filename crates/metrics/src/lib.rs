@@ -10,6 +10,10 @@
 //!   parameters only — exactly the paper's Table 2 semantics);
 //! * [`report`] — fixed-width table and series rendering shared by the
 //!   table/figure bench harnesses;
+//! * [`sync`] — the workspace's poison-consistent lock helpers
+//!   ([`sync::lock_unpoisoned`]); lock results never meet a bare
+//!   `.unwrap()` (enforced by the `raw-lock-unwrap` rule of
+//!   `subfed-lint analyze`);
 //! * [`trace`] — round-level structured telemetry: typed trace events,
 //!   span timers, JSONL/in-memory sinks, and end-of-run phase summaries
 //!   (schema documented in `docs/OBSERVABILITY.md`).
@@ -20,4 +24,5 @@ pub mod comm;
 pub mod flops;
 pub mod report;
 pub mod summary;
+pub mod sync;
 pub mod trace;

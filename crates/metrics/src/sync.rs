@@ -1,0 +1,70 @@
+//! Poison-consistent lock helpers shared across the workspace.
+//!
+//! Every `Mutex` in this codebase guards *restartable* state — retained
+//! scratch buffers, trace-event buffers, running aggregation sums — whose
+//! bytes stay valid even if the thread holding the guard panicked: the
+//! critical sections are pure stores with no multi-step invariant that a
+//! mid-section unwind could tear. A poisoned lock therefore carries no
+//! extra information (the worker panic itself is re-raised by the scoped
+//! join that observes it), and bare `.lock().unwrap()` would only convert
+//! one panic into a second, less informative one on an innocent thread.
+//!
+//! The workspace-wide rule — enforced statically by the
+//! `raw-lock-unwrap` rule of `subfed-lint analyze` — is that lock results
+//! never meet a bare `.unwrap()`/`.expect(…)`: they go through these
+//! helpers (or an explicit `match` on [`PoisonError`]), so the poisoning
+//! policy is written down in exactly one place.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Acquires `m`, recovering the guard from a poisoned lock.
+///
+/// Use this instead of `.lock().unwrap()` wherever the guarded state is
+/// valid regardless of panics (see the module docs for why that is every
+/// mutex in this workspace).
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        // A sibling thread panicking mid-section poisons the mutex; the
+        // guarded bytes are still valid, and the original panic is
+        // re-raised by whoever joins that thread.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Consumes `m` and returns the guarded value, ignoring poison.
+///
+/// The by-value counterpart of [`lock_unpoisoned`], for tearing a lock
+/// down after all sharing ends (e.g. collapsing per-shard accumulators
+/// once the round's workers have joined).
+pub fn into_inner_unpoisoned<T>(m: Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_into_inner_round_trip() {
+        let m = Mutex::new(7u32);
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(into_inner_unpoisoned(m), 8);
+    }
+
+    #[test]
+    fn poisoned_lock_still_yields_the_value() {
+        let m = Arc::new(Mutex::new(41u32));
+        let m2 = Arc::clone(&m);
+        let worker = std::thread::spawn(move || {
+            let _guard = m2.lock().expect("first acquisition cannot be poisoned");
+            panic!("poison the lock");
+        });
+        assert!(worker.join().is_err());
+        assert!(m.is_poisoned());
+        *lock_unpoisoned(&m) += 1;
+        let m = Arc::into_inner(m).expect("worker has been joined");
+        assert_eq!(into_inner_unpoisoned(m), 42);
+    }
+}

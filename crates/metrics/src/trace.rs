@@ -27,6 +27,7 @@
 //! Schema reference and worked examples: `docs/OBSERVABILITY.md`.
 
 use crate::report::Table;
+use crate::sync::lock_unpoisoned;
 use std::fmt;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -730,19 +731,23 @@ impl VecSink {
 
     /// A copy of every event recorded so far, in arrival order.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("trace sink poisoned").iter().map(|(_, e)| e.clone()).collect()
+        // Cloning out under the guard is the point of a snapshot; the
+        // sink lock nests inside no other lock.
+        // lint: allow(alloc-under-lock) — diagnostic copy-out, single flat lock
+        lock_unpoisoned(&self.events).iter().map(|(_, e)| e.clone()).collect()
     }
 
     /// A copy of every `(seq, event)` pair recorded so far, in arrival
     /// order. Under worker threads arrival order may differ from `seq`
     /// order; sort by the first element to recover the emission order.
     pub fn seq_snapshot(&self) -> Vec<(u64, TraceEvent)> {
-        self.events.lock().expect("trace sink poisoned").clone()
+        // lint: allow(alloc-under-lock) — diagnostic copy-out, single flat lock
+        lock_unpoisoned(&self.events).clone()
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("trace sink poisoned").len()
+        lock_unpoisoned(&self.events).len()
     }
 
     /// Whether no event has been recorded.
@@ -753,7 +758,10 @@ impl VecSink {
 
 impl Sink for VecSink {
     fn record(&self, seq: u64, event: &TraceEvent) {
-        self.events.lock().expect("trace sink poisoned").push((seq, event.clone()));
+        // Clone outside the critical section so the lock covers only the
+        // push, never allocator traffic for the event payload.
+        let entry = (seq, event.clone());
+        lock_unpoisoned(&self.events).push(entry);
     }
 }
 
@@ -788,7 +796,9 @@ impl JsonlSink {
 
     /// Takes the first write error, if any occurred.
     pub fn take_error(&self) -> Option<std::io::Error> {
-        self.inner.lock().expect("trace sink poisoned").error.take()
+        // `Option::take`, not `Workspace::take` — the name-resolved call
+        // graph cannot tell them apart, and the latter allocates.
+        lock_unpoisoned(&self.inner).error.take() // lint: allow(alloc-under-lock)
     }
 }
 
@@ -800,11 +810,15 @@ impl fmt::Debug for JsonlSink {
 
 impl Sink for JsonlSink {
     fn record(&self, seq: u64, event: &TraceEvent) {
-        let mut state = self.inner.lock().expect("trace sink poisoned");
+        // Serialise before acquiring the writer lock: the critical
+        // section stays allocation-free (after a sticky error this
+        // serialises a line that is then dropped — errors are terminal,
+        // so that cost is paid at most once per event after failure).
+        let line = event.to_json_seq(seq);
+        let mut state = lock_unpoisoned(&self.inner);
         if state.error.is_some() {
             return;
         }
-        let line = event.to_json_seq(seq);
         if let Err(e) =
             state.out.write_all(line.as_bytes()).and_then(|()| state.out.write_all(b"\n"))
         {
@@ -813,7 +827,7 @@ impl Sink for JsonlSink {
     }
 
     fn flush(&self) {
-        let mut state = self.inner.lock().expect("trace sink poisoned");
+        let mut state = lock_unpoisoned(&self.inner);
         if state.error.is_some() {
             return;
         }
@@ -1457,7 +1471,7 @@ not json\n";
         }
 
         fn bytes(&self) -> Vec<u8> {
-            self.buf.lock().unwrap().clone()
+            lock_unpoisoned(&self.buf).clone()
         }
     }
 
@@ -1465,7 +1479,7 @@ not json\n";
 
     impl Write for SharedWriter {
         fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-            self.0.buf.lock().unwrap().extend_from_slice(data);
+            lock_unpoisoned(&self.0.buf).extend_from_slice(data);
             Ok(data.len())
         }
 
