@@ -5,7 +5,7 @@
 //! `docs/SCALING.md`): building a [`ClientRegistry`] for 10⁶ clients,
 //! drawing a 10⁴-client cohort from it with the sparse
 //! [`UniformSampler`] path, and folding masked updates through the
-//! [`StreamingAccumulator`] / [`ShardedAccumulator`]. No training runs
+//! [`StreamingAccumulator`] / [`OrderedAccumulator`]. No training runs
 //! here — the point is that the scaffolding itself stays cheap.
 //!
 //! ```text
@@ -20,7 +20,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 use subfed_core::UniformSampler;
-use subfed_core::{ClientRegistry, CohortSampler, ShardedAccumulator, StreamingAccumulator};
+use subfed_core::{ClientRegistry, CohortSampler, OrderedAccumulator, StreamingAccumulator};
 use subfed_metrics::comm::{human_bytes, pack_mask};
 use subfed_tensor::init::SeededRng;
 
@@ -107,10 +107,13 @@ fn main() {
         }
         acc.finish(&global).len()
     });
-    timed("sharded_fold_32_updates", samples, || {
-        let acc = ShardedAccumulator::new(MODEL_PARAMS, 32);
-        for (params, mask) in &updates {
-            acc.fold(params, mask);
+    // The turnstile costs one clone per upload (folds take ownership so
+    // early arrivals can park without copying under the lock) — the
+    // price of a bit-identical aggregate at any worker count.
+    timed("ordered_fold_32_updates", samples, || {
+        let acc = OrderedAccumulator::new(MODEL_PARAMS, 8);
+        for (slot, (params, mask)) in updates.iter().enumerate() {
+            acc.fold(slot, params.clone(), mask.clone());
         }
         acc.into_streaming().finish(&global).len()
     });

@@ -146,7 +146,7 @@ pub fn usage() -> String {
          \x20             [--partition P] [--alpha F] [--skew F]\n\
          \x20             [--sample-frac F | --frac F] [--epochs N] [--batch N]\n\
          \x20             [--lr F] [--momentum F] [--seed N] [--eval-every N]\n\
-         \x20             [--dropout F] [--threads N] [--target F]\n\
+         \x20             [--dropout F] [--threads N | --workers N] [--target F]\n\
          \x20             [--structured-target F] [--rate F] [--mu F]\n\
          \x20             [--coupling F] [--csv PATH] [--trace PATH]\n\
          \x20             [--trace-summary] [--num-clients N]\n\
@@ -232,7 +232,9 @@ fn parse_run(args: &[String]) -> Result<RunSpec, String> {
                 eval_every_set = true;
             }
             "--dropout" => spec.config.dropout_prob = parse_value(flag, value)?,
-            "--threads" => spec.config.threads = parse_value(flag, value)?,
+            // `--workers` is the replay-identity gate's spelling: the
+            // worker count must be free to vary without changing results.
+            "--threads" | "--workers" => spec.config.threads = parse_value(flag, value)?,
             "--target" => spec.target = parse_value(flag, value)?,
             "--structured-target" => spec.structured_target = parse_value(flag, value)?,
             "--rate" => spec.rate = parse_value(flag, value)?,
@@ -344,6 +346,14 @@ mod tests {
         assert_eq!(spec.csv.as_deref(), Some("/tmp/out.csv"));
         assert_eq!(spec.trace.as_deref(), Some("/tmp/out.jsonl"));
         assert!(spec.trace_summary);
+    }
+
+    #[test]
+    fn workers_is_an_alias_for_threads() {
+        let Command::Run(spec) = parse_args(&argv("run --workers 3")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(spec.config.threads, 3);
     }
 
     #[test]

@@ -11,7 +11,9 @@ pub(crate) fn is_eval_round(fed: &Federation, round: usize) -> bool {
 /// Evaluates every client's flat model (when due) and appends the round
 /// record. `round_span` is the span opened at the top of the round; it
 /// closes here with the round's `eval` (when due) and `round_end` trace
-/// events.
+/// events. `model_hash` is the server model's post-aggregation
+/// fingerprint ([`subfed_metrics::trace::model_hash`]); algorithms with
+/// no server-side model (standalone, MTL) pass `0` ("not recorded").
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn record_round(
     history: &mut History,
@@ -19,6 +21,7 @@ pub(crate) fn record_round(
     round: usize,
     flats: &[Vec<f32>],
     cum_bytes: u64,
+    model_hash: u64,
     avg_pruned_params: f32,
     avg_pruned_channels: f32,
     per_client_pruned: Vec<f32>,
@@ -33,7 +36,12 @@ pub(crate) fn record_round(
     } else {
         (None, Vec::new())
     };
-    fed.tracer().emit(TraceEvent::RoundEnd { round, us: round_span.elapsed_us(), cum_bytes });
+    fed.tracer().emit(TraceEvent::RoundEnd {
+        round,
+        us: round_span.elapsed_us(),
+        cum_bytes,
+        model_hash,
+    });
     history.push(RoundRecord {
         round,
         avg_acc,

@@ -83,6 +83,7 @@ impl FederatedAlgorithm for FedAvg {
                     round,
                     &flats,
                     cum_bytes,
+                    subfed_metrics::trace::model_hash(&global),
                     0.0,
                     0.0,
                     Vec::new(),
@@ -152,6 +153,7 @@ impl FederatedAlgorithm for FedAvg {
                 round,
                 &flats,
                 cum_bytes,
+                subfed_metrics::trace::model_hash(&global),
                 0.0,
                 0.0,
                 Vec::new(),

@@ -71,6 +71,8 @@ impl FederatedAlgorithm for LgFedAvg {
                     round,
                     &local_flats,
                     cum_bytes,
+                    // LG-FedAvg's server model is the shared head.
+                    subfed_metrics::trace::model_hash(&global_head),
                     0.0,
                     0.0,
                     Vec::new(),
@@ -144,6 +146,8 @@ impl FederatedAlgorithm for LgFedAvg {
                 round,
                 &local_flats,
                 cum_bytes,
+                // LG-FedAvg's server model is the shared head.
+                subfed_metrics::trace::model_hash(&global_head),
                 0.0,
                 0.0,
                 Vec::new(),

@@ -56,6 +56,8 @@ impl FederatedAlgorithm for FedMtl {
                     round,
                     &local_flats,
                     last_bytes,
+                    // MTL keeps no server model; 0 = "not recorded".
+                    0,
                     0.0,
                     0.0,
                     Vec::new(),
@@ -118,6 +120,8 @@ impl FederatedAlgorithm for FedMtl {
                 round,
                 &local_flats,
                 last_bytes,
+                // MTL keeps no server model; 0 = "not recorded".
+                0,
                 0.0,
                 0.0,
                 Vec::new(),

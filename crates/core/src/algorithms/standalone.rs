@@ -96,6 +96,8 @@ impl FederatedAlgorithm for Standalone {
                 round,
                 &local_flats,
                 0,
+                // Standalone has no server model; 0 = "not recorded".
+                0,
                 0.0,
                 0.0,
                 Vec::new(),

@@ -101,6 +101,7 @@ impl FederatedAlgorithm for SubFedAvgHy {
                     round,
                     &local_flats,
                     cum_bytes,
+                    subfed_metrics::trace::model_hash(&global),
                     avg,
                     avg_ch,
                     per_client_pruned,
@@ -253,6 +254,7 @@ impl FederatedAlgorithm for SubFedAvgHy {
                 round,
                 &local_flats,
                 cum_bytes,
+                subfed_metrics::trace::model_hash(&global),
                 avg_pruned_params,
                 avg_pruned_channels,
                 per_client_pruned,

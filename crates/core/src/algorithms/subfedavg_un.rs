@@ -240,6 +240,7 @@ impl SubFedAvgUn {
                 round,
                 &state.local_flats,
                 state.cum_bytes,
+                subfed_metrics::trace::model_hash(&state.global),
                 avg,
                 0.0,
                 per_client_pruned,
@@ -404,6 +405,7 @@ impl SubFedAvgUn {
             round,
             &state.local_flats,
             state.cum_bytes,
+            subfed_metrics::trace::model_hash(&state.global),
             avg_pruned,
             0.0,
             per_client_pruned,

@@ -226,6 +226,13 @@ impl Federation {
     /// returning outputs aligned with `indices`. Results are deterministic
     /// regardless of thread count because each call derives its own
     /// randomness from `(round, client)`.
+    ///
+    /// Work is dealt out **strided**: worker `w` of `T` handles slots
+    /// `w, w+T, w+2T, …`, each in ascending order. Besides balancing
+    /// heterogeneous per-client cost, the strided schedule is what lets a
+    /// cohort-slot turnstile ([`crate::stream_agg::OrderedAccumulator`])
+    /// fold uploads in deterministic slot order without ever blocking the
+    /// worker that owns the next due slot.
     pub fn par_map<T, F>(&self, indices: &[usize], f: F) -> Vec<T>
     where
         T: Send,
@@ -236,26 +243,45 @@ impl Federation {
             return indices.iter().map(|&i| f(i)).collect();
         }
         let mut out: Vec<Option<T>> = (0..indices.len()).map(|_| None).collect();
-        let chunk = indices.len().div_ceil(threads);
         let scope_result = crossbeam::thread::scope(|s| {
-            for (slot_chunk, idx_chunk) in out.chunks_mut(chunk).zip(indices.chunks(chunk)) {
-                let f = &f;
-                s.spawn(move |_| {
-                    for (slot, &i) in slot_chunk.iter_mut().zip(idx_chunk) {
-                        *slot = Some(f(i));
-                    }
-                });
-            }
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let f = &f;
+                    s.spawn(move |_| {
+                        indices
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(threads)
+                            .map(|(slot, &i)| (slot, f(i)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
         });
-        if let Err(payload) = scope_result {
-            // A worker panicked while training a client; re-raise the
-            // original panic on this thread instead of wrapping it.
-            std::panic::resume_unwind(payload);
+        let parts = match scope_result {
+            Ok(parts) => parts,
+            // Every handle is joined above, so this arm only sees a panic
+            // raised by the scope closure itself; re-raise it unchanged.
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        for part in parts {
+            match part {
+                Ok(pairs) => {
+                    for (slot, value) in pairs {
+                        out[slot] = Some(value);
+                    }
+                }
+                // A worker panicked while training a client; re-raise the
+                // original panic on this thread instead of wrapping it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
         out.into_iter()
             .map(|v| match v {
                 Some(t) => t,
-                // The chunked loops above fill every slot, and a worker
+                // The strided loops above cover every slot, and a worker
                 // panic re-raises before this point.
                 None => unreachable!("worker filled every slot"),
             })

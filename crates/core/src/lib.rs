@@ -66,7 +66,7 @@ pub use history::{History, RoundRecord};
 pub use registry::ClientRegistry;
 pub use sampler::{CohortSampler, UniformSampler};
 pub use scale::{ScaledSubFedAvg, ScaledSummary};
-pub use stream_agg::{ShardedAccumulator, StreamingAccumulator};
+pub use stream_agg::{OrderedAccumulator, StreamingAccumulator};
 pub use workspace::{PooledWorkspace, WorkspacePool};
 
 #[cfg(test)]

@@ -15,9 +15,10 @@
 //!   [`Federation::begin_round`] — the `frac`/C knob;
 //! * client shards come from the federation's `ClientProvider`, so only
 //!   the cohort is ever materialized;
-//! * aggregation streams through a [`ShardedAccumulator`]: workers fold
-//!   their own decoded upload on the way out, and server memory stays
-//!   O(model) instead of O(cohort × model);
+//! * aggregation streams through an [`OrderedAccumulator`]: workers fold
+//!   their own decoded upload on the way out in cohort-slot order, so the
+//!   aggregate is bit-identical at every thread count and server memory
+//!   stays O(model) instead of O(cohort × model);
 //! * evaluation is cohort-local: each survivor's personalized test
 //!   accuracy is measured by its own worker, and the round reports the
 //!   cohort mean (evaluating the full registered population is exactly
@@ -31,11 +32,11 @@
 
 use crate::algorithms::common::{apply_flat_mask, is_eval_round, kept_count};
 use crate::registry::ClientRegistry;
-use crate::stream_agg::ShardedAccumulator;
+use crate::stream_agg::OrderedAccumulator;
 use crate::{evaluate_accuracy, flatten_mask, invariants, train_client_ws, wire, Federation};
 use subfed_metrics::comm::{mask_bytes, masked_transfer_bytes, pack_mask};
 use subfed_metrics::flops;
-use subfed_metrics::trace::TraceEvent;
+use subfed_metrics::trace::{self, TraceEvent};
 use subfed_nn::{ModelMask, Sequential};
 use subfed_pruning::UnstructuredController;
 
@@ -183,6 +184,7 @@ impl ScaledSubFedAvg {
                 round,
                 us: round_span.elapsed_us(),
                 cum_bytes: self.cum_bytes,
+                model_hash: trace::model_hash(&self.global),
             });
             self.records.push(ScaledRoundRecord {
                 round,
@@ -195,15 +197,21 @@ impl ScaledSubFedAvg {
             });
             return;
         }
-        let acc = ShardedAccumulator::new(self.global.len(), ShardedAccumulator::DEFAULT_SHARDS);
+        let acc = OrderedAccumulator::new(self.global.len(), fed.config().threads.max(1));
         let registry = &self.registry;
         let global_ref = &self.global;
         let dense_flops = flops::dense_flops(fed.spec());
-        let outcomes = fed.par_map(&ids, |i| {
+        // Workers are mapped over cohort *slots* (positions in `ids`), not
+        // client ids: the slot is the upload's turn in the deterministic
+        // fold order, and `par_map`'s strided schedule hands each worker
+        // its slots ascending — the turnstile's progress precondition.
+        let slots: Vec<usize> = (0..ids.len()).collect();
+        let outcomes = fed.par_map(&slots, |slot| {
             // The whole client pipeline runs here, in the worker: the only
             // dense vectors alive are this worker's own, and the upload is
             // folded into the shared accumulator before the closure
             // returns.
+            let i = ids[slot];
             let data = fed.client_data(i);
             let mask_flat_before = registry.mask_flat(i);
             let mask = mask_from_flat(&fed.build_model(), &mask_flat_before);
@@ -301,7 +309,7 @@ impl ScaledSubFedAvg {
                 bytes: buf.len() as u64,
             });
             fed.tracer().emit(TraceEvent::Upload { round, client: i, bytes: upload });
-            acc.fold(&dec_params, &dec_mask);
+            acc.fold(slot, dec_params, dec_mask);
             let test_acc = eval_due.then(|| {
                 let mut model = fed.build_model();
                 model.load_flat(&final_flat);
@@ -350,6 +358,7 @@ impl ScaledSubFedAvg {
             round,
             us: round_span.elapsed_us(),
             cum_bytes: self.cum_bytes,
+            model_hash: trace::model_hash(&self.global),
         });
         self.records.push(ScaledRoundRecord {
             round,
@@ -463,6 +472,21 @@ mod tests {
         let a = scaled_driver(100, 0.05, 1).run();
         let b = scaled_driver(100, 0.05, 1).run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaled_run_is_bit_identical_across_thread_counts() {
+        // The ordered fold makes the *entire run* — global parameters,
+        // accuracies, byte accounting — reproduce exactly at any worker
+        // count, not just within f32 tolerance.
+        let mut one = scaled_driver(100, 0.05, 1);
+        let mut two = scaled_driver(100, 0.05, 2);
+        let mut three = scaled_driver(100, 0.05, 3);
+        let (a, b, c) = (one.run(), two.run(), three.run());
+        assert_eq!(a, b, "1 vs 2 workers");
+        assert_eq!(a, c, "1 vs 3 workers");
+        assert_eq!(one.global(), two.global(), "global θ_g must match bit-for-bit");
+        assert_eq!(one.global(), three.global(), "global θ_g must match bit-for-bit");
     }
 
     #[test]

@@ -7,19 +7,24 @@
 //! afford to keep dense. Intersection averaging, however, is a pure
 //! position-wise fold: the server only ever needs the running masked sum
 //! and the running holder count, 2 × model floats regardless of cohort
-//! size. [`StreamingAccumulator`] is that fold; [`ShardedAccumulator`]
-//! wraps it in contiguous position-range shards behind mutexes so training
-//! workers fold their own upload on the way out instead of handing dense
-//! vectors back to the server loop.
+//! size. [`StreamingAccumulator`] is that fold; [`OrderedAccumulator`]
+//! wraps it in a cohort-slot reorder window so concurrent training
+//! workers fold their own upload on the way out *in a deterministic
+//! order* instead of handing dense vectors back to the server loop.
 //!
-//! Floating-point caveat: folding order follows upload arrival, so with
-//! multiple worker threads the result can differ from the batch rule by
-//! f32 rounding. The property tests bound the gap at 1e-6; see
-//! `docs/SCALING.md` § "Numerical determinism".
+//! Determinism contract: f32 addition is not associative, so the folded
+//! result is only reproducible if the fold order is fixed. The reorder
+//! window folds uploads in cohort-slot order (the sampled cohort sorted
+//! by client id) no matter which worker finishes first, which makes the
+//! streamed aggregate **bit-identical** to the batch oracle and across
+//! thread counts. The property tests assert exact equality; the
+//! `order-sensitive-fold` rule of `subfed-lint analyze` rejects any
+//! arrival-order fold that sneaks back in. See `docs/SCALING.md`
+//! § "Numerical determinism".
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use subfed_metrics::sync::{into_inner_unpoisoned, lock_unpoisoned};
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
+use subfed_metrics::sync::{into_inner_unpoisoned, lock_unpoisoned, wait_unpoisoned};
 use subfed_nn::is_kept;
 
 /// Running position-wise Sub-FedAvg state: one masked sum and one holder
@@ -92,106 +97,133 @@ impl StreamingAccumulator {
     }
 }
 
-/// One lock per contiguous position range.
+/// Shared reorder state: the running fold plus the uploads that arrived
+/// ahead of their turn.
 #[derive(Debug)]
-struct Shard {
-    sum: Vec<f32>,
-    count: Vec<f32>,
+struct OrderedState {
+    acc: StreamingAccumulator,
+    /// The cohort slot the fold will consume next.
+    next: usize,
+    /// Early arrivals, keyed by cohort slot (all keys are `> next`).
+    pending: BTreeMap<usize, (Vec<f32>, Vec<f32>)>,
 }
 
-/// A [`StreamingAccumulator`] split into contiguous position-range shards,
-/// each behind its own mutex, so concurrent training workers fold uploads
-/// without serializing on one lock (workers touching different shards
-/// proceed in parallel; a model is split into [`ShardedAccumulator::DEFAULT_SHARDS`]
-/// ranges by default).
+/// A [`StreamingAccumulator`] behind a cohort-slot turnstile: concurrent
+/// workers hand in uploads tagged with their slot (the position of the
+/// client in the round's id-sorted cohort), and the accumulator folds
+/// them in slot order regardless of arrival order. The result is
+/// bit-identical to folding the cohort sequentially — and therefore to
+/// the batch oracle — at any thread count.
+///
+/// Memory stays O(model): the running fold is 2 × model floats, and the
+/// reorder window parks at most `window` early uploads (one per worker
+/// under the strided schedule [`crate::engine::Federation::par_map`]
+/// uses), independent of cohort size.
+///
+/// Progress: a worker whose upload is not yet due parks it (window
+/// permitting) and moves on, or blocks on the turnstile when the window
+/// is full. As long as each worker hands in its own slots in increasing
+/// order — which the strided schedule guarantees — the worker owning the
+/// due slot never blocks, so the fold always advances.
 #[derive(Debug)]
-pub struct ShardedAccumulator {
-    shards: Vec<Mutex<Shard>>,
-    /// Positions per shard (last shard may be short).
-    shard_size: usize,
+pub struct OrderedAccumulator {
+    state: Mutex<OrderedState>,
+    turn: Condvar,
     num_params: usize,
-    updates: AtomicUsize,
+    window: usize,
 }
 
-impl ShardedAccumulator {
-    /// Default shard count — enough to keep 8–16 workers from contending.
-    pub const DEFAULT_SHARDS: usize = 32;
-
-    /// An empty sharded accumulator over `num_params` positions.
+impl OrderedAccumulator {
+    /// An empty ordered accumulator over `num_params` positions with a
+    /// reorder window of `window` early uploads (use the worker count).
     ///
     /// # Panics
     ///
-    /// Panics on an empty model or zero shards.
-    pub fn new(num_params: usize, shards: usize) -> Self {
+    /// Panics on an empty model or a zero-sized window.
+    pub fn new(num_params: usize, window: usize) -> Self {
         assert!(num_params > 0, "accumulator needs a non-empty model");
-        assert!(shards > 0, "need at least one shard");
-        let shards = shards.min(num_params);
-        let shard_size = num_params.div_ceil(shards);
-        // Rounding can leave the last requested shards empty (e.g. 257
-        // positions over 32 shards → 9-position shards → 29 used); only
-        // materialize the ranges that actually hold positions.
-        let shards = num_params.div_ceil(shard_size);
-        let shards = (0..shards)
-            .map(|i| {
-                let lo = i * shard_size;
-                let hi = ((i + 1) * shard_size).min(num_params);
-                Mutex::new(Shard { sum: vec![0.0; hi - lo], count: vec![0.0; hi - lo] })
-            })
-            .collect();
-        Self { shards, shard_size, num_params, updates: AtomicUsize::new(0) }
+        assert!(window > 0, "reorder window needs at least one slot");
+        let state = OrderedState {
+            acc: StreamingAccumulator::new(num_params),
+            next: 0,
+            pending: BTreeMap::new(),
+        };
+        Self { state: Mutex::new(state), turn: Condvar::new(), num_params, window }
     }
 
-    /// Folds one upload, locking each position-range shard in turn
-    /// (ascending position order — the workspace's lock order for
-    /// shards). Callable from any worker thread (`&self`).
+    /// Folds the upload for cohort slot `slot`, taking ownership so early
+    /// arrivals can be parked without copying under the lock.
+    ///
+    /// Folds happen in ascending slot order: an on-time upload folds
+    /// immediately and drains any consecutive parked successors; an
+    /// upload at most `window` slots ahead of the turn parks in the
+    /// reorder window; anything further ahead blocks until the turn
+    /// catches up. Callable from any worker thread (`&self`).
     ///
     /// # Panics
     ///
-    /// Panics if `params` or `mask` length differs from the model.
-    pub fn fold(&self, params: &[f32], mask: &[f32]) {
+    /// Panics if `params` or `mask` length differs from the model, or if
+    /// `slot` was already folded.
+    pub fn fold(&self, slot: usize, params: Vec<f32>, mask: Vec<f32>) {
         assert_eq!(params.len(), self.num_params, "update length mismatch");
         assert_eq!(mask.len(), self.num_params, "mask length mismatch");
-        for (i, shard) in self.shards.iter().enumerate() {
-            let lo = i * self.shard_size;
-            let hi = ((i + 1) * self.shard_size).min(self.num_params);
-            // Poison-tolerant by policy: shard sums stay valid even if a
-            // sibling worker panicked, and that panic re-raises at join.
-            let mut guard = lock_unpoisoned(shard);
-            let Shard { sum, count } = &mut *guard;
-            // lint: allow(unchecked-index) — lo..hi lies in 0..num_params by shard construction
-            let (ps, ms) = (&params[lo..hi], &mask[lo..hi]);
-            for (((s, c), &p), &m) in sum.iter_mut().zip(count.iter_mut()).zip(ps).zip(ms) {
-                if is_kept(m) {
-                    *s += p;
-                    *c += 1.0;
+        // Poison-tolerant by policy: the running sums stay valid even if
+        // a sibling worker panicked, and that panic re-raises at join.
+        let mut st = lock_unpoisoned(&self.state);
+        loop {
+            if slot == st.next {
+                st.acc.fold(&params, &mask);
+                st.next += 1;
+                while let Some((p, m)) = {
+                    let due = st.next;
+                    st.pending.remove(&due)
+                } {
+                    st.acc.fold(&p, &m);
+                    st.next += 1;
                 }
+                self.turn.notify_all();
+                return;
             }
+            assert!(slot > st.next, "cohort slot {slot} folded twice");
+            // Distance-based window: parked keys live in
+            // `(next, next + window]`, so at most `window` uploads are
+            // ever resident beyond the running sums.
+            if slot - st.next <= self.window {
+                st.pending.insert(slot, (params, mask));
+                return;
+            }
+            st = wait_unpoisoned(&self.turn, st);
         }
-        self.updates.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Uploads folded so far.
+    /// Uploads folded so far (excludes parked early arrivals).
     pub fn updates(&self) -> usize {
-        self.updates.load(Ordering::Relaxed)
+        lock_unpoisoned(&self.state).acc.updates()
     }
 
-    /// Collapses the shards back into one [`StreamingAccumulator`] (after
-    /// the round's workers have joined).
+    /// Collapses the turnstile back into the plain
+    /// [`StreamingAccumulator`] (after the round's workers have joined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if uploads are still parked in the reorder window — that
+    /// means a slot was never handed in and the fold is incomplete.
     pub fn into_streaming(self) -> StreamingAccumulator {
-        let updates = self.updates.load(Ordering::Relaxed);
-        let mut sum = Vec::with_capacity(self.num_params);
-        let mut count = Vec::with_capacity(self.num_params);
-        for shard in self.shards {
-            let inner = into_inner_unpoisoned(shard);
-            sum.extend_from_slice(&inner.sum);
-            count.extend_from_slice(&inner.count);
-        }
-        StreamingAccumulator { sum, count, updates }
+        let st = into_inner_unpoisoned(self.state);
+        assert!(
+            st.pending.is_empty(),
+            "ordered fold torn down with {} uploads still parked",
+            st.pending.len()
+        );
+        st.acc
     }
 
-    /// Resident bytes across all shards — still 2 × model × 4.
+    /// Resident bytes right now: the running fold (2 × model × 4) plus
+    /// whatever the reorder window currently parks. Empty between rounds,
+    /// and bounded by `window` uploads — not cohort size — within one.
     pub fn memory_bytes(&self) -> usize {
-        2 * self.num_params * std::mem::size_of::<f32>()
+        let st = lock_unpoisoned(&self.state);
+        st.acc.memory_bytes() + st.pending.len() * 2 * self.num_params * std::mem::size_of::<f32>()
     }
 }
 
@@ -214,9 +246,10 @@ mod tests {
     }
 
     #[test]
-    fn streaming_matches_batch_aggregation() {
+    fn streaming_is_bit_identical_to_batch_aggregation() {
         // Property: across random cohorts/masks/sizes, folding upload-by-
-        // upload lands within 1e-6 of the batch oracle at every position.
+        // upload in cohort order reproduces the batch oracle *exactly* —
+        // both perform the same f32 additions in the same order.
         let mut rng = SeededRng::new(99);
         for case in 0..25 {
             let len = 1 + (case * 37) % 400;
@@ -230,55 +263,67 @@ mod tests {
             }
             let streamed = acc.finish(&global);
             assert_eq!(acc.updates(), cohort);
-            for (i, (a, b)) in batch.iter().zip(&streamed).enumerate() {
-                assert!((a - b).abs() <= 1e-6, "case {case} position {i}: batch {a} vs stream {b}");
-            }
+            assert_eq!(batch, streamed, "case {case}: stream must match batch bit-for-bit");
         }
     }
 
     #[test]
-    fn sharded_matches_batch_aggregation() {
+    fn permuted_arrival_is_bit_identical_to_batch_aggregation() {
+        // Uploads arrive in a scrambled order; the reorder window must
+        // still fold them in slot order, bit-identical to the oracle.
         let mut rng = SeededRng::new(7);
-        for &shards in &[1usize, 3, 32, 1000] {
+        for case in 0..10 {
             let len = 257;
+            let cohort = 9;
             let global: Vec<f32> = (0..len).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
-            let updates = random_cohort(&mut rng, 9, len);
+            let updates = random_cohort(&mut rng, cohort, len);
             let batch = subfedavg_aggregate(&global, &updates);
-            let acc = ShardedAccumulator::new(len, shards);
-            for (p, m) in &updates {
-                acc.fold(p, m);
+            let mut arrival: Vec<usize> = (0..cohort).collect();
+            rng.shuffle(&mut arrival);
+            // Window = cohort so the scrambled single-threaded feed never
+            // blocks on the turnstile.
+            let acc = OrderedAccumulator::new(len, cohort);
+            for &slot in &arrival {
+                let (p, m) = updates[slot].clone();
+                acc.fold(slot, p, m);
             }
-            assert_eq!(acc.updates(), 9);
+            assert_eq!(acc.updates(), cohort);
             let streamed = acc.into_streaming().finish(&global);
-            for (a, b) in batch.iter().zip(&streamed) {
-                assert!((a - b).abs() <= 1e-6, "shards={shards}: batch {a} vs stream {b}");
-            }
+            assert_eq!(batch, streamed, "case {case}: permuted arrival must not change bits");
         }
     }
 
     #[test]
-    fn concurrent_folds_land_within_tolerance() {
+    fn concurrent_folds_are_bit_identical_across_thread_counts() {
+        // The acceptance property: the streamed aggregate equals the
+        // batch oracle bit-for-bit at every thread count, with workers
+        // racing under the same strided slot schedule `par_map` uses.
         let len = 512;
         let mut rng = SeededRng::new(13);
         let global: Vec<f32> = (0..len).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
         let updates = random_cohort(&mut rng, 24, len);
         let batch = subfedavg_aggregate(&global, &updates);
-        let acc = ShardedAccumulator::new(len, ShardedAccumulator::DEFAULT_SHARDS);
-        crossbeam::thread::scope(|s| {
-            for chunk in updates.chunks(6) {
-                let acc = &acc;
-                s.spawn(move |_| {
-                    for (p, m) in chunk {
-                        acc.fold(p, m);
-                    }
-                });
-            }
-        })
-        .expect("workers join");
-        assert_eq!(acc.updates(), 24);
-        let streamed = acc.into_streaming().finish(&global);
-        for (a, b) in batch.iter().zip(&streamed) {
-            assert!((a - b).abs() <= 1e-6, "batch {a} vs concurrent stream {b}");
+        for &threads in &[2usize, 3, 5, 8] {
+            let acc = OrderedAccumulator::new(len, threads);
+            crossbeam::thread::scope(|s| {
+                for w in 0..threads {
+                    let acc = &acc;
+                    let updates = &updates;
+                    s.spawn(move |_| {
+                        // Strided schedule: worker `w` owns slots w, w+T,
+                        // w+2T, … and hands them in ascending — the
+                        // precondition for turnstile progress.
+                        for slot in (w..updates.len()).step_by(threads) {
+                            let (p, m) = updates[slot].clone();
+                            acc.fold(slot, p, m);
+                        }
+                    });
+                }
+            })
+            .expect("workers join");
+            assert_eq!(acc.updates(), 24);
+            let streamed = acc.into_streaming().finish(&global);
+            assert_eq!(batch, streamed, "threads={threads}: aggregate must be bit-identical");
         }
     }
 
@@ -304,11 +349,27 @@ mod tests {
         }
         assert_eq!(acc.memory_bytes(), before, "folding must not grow the accumulator");
         assert_eq!(before, 2 * len * 4);
+
+        // The ordered wrapper reports the same steady state once the
+        // window drains: on-time folds never park.
+        let acc = OrderedAccumulator::new(len, 4);
+        for slot in 0..100 {
+            acc.fold(slot, ones.clone(), ones.clone());
+        }
+        assert_eq!(acc.memory_bytes(), 2 * len * 4);
     }
 
     #[test]
     #[should_panic(expected = "zero updates")]
     fn finish_without_updates_panics() {
         let _ = StreamingAccumulator::new(4).finish(&[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "folded twice")]
+    fn refolding_a_slot_panics() {
+        let acc = OrderedAccumulator::new(2, 2);
+        acc.fold(0, vec![1.0, 1.0], vec![1.0, 1.0]);
+        acc.fold(0, vec![2.0, 2.0], vec![1.0, 1.0]);
     }
 }

@@ -2,9 +2,10 @@
 //! the cross-crate call graph, run the dataflow and concurrency rules,
 //! then apply and audit suppressions.
 //!
-//! The analyze command owns the seven analyze-side rules
+//! The analyze command owns the eleven analyze-side rules
 //! ([`crate::dataflow::ANALYZE_RULES`]: the three hot-path dataflow
-//! rules plus the four [`crate::locks`] concurrency rules) and audits
+//! rules, the four [`crate::locks`] concurrency rules, and the four
+//! [`crate::taint`] determinism rules) and audits
 //! only *their* allow directives for staleness — `check` audits the
 //! token/scope rules' directives and skips these, so each directive is
 //! judged exactly once, by the command that computes the findings it
@@ -32,6 +33,7 @@ pub fn analyze_sources(inputs: &[(String, String)]) -> Vec<Finding> {
     let mut findings = dataflow_findings(&files, &graph);
     let summaries = Summaries::build(&files, &graph);
     findings.extend(crate::locks::lock_findings(&files, &graph, &summaries));
+    findings.extend(crate::taint::taint_findings(&files, &graph, &summaries));
 
     for f in &mut findings {
         let Some(file) = files.iter().find(|s| s.label == f.file) else { continue };

@@ -204,6 +204,13 @@ fn marker_temp(file: &SourceFile, def: &FnDef) -> Temp {
     Temp::Default
 }
 
+/// Method names that shadow ubiquitous std accessors: an unqualified
+/// `x.len()` is overwhelmingly `[T]::len` / `Vec::len`, not a workspace
+/// impl, and resolving it by name alone manufactures false call edges —
+/// and, through the summaries, false transitive lock/alloc facts. Calls
+/// to these names only resolve when path-qualified (`VecSink::len`).
+const STD_SHADOWED_METHODS: [&str; 3] = ["len", "is_empty", "clone"];
+
 /// All nodes a call with the given shape may land on (empty when the
 /// callee is outside the workspace, e.g. `Vec::new` or `slice.iter`).
 pub(crate) fn resolve(
@@ -226,7 +233,7 @@ pub(crate) fn resolve(
             match qualifier {
                 Some("Self") => def.impl_type.as_deref() == caller_type && caller_type.is_some(),
                 Some(t) => def.impl_type.as_deref() == Some(t),
-                None if is_method => def.item.has_self,
+                None if is_method => def.item.has_self && !STD_SHADOWED_METHODS.contains(&callee),
                 None => def.impl_type.is_none(),
             }
         })
@@ -254,6 +261,32 @@ mod tests {
             .collect();
         out.sort();
         out
+    }
+
+    #[test]
+    fn std_shadowed_method_names_need_a_qualifier_to_resolve() {
+        // `buf.len()` must not resolve to `Sink::len` — the receiver is
+        // almost certainly a std container — but the explicit
+        // `Sink::len(&s)` form still does.
+        let (files, graph) = graph_of(&[(
+            "a.rs",
+            "impl Sink { fn len(&self) -> usize { spawn_workers(); 0 } }\n\
+             fn spawn_workers() {}\n\
+             pub fn unqualified(buf: &[u8]) { buf.len(); }\n\
+             pub fn qualified(s: &Sink) { Sink::len(s); }",
+        )]);
+        let node = |name: &str| {
+            graph
+                .nodes
+                .iter()
+                .position(|n| files[n.file].defs[n.def].item.name == name)
+                .unwrap_or_else(|| panic!("no node {name}"))
+        };
+        let targets = |caller: &str, callee: &str, is_method: bool, qual: Option<&str>| {
+            resolve(&graph.nodes, &files, &graph.nodes[node(caller)], callee, qual, is_method)
+        };
+        assert!(targets("unqualified", "len", true, None).is_empty());
+        assert_eq!(targets("qualified", "len", false, Some("Sink")), vec![node("len")]);
     }
 
     #[test]

@@ -61,14 +61,19 @@ impl ConformReport {
     }
 }
 
-/// Replays a JSONL trace from `reader` against the protocol spec.
-pub fn verify_reader<R: BufRead>(reader: R) -> ConformReport {
-    let mut report = ConformReport::default();
+/// Parses a JSONL trace into emission-ordered `(line, event)` records.
+/// Parse and ordering problems land in `report.parse_errors`, prefixed
+/// with `label` (empty for single-trace replays).
+fn ordered_records<R: BufRead>(
+    reader: R,
+    label: &str,
+    report: &mut ConformReport,
+) -> Vec<(usize, TraceEvent)> {
     let mut records: Vec<(usize, Option<u64>, TraceEvent)> = Vec::new();
     for item in TraceReader::new(reader) {
         match item {
             Ok((line, tl)) => records.push((line, tl.seq, tl.event)),
-            Err(e) => report.parse_errors.push(e),
+            Err(e) => report.parse_errors.push(format!("{label}{e}")),
         }
     }
 
@@ -85,11 +90,12 @@ pub fn verify_reader<R: BufRead>(reader: R) -> ConformReport {
             match seq {
                 Some(s) if *s == want => want += 1,
                 Some(s) if *s < want => report.parse_errors.push(format!(
-                    "line {line}: duplicate seq {s} — trace mixes records from different runs"
+                    "{label}line {line}: duplicate seq {s} — trace mixes records from \
+                     different runs"
                 )),
                 Some(s) => {
                     report.parse_errors.push(format!(
-                        "line {line}: seq jumps to {s} where {want} was expected — \
+                        "{label}line {line}: seq jumps to {s} where {want} was expected — \
                          records are missing from the trace"
                     ));
                     want = s + 1;
@@ -99,19 +105,55 @@ pub fn verify_reader<R: BufRead>(reader: R) -> ConformReport {
         }
     } else if stamped > 0 {
         report.parse_errors.push(format!(
-            "{stamped} of {} records carry a seq field — a partially stamped trace \
+            "{label}{stamped} of {} records carry a seq field — a partially stamped trace \
              cannot be ordered; was it concatenated from different runs?",
             records.len()
         ));
     }
+    records.into_iter().map(|(line, _, event)| (line, event)).collect()
+}
 
+/// Replays a JSONL trace from `reader` against the protocol spec.
+pub fn verify_reader<R: BufRead>(reader: R) -> ConformReport {
+    let mut report = ConformReport::default();
+    let records = ordered_records(reader, "", &mut report);
     let mut spec = ProtocolSpec::new();
-    for (line, _, event) in &records {
+    for (line, event) in &records {
         report.violations.extend(spec.observe(event, Some(*line)));
     }
     report.violations.extend(spec.finish());
     report.events = spec.events_seen;
     report.rounds = spec.rounds_seen;
+    report
+}
+
+/// Replays two JSONL traces of the *same configuration* (same seed and
+/// data, any `--workers` setting) and requires them to be
+/// replay-identical: each must individually conform to the protocol
+/// spec, and [`crate::spec::replay_identity`] must find their canonical
+/// streams and per-round model hashes bit-for-bit equal.
+///
+/// This is the CI replay-identity gate: run the federation twice at
+/// different worker counts, then
+/// `subfed-lint conform run-a.jsonl run-b.jsonl` exits 0 only when the
+/// two runs are the same run.
+pub fn verify_replay_pair<R1: BufRead, R2: BufRead>(a: R1, b: R2) -> ConformReport {
+    let mut report = ConformReport::default();
+    let ra = ordered_records(a, "run A: ", &mut report);
+    let rb = ordered_records(b, "run B: ", &mut report);
+    let mut replay = |records: &[(usize, TraceEvent)]| {
+        let mut spec = ProtocolSpec::new();
+        for (line, event) in records {
+            report.violations.extend(spec.observe(event, Some(*line)));
+        }
+        report.violations.extend(spec.finish());
+        report.events += spec.events_seen;
+        (spec.rounds_seen, records.iter().map(|(_, e)| e.clone()).collect::<Vec<_>>())
+    };
+    let (rounds_a, events_a) = replay(&ra);
+    let (_, events_b) = replay(&rb);
+    report.rounds = rounds_a;
+    report.violations.extend(crate::spec::replay_identity(&events_a, &events_b));
     report
 }
 
@@ -224,6 +266,55 @@ mod tests {
         let r = replay(trace);
         assert!(r.is_clean(), "{:?}", (r.violations, r.parse_errors));
         assert_eq!(r.rounds, 1);
+    }
+
+    fn replay_pair(a: &str, b: &str) -> ConformReport {
+        verify_replay_pair(Cursor::new(a.as_bytes()), Cursor::new(b.as_bytes()))
+    }
+
+    #[test]
+    fn replay_pair_of_identical_runs_is_clean() {
+        let run = "\
+{\"ev\":\"round_start\",\"round\":1,\"sampled\":[],\"survivors\":[]}
+{\"ev\":\"round_end\",\"round\":1,\"us\":5,\"cum_bytes\":0,\"model_hash\":\"00000000deadbeef\"}
+";
+        // Different wall-times are scheduling noise, not divergence.
+        let other = run.replace("\"us\":5", "\"us\":99");
+        let r = replay_pair(run, &other);
+        assert!(r.is_clean(), "{:?}", (r.violations, r.parse_errors));
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.events, 4);
+    }
+
+    #[test]
+    fn replay_pair_with_diverging_hashes_fails_the_gate() {
+        let a = "\
+{\"ev\":\"round_start\",\"round\":1,\"sampled\":[],\"survivors\":[]}
+{\"ev\":\"round_end\",\"round\":1,\"us\":5,\"cum_bytes\":0,\"model_hash\":\"00000000deadbeef\"}
+";
+        let b = a.replace("deadbeef", "deadbee0");
+        let r = replay_pair(a, &b);
+        assert_eq!(r.exit_code(), 1);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.rule == "replay-identity" && v.message.contains("model_hash diverges")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn replay_pair_parse_errors_name_the_run() {
+        let good = "{\"ev\":\"round_start\",\"round\":1,\"sampled\":[],\"survivors\":[]}\n\
+                    {\"ev\":\"round_end\",\"round\":1,\"us\":5,\"cum_bytes\":0}\n";
+        let r = replay_pair(good, "not json\n");
+        assert_eq!(r.exit_code(), 2);
+        assert!(
+            r.parse_errors.iter().any(|e| e.starts_with("run B: line 1:")),
+            "{:?}",
+            r.parse_errors
+        );
     }
 
     #[test]

@@ -41,8 +41,9 @@ pub const PATTERN_REBUILD_IN_LOOP: &str = "pattern-rebuild-in-loop";
 
 /// The rules owned by `subfed-lint analyze` (vs `check`); `check`'s
 /// stale-allow audit ignores directives naming these. The three hot-path
-/// rules live here; the four concurrency rules in [`crate::locks`].
-pub const ANALYZE_RULES: [&str; 7] = [
+/// rules live here; the four concurrency rules in [`crate::locks`], the
+/// four determinism rules in [`crate::taint`].
+pub const ANALYZE_RULES: [&str; 11] = [
     HOT_PATH_ALLOC,
     SCRATCH_BEFORE_READ,
     PATTERN_REBUILD_IN_LOOP,
@@ -50,6 +51,10 @@ pub const ANALYZE_RULES: [&str; 7] = [
     crate::locks::LOCK_ORDER,
     crate::locks::ALLOC_UNDER_LOCK,
     crate::locks::GUARD_ACROSS_SPAWN,
+    crate::taint::UNSEEDED_RNG,
+    crate::taint::SEED_COLLISION,
+    crate::taint::WALLCLOCK_TAINT,
+    crate::taint::ORDER_SENSITIVE_FOLD,
 ];
 
 /// Whether the hot-path rules apply to a file. The metrics crate is

@@ -13,8 +13,11 @@
 pub enum TokenKind {
     /// An identifier or keyword (`unwrap`, `pub`, `fn`, …).
     Ident(String),
-    /// An integer literal (`42`, `0x5FA1`, `1_000u64`).
-    Int,
+    /// An integer literal (`42`, `0x5FA1`, `1_000u64`), carrying its
+    /// normalized (radix-decoded, underscore- and suffix-stripped,
+    /// wrapping) value so `0x2A` and `42` compare equal — what the
+    /// `seed-collision` rule keys on.
+    Int(u64),
     /// A float literal (`0.0`, `1e-4`, `2.5f32`).
     Float,
     /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
@@ -155,9 +158,9 @@ pub fn lex(source: &str) -> Lexed {
             let ident: String = chars[start..i].iter().collect();
             out.tokens.push(Token { kind: TokenKind::Ident(ident), line });
         } else if c.is_ascii_digit() {
-            let (end, is_float) = scan_number(&chars, i);
+            let (end, is_float, value) = scan_number(&chars, i);
             out.tokens.push(Token {
-                kind: if is_float { TokenKind::Float } else { TokenKind::Int },
+                kind: if is_float { TokenKind::Float } else { TokenKind::Int(value) },
                 line,
             });
             i = end;
@@ -250,20 +253,42 @@ fn skip_char_literal(chars: &[char], mut i: usize, line: &mut usize) -> usize {
     i
 }
 
-/// Scans a numeric literal starting at a digit; returns (end, is_float).
-fn scan_number(chars: &[char], start: usize) -> (usize, bool) {
+/// Scans a numeric literal starting at a digit; returns
+/// `(end, is_float, normalized_value)`. The value decodes the radix
+/// prefix, skips `_` separators, stops at the type suffix, and wraps on
+/// overflow — it is only meaningful when `is_float` is false.
+fn scan_number(chars: &[char], start: usize) -> (usize, bool, u64) {
     let mut i = start;
     let mut is_float = false;
+    let mut value = 0u64;
     // Hex/octal/binary literals are always integers.
     if chars[i] == '0' && matches!(chars.get(i + 1), Some('x') | Some('o') | Some('b') | Some('X'))
     {
+        let radix = match chars[i + 1] {
+            'x' | 'X' => 16,
+            'o' => 8,
+            _ => 2,
+        };
         i += 2;
+        let mut in_suffix = false;
         while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+            if !in_suffix && chars[i] != '_' {
+                match chars[i].to_digit(radix) {
+                    Some(d) => {
+                        value = value.wrapping_mul(u64::from(radix)).wrapping_add(u64::from(d));
+                    }
+                    None => in_suffix = true, // `u64`/`i32` tail
+                }
+            }
             i += 1;
         }
-        return (i, false);
+        return (i, false, value);
     }
     while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+        if chars[i] != '_' {
+            let d = u64::from(chars[i] as u8 - b'0');
+            value = value.wrapping_mul(10).wrapping_add(d);
+        }
         i += 1;
     }
     // A '.' continues the float only when not followed by another '.'
@@ -301,7 +326,7 @@ fn scan_number(chars: &[char], start: usize) -> (usize, bool) {
     if suffix.starts_with("f32") || suffix.starts_with("f64") {
         is_float = true;
     }
-    (i, is_float)
+    (i, is_float, value)
 }
 
 /// Parses a `// lint: allow(a, b)` comment, returning `None` for
@@ -383,8 +408,26 @@ mod tests {
         assert!(kinds.contains(&TokenKind::Float)); // 1.0
         let floats = kinds.iter().filter(|k| **k == TokenKind::Float).count();
         assert_eq!(floats, 3, "1.0, 3e-4, 5f32: {kinds:?}");
-        let ints = kinds.iter().filter(|k| **k == TokenKind::Int).count();
+        let ints = kinds.iter().filter(|k| matches!(k, TokenKind::Int(_))).count();
         assert_eq!(ints, 6, "2, 0x5FA1, 7, 2, 0, 3: {kinds:?}");
+        assert!(kinds.contains(&TokenKind::Int(0x5FA1)), "hex decodes: {kinds:?}");
+    }
+
+    #[test]
+    fn int_literals_normalize_radix_separators_and_suffixes() {
+        let kinds: Vec<TokenKind> = lex("42 0x2A 0o52 0b101010 4_2 42u64 0xFEEDu32")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        let values: Vec<u64> = kinds
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Int(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, vec![42, 42, 42, 42, 42, 42, 0xFEED]);
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //!   analysis: a lightweight parser ([`parser`]), a workspace-wide call
 //!   graph with hot-entry reachability ([`callgraph`]), the dataflow
 //!   rules ([`dataflow`]) that defend the PR-4 performance contracts,
-//!   bottom-up function summaries ([`summaries`]), and the
-//!   interprocedural lock-order / held-region rules ([`locks`]);
+//!   bottom-up function summaries ([`summaries`]), the interprocedural
+//!   lock-order / held-region rules ([`locks`]), and the determinism
+//!   taint rules ([`taint`]) that defend the replay-identity gate;
 //! * **`conform`** — an offline protocol verifier: an executable
 //!   state-machine spec of the federation round ([`spec`]) replayed over
 //!   JSONL traces ([`conform`]).
@@ -30,6 +31,10 @@
 //! | `lock-order` | *(concurrency)* a cycle in the workspace lock-order graph — two threads interleaving the witness chains can deadlock |
 //! | `alloc-under-lock` | *(concurrency)* an allocation (direct or via a callee) inside a critical section — lock hold times balloon under contention |
 //! | `guard-across-spawn` | *(concurrency)* a guard held across `spawn`/`thread::scope`/`join()`/`recv()` or a lock-acquiring loop — workers contend on or deadlock against the held lock |
+//! | `unseeded-rng` | *(determinism)* an RNG seeded from OS entropy, the wall clock, or a value with no seed provenance — the run cannot replay |
+//! | `seed-collision` | *(determinism)* two RNG constructions sharing one literal seed — "independent" streams are perfectly correlated |
+//! | `wallclock-taint` | *(determinism)* `Instant::now()`/`SystemTime::now()` outside the `Span` stopwatch — clock values diverge between runs |
+//! | `order-sensitive-fold` | *(determinism)* a lock-taking, spawn-reachable float accumulation — arrival order decides the f32 sum |
 //! | `stale-allow` | a `// lint: allow(…)` comment that no longer suppresses anything |
 //!
 //! Suppress an intentional occurrence with `// lint: allow(rule-id)` on
@@ -54,14 +59,15 @@ pub mod rules;
 pub mod scope;
 pub mod spec;
 pub mod summaries;
+pub mod taint;
 pub mod walk;
 
 pub use analyze::{analyze_sources, analyze_workspace};
-pub use conform::{verify_events, verify_reader, ConformReport};
+pub use conform::{verify_events, verify_reader, verify_replay_pair, ConformReport};
 pub use dataflow::ANALYZE_RULES;
 pub use locks::{lock_findings, LockGraph};
 pub use rules::{analyze_source, Finding, ALL_RULES};
-pub use spec::{ProtocolSpec, Violation};
+pub use spec::{replay_identity, ProtocolSpec, Violation};
 pub use summaries::Summaries;
 pub use walk::{
     check_workspace, crate_sources, find_workspace_root, Report, ANALYZE_CRATES, TARGET_CRATES,

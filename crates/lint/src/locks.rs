@@ -18,7 +18,7 @@
 //! * `self.field.lock()` → `Type::field` (the enclosing impl type);
 //! * a local (`lock_unpoisoned(shard)`) is chased backwards through its
 //!   `let`/`for` binder to the underlying path (`for (i, shard) in
-//!   self.shards.iter()…` → `ShardedAccumulator::shards`);
+//!   self.shards.iter()…` → `Pool::shards`);
 //! * `UPPER_CASE` names resolve to themselves (statics);
 //! * anything else falls back to `fn::name`, which is unique enough to
 //!   never *merge* two different locks (the analysis may split one lock

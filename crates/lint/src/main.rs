@@ -3,32 +3,39 @@
 //! ```text
 //! subfed-lint check [--root DIR] [--format text|json]   # exit 1 on findings
 //! subfed-lint analyze [--root DIR] [--format text|json] # dataflow rules
-//! subfed-lint conform [FILE] [--format text|json]       # verify a JSONL trace
+//! subfed-lint conform [FILE [FILE2]] [--format text|json] # verify JSONL trace(s)
 //! subfed-lint rules                                     # print the catalog
 //! ```
 //!
 //! `check` runs the token/scope rules; `analyze` runs the call-graph
 //! dataflow rules (hot-path allocation freedom, the `take_scratch`
-//! write-before-read contract, per-batch pattern rebuilds) and the
+//! write-before-read contract, per-batch pattern rebuilds), the
 //! interprocedural concurrency rules (raw lock unwraps, lock-order
 //! cycles, allocation under a held guard, guards held across
-//! spawn/join). Both exit 1 on unsuppressed findings.
+//! spawn/join), and the determinism taint rules (unseeded or colliding
+//! RNG seeds, wall-clock reads, arrival-order float folds). Both exit 1
+//! on unsuppressed findings.
 //!
 //! `conform` replays a `--trace` JSONL log (from FILE, or stdin when FILE
 //! is absent or `-`) against the executable round-protocol spec and exits
 //! 0 when the trace conforms, 1 on protocol violations, 2 when the input
-//! could not be read or parsed.
+//! could not be read or parsed. With a second FILE it additionally runs
+//! the replay-identity gate: both traces must conform *and* be the same
+//! run — canonical event streams and per-round `model_hash` fingerprints
+//! bit-for-bit equal (see `docs/PROTOCOL.md` § "Replay identity").
 
 use std::io::BufReader;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use subfed_lint::rules::rule_description;
 use subfed_lint::{
-    analyze_workspace, check_workspace, find_workspace_root, verify_reader, Report, ALL_RULES,
+    analyze_workspace, check_workspace, find_workspace_root, verify_reader, verify_replay_pair,
+    Report, ALL_RULES,
 };
 
 fn usage() -> &'static str {
-    "usage: subfed-lint <check|analyze|conform|rules> [FILE] [--root DIR] [--format text|json]"
+    "usage: subfed-lint <check|analyze|conform|rules> [FILE [FILE2]] [--root DIR] \
+     [--format text|json]"
 }
 
 fn main() -> ExitCode {
@@ -55,7 +62,7 @@ fn main() -> ExitCode {
 }
 
 fn run_conform(flags: &[String]) -> ExitCode {
-    let mut file: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
     let mut format = "text".to_string();
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
@@ -67,8 +74,8 @@ fn run_conform(flags: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            other if !other.starts_with("--") && file.is_none() => {
-                file = Some(PathBuf::from(other));
+            other if !other.starts_with("--") && files.len() < 2 => {
+                files.push(PathBuf::from(other));
             }
             other => {
                 eprintln!("unknown flag `{other}`\n{}", usage());
@@ -76,15 +83,24 @@ fn run_conform(flags: &[String]) -> ExitCode {
             }
         }
     }
-    let report = match file.as_deref().filter(|p| *p != std::path::Path::new("-")) {
-        Some(path) => match std::fs::File::open(path) {
-            Ok(f) => verify_reader(BufReader::new(f)),
-            Err(e) => {
-                eprintln!("cannot open {}: {e}", path.display());
-                return ExitCode::from(2);
-            }
+    let open = |path: &std::path::Path| match std::fs::File::open(path) {
+        Ok(f) => Some(BufReader::new(f)),
+        Err(e) => {
+            eprintln!("cannot open {}: {e}", path.display());
+            None
+        }
+    };
+    let report = match files.as_slice() {
+        // Two traces: the replay-identity gate.
+        [a, b] => match (open(a), open(b)) {
+            (Some(ra), Some(rb)) => verify_replay_pair(ra, rb),
+            _ => return ExitCode::from(2),
         },
-        None => verify_reader(std::io::stdin().lock()),
+        [path] if *path != std::path::Path::new("-") => match open(path) {
+            Some(r) => verify_reader(r),
+            None => return ExitCode::from(2),
+        },
+        _ => verify_reader(std::io::stdin().lock()),
     };
     if format == "json" {
         for v in &report.violations {

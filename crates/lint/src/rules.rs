@@ -26,8 +26,9 @@ pub const STALE_ALLOW: &str = "stale-allow";
 
 /// Every rule id, in reporting order (the two scope-aware rules live in
 /// [`crate::scope`], the three hot-path dataflow rules in
-/// [`crate::dataflow`], the four concurrency rules in [`crate::locks`]).
-pub const ALL_RULES: [&str; 14] = [
+/// [`crate::dataflow`], the four concurrency rules in [`crate::locks`],
+/// the four determinism rules in [`crate::taint`]).
+pub const ALL_RULES: [&str; 18] = [
     NO_UNWRAP,
     FLOAT_EQ,
     UNCHECKED_INDEX,
@@ -41,6 +42,10 @@ pub const ALL_RULES: [&str; 14] = [
     crate::locks::LOCK_ORDER,
     crate::locks::ALLOC_UNDER_LOCK,
     crate::locks::GUARD_ACROSS_SPAWN,
+    crate::taint::UNSEEDED_RNG,
+    crate::taint::SEED_COLLISION,
+    crate::taint::WALLCLOCK_TAINT,
+    crate::taint::ORDER_SENSITIVE_FOLD,
     STALE_ALLOW,
 ];
 
@@ -95,6 +100,22 @@ pub fn rule_description(rule: &str) -> &'static str {
         rule if rule == crate::locks::GUARD_ACROSS_SPAWN => {
             "a guard held across spawn/thread::scope, a join()/recv(), or \
              a loop acquiring another lock; release the guard first"
+        }
+        rule if rule == crate::taint::UNSEEDED_RNG => {
+            "an RNG seeded from OS entropy, the wall clock, or a value \
+             with no seed provenance; derive every stream from the run seed"
+        }
+        rule if rule == crate::taint::SEED_COLLISION => {
+            "two RNG constructions share one literal seed (normalized, so \
+             0x2A collides with 42); their streams are perfectly correlated"
+        }
+        rule if rule == crate::taint::WALLCLOCK_TAINT => {
+            "Instant/SystemTime::now() outside the Span stopwatch; clock \
+             values taint whatever they reach and diverge between runs"
+        }
+        rule if rule == crate::taint::ORDER_SENSITIVE_FOLD => {
+            "a lock-taking, spawn-reachable function accumulates floats; \
+             arrival order decides the sum — fold in slot order instead"
         }
         STALE_ALLOW => {
             "a `// lint: allow(…)` comment that suppresses no finding; \

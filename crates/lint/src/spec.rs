@@ -873,6 +873,93 @@ impl ProtocolSpec {
     }
 }
 
+/// The replay-identity predicate: two traces of the same configuration
+/// (same seed, same data, any `--workers` setting) must be the *same run*
+/// up to scheduling noise.
+///
+/// Both streams are put into canonical form
+/// ([`subfed_metrics::trace::canonicalize`]: wall-times zeroed, events
+/// sorted by round/kind/client/content) and must then agree event for
+/// event; additionally, every round closed by both runs must report the
+/// same `RoundEnd.model_hash` — the bit-level fingerprint of the
+/// post-aggregation global model. A mismatch means nondeterminism leaked
+/// into the round pipeline (an arrival-order fold, an unseeded RNG, a
+/// wall-clock read feeding a decision) and fails the CI gate.
+///
+/// A hash of `0` means "not recorded" (pre-fingerprint traces, or
+/// algorithms with no server model); two unrecorded hashes compare equal
+/// so stream identity still decides, but a recorded hash never matches an
+/// unrecorded one.
+pub fn replay_identity(a: &[TraceEvent], b: &[TraceEvent]) -> Vec<Violation> {
+    use subfed_metrics::trace::canonicalize;
+    let mk = |round: usize, event: &'static str, message: String| Violation {
+        rule: "replay-identity",
+        round,
+        client: None,
+        event,
+        line: None,
+        message,
+    };
+    let mut out = Vec::new();
+
+    // Per-round model hashes first: a fingerprint divergence names the
+    // earliest round where the aggregated models split, which localises
+    // the nondeterminism better than the first differing event.
+    let hashes = |evs: &[TraceEvent]| -> BTreeMap<usize, u64> {
+        evs.iter()
+            .filter_map(|e| match e {
+                TraceEvent::RoundEnd { round, model_hash, .. } => Some((*round, *model_hash)),
+                _ => None,
+            })
+            .collect()
+    };
+    let (ha, hb) = (hashes(a), hashes(b));
+    for (round, fa) in &ha {
+        match hb.get(round) {
+            Some(fb) if fa != fb => out.push(mk(
+                *round,
+                "round_end",
+                format!(
+                    "model_hash diverges at round {round}: {fa:016x} vs {fb:016x} — the \
+                     aggregated models are not bit-identical across the two runs"
+                ),
+            )),
+            None => out.push(mk(
+                *round,
+                "round_end",
+                format!("round {round} closed in the first run but not in the second"),
+            )),
+            _ => {}
+        }
+    }
+    for round in hb.keys().filter(|r| !ha.contains_key(r)) {
+        out.push(mk(
+            *round,
+            "round_end",
+            format!("round {round} closed in the second run but not in the first"),
+        ));
+    }
+
+    // Then full canonical-stream identity: every deterministic field of
+    // every event must agree.
+    let (ca, cb) = (canonicalize(a), canonicalize(b));
+    if ca.len() != cb.len() {
+        out.push(mk(0, "<replay>", format!("event counts differ: {} vs {}", ca.len(), cb.len())));
+    }
+    if let Some((i, (ea, eb))) = ca.iter().zip(cb.iter()).enumerate().find(|(_, (x, y))| x != y) {
+        out.push(mk(
+            ea.round(),
+            "<replay>",
+            format!(
+                "canonical streams diverge at event {i}: `{}` vs `{}`",
+                ea.to_json(),
+                eb.to_json()
+            ),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -934,7 +1021,7 @@ mod tests {
             .zip(kept)
             .map(|(_, &k)| 400 + 4 * k + if k < 100 { 13 } else { 0 })
             .sum();
-        evs.push(TraceEvent::RoundEnd { round, us: 1, cum_bytes: bytes });
+        evs.push(TraceEvent::RoundEnd { round, us: 1, cum_bytes: bytes, model_hash: 0 });
         evs
     }
 
@@ -1176,7 +1263,7 @@ mod tests {
         let evs = vec![
             ev_round_start(1, &[2], &[]),
             TraceEvent::Dropout { round: 1, client: 2, reason: "crash-injected".into() },
-            TraceEvent::RoundEnd { round: 1, us: 1, cum_bytes: 0 },
+            TraceEvent::RoundEnd { round: 1, us: 1, cum_bytes: 0, model_hash: 0 },
         ];
         let vs = verify(&evs);
         assert!(vs.is_empty(), "{vs:?}");
@@ -1234,5 +1321,68 @@ mod tests {
         );
         assert!(v.to_json().contains("\"rule\":\"phase-order\""));
         assert!(v.to_json().contains("\"client\":2"));
+    }
+
+    /// Stamps one round's `RoundEnd.model_hash` (clean_round records 0).
+    fn stamp_hash(evs: &mut [TraceEvent], hash: u64) {
+        for e in evs.iter_mut() {
+            if let TraceEvent::RoundEnd { model_hash, .. } = e {
+                *model_hash = hash;
+            }
+        }
+    }
+
+    #[test]
+    fn replay_identity_accepts_reordered_but_identical_runs() {
+        let a = clean_round(1, &[0, 1], &[80, 90]);
+        let mut b = a.clone();
+        // A different worker interleaving: client pipelines swap and the
+        // wall-times change, but the run is the same run.
+        b.swap(1, 2);
+        for e in &mut b {
+            if let TraceEvent::ClientTrain { us, .. } = e {
+                *us += 1000;
+            }
+        }
+        let mut a = a;
+        stamp_hash(&mut a, 0xdead_beef_0000_0001);
+        stamp_hash(&mut b, 0xdead_beef_0000_0001);
+        let vs = replay_identity(&a, &b);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn replay_identity_flags_diverging_model_hashes_by_round() {
+        let mut a = clean_round(1, &[0], &[80]);
+        let mut b = a.clone();
+        stamp_hash(&mut a, 0xaaaa_aaaa_aaaa_aaaa);
+        stamp_hash(&mut b, 0xbbbb_bbbb_bbbb_bbbb);
+        let vs = replay_identity(&a, &b);
+        let hash =
+            vs.iter().find(|v| v.message.contains("model_hash diverges")).expect("hash violation");
+        assert_eq!(hash.rule, "replay-identity");
+        assert_eq!(hash.round, 1);
+        assert!(hash.message.contains("aaaaaaaaaaaaaaaa"), "{}", hash.message);
+    }
+
+    #[test]
+    fn replay_identity_flags_diverging_event_content() {
+        let a = clean_round(1, &[0], &[80]);
+        let mut b = clean_round(1, &[0], &[79]); // one kept-count differs
+        stamp_hash(&mut b, 0);
+        let vs = replay_identity(&a, &b);
+        assert!(vs.iter().any(|v| v.message.contains("canonical streams diverge")), "{vs:?}");
+    }
+
+    #[test]
+    fn replay_identity_flags_a_missing_round() {
+        let mut a = clean_round(1, &[0], &[80]);
+        a.extend(clean_round(2, &[0], &[80]));
+        let b = clean_round(1, &[0], &[80]);
+        let vs = replay_identity(&a, &b);
+        assert!(
+            vs.iter().any(|v| v.round == 2 && v.message.contains("not in the second")),
+            "{vs:?}"
+        );
     }
 }

@@ -79,6 +79,10 @@ fn corpus_rules_match_the_analyze_catalog() {
         ("lock_order_cycle.rs", include_str!("fixtures/lock_order_cycle.rs")),
         ("alloc_under_lock.rs", include_str!("fixtures/alloc_under_lock.rs")),
         ("guard_across_spawn.rs", include_str!("fixtures/guard_across_spawn.rs")),
+        ("unseeded_rng.rs", include_str!("fixtures/unseeded_rng.rs")),
+        ("seed_collision.rs", include_str!("fixtures/seed_collision.rs")),
+        ("wallclock_taint.rs", include_str!("fixtures/wallclock_taint.rs")),
+        ("order_sensitive_fold.rs", include_str!("fixtures/order_sensitive_fold.rs")),
     ];
     for rule in ANALYZE_RULES {
         assert!(

@@ -1,0 +1,64 @@
+//! Seeded violation: the arrival-order fold. Workers race to a shared
+//! lock and fold their float updates in whatever order they win it —
+//! f32 addition is not associative, so the aggregate depends on thread
+//! scheduling and the replay-identity gate fails on the model hash.
+//! The witness chain must name the folding function, the lock identity,
+//! the spawning entry, and the concrete accumulation site it reaches.
+//! The disciplined twin waits for its cohort slot's turn before folding
+//! (the `OrderedAccumulator` turnstile idiom).
+
+use std::sync::{Condvar, Mutex};
+use std::thread;
+
+pub struct RaceFold {
+    sums: Mutex<Vec<f32>>,
+}
+
+impl RaceFold {
+    /// The worker pool: each spawned worker folds on the way out.
+    pub fn run_round(&self, cohort: usize) {
+        for _ in 0..cohort {
+            thread::spawn(move || {});
+        }
+        self.fold_upload(&[]);
+    }
+
+    /// Violation: first-come-first-folded under `sums`.
+    pub fn fold_upload(&self, update: &[f32]) {
+        let mut sums = lock_unpoisoned(&self.sums);
+        accumulate(&mut sums, update);
+    }
+}
+
+/// The concrete order-sensitive site the witness chain descends to.
+fn accumulate(sums: &mut [f32], update: &[f32]) {
+    for (s, u) in sums.iter_mut().zip(update) {
+        *s += u;
+    }
+}
+
+pub struct TurnstileFold {
+    state: Mutex<(Vec<f32>, usize)>,
+    turn: Condvar,
+}
+
+impl TurnstileFold {
+    pub fn run_round(&self, cohort: usize) {
+        for _ in 0..cohort {
+            thread::spawn(move || {});
+        }
+        self.fold_slot(0, &[]);
+    }
+
+    /// The disciplined twin: waits for the slot's turn, so folds land in
+    /// cohort-slot order no matter which worker wins the lock first.
+    pub fn fold_slot(&self, slot: usize, update: &[f32]) {
+        let mut st = lock_unpoisoned(&self.state);
+        while st.1 != slot {
+            st = wait_unpoisoned(&self.turn, st);
+        }
+        accumulate(&mut st.0, update);
+        st.1 += 1;
+        self.turn.notify_all();
+    }
+}

@@ -1,0 +1,33 @@
+//! Seeded violations: two "independent" random streams constructed from
+//! the same literal seed — one spelled in decimal, one in hex, so only
+//! normalized comparison catches the pair. Identical seeds mean
+//! identical streams: the client's augmentation noise and the server's
+//! probe sampling make exactly the same draws, a correlation the
+//! replay-identity gate can never see because it reproduces perfectly.
+//! The disciplined twin derives distinct per-use seeds from the run
+//! seed.
+
+use subfed_tensor::init::SeededRng;
+
+/// The witness site: the first stream to claim seed 42.
+pub fn augmentation_noise(buf: &mut [f32]) {
+    let mut rng = SeededRng::new(42);
+    for v in buf.iter_mut() {
+        *v = rng.uniform_f32(-0.01, 0.01);
+    }
+}
+
+/// Violation: `0x2A` *is* 42 — this "independent" sampler replays the
+/// augmentation stream draw for draw.
+pub fn probe_sampler(n: usize) -> usize {
+    let mut rng = SeededRng::new(0x2A);
+    rng.below(n)
+}
+
+/// The disciplined twin: distinct streams, both derived from the run
+/// seed with a domain tag.
+pub fn tagged_streams(run_seed: u64) -> (SeededRng, SeededRng) {
+    let noise = SeededRng::new(run_seed ^ 0xA001);
+    let probe = SeededRng::new(run_seed ^ 0xA002);
+    (noise, probe)
+}

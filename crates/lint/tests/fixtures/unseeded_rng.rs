@@ -1,0 +1,46 @@
+//! Seeded violations: random streams whose seeds have no provenance —
+//! OS entropy, a wall-clock-derived seed, and an opaque argument the
+//! analysis cannot tie back to the run seed. Each makes the federation
+//! unreplayable: the same config produces a different model every run,
+//! and the replay-identity gate fails on the first RoundEnd hash. The
+//! disciplined twins thread the run seed (or a value derived from it)
+//! through every construction.
+
+use subfed_tensor::init::SeededRng;
+
+/// Violation (entropy): every run draws a different init.
+pub fn init_noise_from_entropy(buf: &mut [f32]) {
+    let mut rng = StdRng::from_entropy();
+    for v in buf.iter_mut() {
+        *v = rng.gen();
+    }
+}
+
+/// Violation (clock): entropy with extra steps.
+pub fn jitter_from_clock() -> u64 {
+    let mut rng = SeededRng::new(SystemTime::now().duration_since(UNIX_EPOCH).as_nanos() as u64);
+    rng.next_u64()
+}
+
+/// Violation (opaque): `ticket` could be anything — a connection id, a
+/// counter, an address; nothing ties it to the run seed.
+pub fn shuffle_by_ticket(ticket: u64, ids: &mut [usize]) {
+    let mut rng = SeededRng::new(ticket);
+    shuffle(ids, &mut rng);
+}
+
+/// The disciplined twin: seed provenance is visible at the call site.
+pub fn shuffle_for_round(run_seed: u64, round: u64, ids: &mut [usize]) {
+    let mut rng = SeededRng::new(derive_round_seed(run_seed, round));
+    shuffle(ids, &mut rng);
+}
+
+fn derive_round_seed(run_seed: u64, round: u64) -> u64 {
+    run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(round)
+}
+
+fn shuffle(ids: &mut [usize], rng: &mut SeededRng) {
+    for i in (1..ids.len()).rev() {
+        ids.swap(i, rng.below(i + 1));
+    }
+}

@@ -1,0 +1,57 @@
+//! Seeded violations: wall-clock reads in library code. A deadline read
+//! from `Instant::now()` decides which clients make the round — a
+//! decision that moves with machine load, so two runs of the same
+//! federation sample different survivor sets and the replay-identity
+//! gate fails. A `SystemTime::now()` stamp written into round metadata
+//! diverges the trace bytes even when the model agrees. The disciplined
+//! twin times spans through `subfed_metrics::trace::Span`, whose `us`
+//! payloads the trace canonicalizer zeroes on replay.
+
+use std::time::Instant;
+
+/// Violation: the cutoff decision is tainted by the clock — the first
+/// use of `deadline` below is what the finding's witness points at.
+pub fn collect_until_deadline(uploads: &mut Vec<Upload>, budget_ms: u64) {
+    let deadline = Instant::now();
+    while uploads.len() < expected() {
+        if deadline.elapsed().as_millis() as u64 > budget_ms {
+            break; // late clients silently dropped — unreplayable
+        }
+        poll(uploads);
+    }
+}
+
+/// Violation: a wall-clock stamp lands in round metadata.
+pub fn stamp_round_meta(meta: &mut RoundMeta) {
+    meta.started_unix = SystemTime::now().duration_since(UNIX_EPOCH).as_secs();
+}
+
+/// The sanctioned stopwatch: `Span` owns the only legal `now()` reads,
+/// and its `us` output is zeroed by `canonicalize` before comparison.
+pub struct Span {
+    start: Option<Instant>,
+}
+
+impl Span {
+    pub fn begin() -> Self {
+        Self { start: Some(Instant::now()) }
+    }
+
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.map(|s| s.elapsed().as_micros() as u64).unwrap_or(0)
+    }
+}
+
+/// The disciplined twin: fixed-count collection, spans for telemetry.
+pub fn collect_cohort(uploads: &mut Vec<Upload>, span: &Span) -> u64 {
+    while uploads.len() < expected() {
+        poll(uploads);
+    }
+    span.elapsed_us()
+}
+
+fn expected() -> usize {
+    8
+}
+
+fn poll(_uploads: &mut Vec<Upload>) {}

@@ -3,7 +3,7 @@
 //! rejected with its **named** violation and a witness chain that
 //! points at the offending function and lock identities — and the real
 //! workspace's lock-order graph must come out acyclic, with the
-//! `ShardedAccumulator` ascending-shard idiom represented (and legal).
+//! `OrderedAccumulator` turnstile mutex represented (and legal).
 
 use std::path::Path;
 use subfed_lint::callgraph::{CallGraph, SourceFile};
@@ -115,11 +115,11 @@ fn lock_fixtures_analyzed_together_keep_per_file_attribution() {
 }
 
 #[test]
-fn workspace_lock_graph_is_acyclic_and_sees_the_shards() {
+fn workspace_lock_graph_is_acyclic_and_sees_the_turnstile() {
     // The acceptance gate of the lock-order analysis itself: the five
     // analyzed crates produce an acyclic lock-order graph, and the
-    // `ShardedAccumulator` shard locks are in it (the ascending-index
-    // idiom is same-identity re-acquisition, which is not an edge).
+    // `OrderedAccumulator` turnstile mutex is in it (condvar waits
+    // release the lock, so the turnstile contributes no edges).
     let here = Path::new(env!("CARGO_MANIFEST_DIR"));
     let root = find_workspace_root(here).expect("workspace root");
     let sources = crate_sources(&root, &ANALYZE_CRATES).expect("scan");
@@ -129,8 +129,8 @@ fn workspace_lock_graph_is_acyclic_and_sees_the_shards() {
     let summaries = Summaries::build(&files, &graph);
     let lg = LockGraph::build(&files, &graph, &summaries);
     assert!(
-        lg.nodes.iter().any(|n| n == "ShardedAccumulator::shards"),
-        "shard locks missing from the graph: {:?}",
+        lg.nodes.iter().any(|n| n == "OrderedAccumulator::state"),
+        "turnstile lock missing from the graph: {:?}",
         lg.nodes
     );
     let cycles = lg.cycles();

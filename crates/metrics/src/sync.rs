@@ -15,7 +15,7 @@
 //! helpers (or an explicit `match` on [`PoisonError`]), so the poisoning
 //! policy is written down in exactly one place.
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Acquires `m`, recovering the guard from a poisoned lock.
 ///
@@ -28,6 +28,22 @@ pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
         // A sibling thread panicking mid-section poisons the mutex; the
         // guarded bytes are still valid, and the original panic is
         // re-raised by whoever joins that thread.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Blocks on `cv`, recovering the reacquired guard from a poisoned lock.
+///
+/// The condition-variable counterpart of [`lock_unpoisoned`]: waiting
+/// releases the mutex and reacquires it on wakeup, and that reacquisition
+/// can observe poison exactly like a fresh `lock()` — the same policy
+/// applies. Callers must re-check their condition in a loop (spurious
+/// wakeups are allowed), which every `Condvar` user does anyway.
+pub fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(guard) => guard,
+        // Same reasoning as `lock_unpoisoned`: the guarded bytes are
+        // still valid, and the panic re-raises at the worker's join.
         Err(poisoned) => poisoned.into_inner(),
     }
 }
@@ -51,6 +67,25 @@ mod tests {
         let m = Mutex::new(7u32);
         *lock_unpoisoned(&m) += 1;
         assert_eq!(into_inner_unpoisoned(m), 8);
+    }
+
+    #[test]
+    fn wait_wakes_on_notify() {
+        use std::sync::Condvar;
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared2 = Arc::clone(&shared);
+        let waker = std::thread::spawn(move || {
+            let (m, cv) = &*shared2;
+            *lock_unpoisoned(m) = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*shared;
+        let mut ready = lock_unpoisoned(m);
+        while !*ready {
+            ready = wait_unpoisoned(cv, ready);
+        }
+        drop(ready);
+        waker.join().expect("waker thread");
     }
 
     #[test]

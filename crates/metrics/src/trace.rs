@@ -15,7 +15,12 @@
 //! scheduling). [`canonicalize`] zeroes the wall-times and sorts events
 //! into a stable order so two traces of the same run can be compared with
 //! `assert_eq!`. Timestamps are durations in microseconds — never
-//! wall-clock epochs — so traces are diffable across runs.
+//! wall-clock epochs — so traces are diffable across runs. The contract
+//! is machine-checked end to end: every `RoundEnd` carries a
+//! [`model_hash`] fingerprint of the post-aggregation global, and the
+//! `replay-identity` predicate of `subfed-lint conform` holds two
+//! canonicalized traces (e.g. the same run at different `--workers`) to
+//! byte-for-byte agreement.
 //!
 //! **Total order**: each enabled [`Tracer`] stamps events with a monotone
 //! `seq` counter at emission time. [`JsonlSink`] persists it, and the
@@ -210,6 +215,13 @@ pub enum TraceEvent {
         us: u64,
         /// Cumulative communication bytes after this round.
         cum_bytes: u64,
+        /// FNV-1a fingerprint of the post-aggregation global parameters
+        /// (see [`model_hash`]). Two runs agree on this field iff their
+        /// `θ_g` bytes are identical — the replay-identity gate's anchor.
+        /// Travels as a 16-hex-digit JSON string (a JSON number only
+        /// holds 53 bits exactly). `0` in traces recorded before the
+        /// field existed ("not recorded").
+        model_hash: u64,
     },
 }
 
@@ -403,9 +415,12 @@ impl TraceEvent {
                     sanitize_json_str(detail)
                 ));
             }
-            TraceEvent::RoundEnd { us, cum_bytes, .. } => {
+            TraceEvent::RoundEnd { us, cum_bytes, model_hash, .. } => {
                 num(&mut s, "us", us);
                 num(&mut s, "cum_bytes", cum_bytes);
+                // Hex string, not a JSON number: the full 64-bit hash
+                // would lose precision through an f64 number path.
+                s.push_str(&format!(",\"model_hash\":\"{model_hash:016x}\""));
             }
         }
         s.push('}');
@@ -441,6 +456,18 @@ impl TraceEvent {
         let opt_usize = |k: &str| -> Result<usize, String> {
             match obj.field(k) {
                 Some(v) => v.as_usize(k),
+                None => Ok(0),
+            }
+        };
+        // 64-bit fingerprints travel as 16-hex-digit strings (a JSON
+        // number only holds 53 bits exactly); absent reads as 0.
+        let opt_hex64 = |k: &str| -> Result<u64, String> {
+            match obj.field(k) {
+                Some(v) => {
+                    let s = v.as_str(k)?;
+                    u64::from_str_radix(&s, 16)
+                        .map_err(|e| format!("field `{k}`: bad hex fingerprint ({e})"))
+                }
                 None => Ok(0),
             }
         };
@@ -528,6 +555,10 @@ impl TraceEvent {
                 round,
                 us: u64_of("us")?,
                 cum_bytes: u64_of("cum_bytes")?,
+                // Optional for compatibility with traces recorded before
+                // the replay-identity gate existed; 0 means "not
+                // recorded".
+                model_hash: opt_hex64("model_hash")?,
             }),
             other => Err(format!("unknown event tag `{other}`")),
         }
@@ -669,6 +700,29 @@ pub fn canonicalize(events: &[TraceEvent]) -> Vec<TraceEvent> {
     let mut out: Vec<TraceEvent> = events.iter().map(|e| e.clone().with_zero_us()).collect();
     out.sort_by_key(|e| (e.round(), kind_rank(e), e.client().unwrap_or(usize::MAX), e.to_json()));
     out
+}
+
+/// FNV-1a fingerprint of a parameter vector — the `model_hash` recorded
+/// on [`TraceEvent::RoundEnd`].
+///
+/// 64-bit FNV-1a (offset basis `0xcbf29ce484222325`, prime
+/// `0x100000001b3`) over each `f32`'s little-endian bytes, in position
+/// order. Not cryptographic: it is a cheap, dependency-free fingerprint
+/// that is *bit*-sensitive, so two runs report the same hash exactly when
+/// their post-aggregation `θ_g` agree byte for byte — which is what the
+/// `replay-identity` gate compares across `--workers` settings. A hash of
+/// `0` never occurs in practice and is reserved for "not recorded".
+pub fn model_hash(params: &[f32]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for p in params {
+        for byte in p.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash
 }
 
 /// A wall-time measurement in progress. Disabled spans (from a disabled
@@ -1315,7 +1369,12 @@ mod tests {
                 context: "aggregate".into(),
                 detail: "zero-denominator fallback at 3 positions".into(),
             },
-            TraceEvent::RoundEnd { round: 1, us: 2500, cum_bytes: 6196 },
+            TraceEvent::RoundEnd {
+                round: 1,
+                us: 2500,
+                cum_bytes: 6196,
+                model_hash: 0xcbf2_9ce4_8422_2325,
+            },
         ]
     }
 
@@ -1369,6 +1428,18 @@ mod tests {
                 registered: 0,
                 cohort_size: 0,
             }
+        );
+    }
+
+    #[test]
+    fn round_end_parses_pre_hash_traces_as_not_recorded() {
+        // Traces written before the determinism fingerprint existed lack
+        // the `model_hash` field; they read back as 0 ("not recorded").
+        let line = "{\"ev\":\"round_end\",\"round\":3,\"us\":900,\"cum_bytes\":4096}";
+        let event = TraceEvent::from_json(line).expect("v1 round_end parses");
+        assert_eq!(
+            event,
+            TraceEvent::RoundEnd { round: 3, us: 900, cum_bytes: 4096, model_hash: 0 }
         );
     }
 
