@@ -38,16 +38,20 @@ use crate::parser::{call_sites, parse_file, FnDef};
 use crate::rules::test_module_ranges;
 
 /// Built-in hot entry points: per-batch code by construction.
-pub const HOT_ENTRIES: [&str; 9] = [
+pub const HOT_ENTRIES: [&str; 13] = [
     "forward_ws",
     "backward_ws",
     "train_client_ws",
     "gemm",
+    "gemm_ws",
     "gemm_tn",
+    "gemm_tn_ws",
     "gemm_nt",
+    "gemm_mt",
     "spmm",
     "spmm_t",
     "masked_dot_nt",
+    "conv2d_taps_batch",
 ];
 
 /// One scanned file, parsed once and shared by the graph and the

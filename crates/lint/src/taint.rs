@@ -607,4 +607,43 @@ mod tests {
                                }";
         assert!(findings(single_threaded).is_empty(), "{:?}", findings(single_threaded));
     }
+
+    #[test]
+    fn disjoint_stripe_parallel_gemm_shape_is_exempt() {
+        // Regression fixture for the striped multithreaded GEMM
+        // (`tensor::parallel::gemm_mt`): the pool lock is taken only in
+        // checkout/restore helpers that never reach a float fold, workers
+        // write disjoint output stripes through an accumulating microkernel,
+        // and the spawner itself holds no lock lexically. No single function
+        // both acquires and reaches the `+=`, so the arrival-order rule must
+        // stay quiet even though the fold is spawn-reachable.
+        let src = "fn checkout(count: usize) -> Vec<Ws> { let mut held = lock_pool(&POOL); \
+                   held.split_off(count) }\n\
+                   fn restore(wss: Vec<Ws>) { let mut held = lock_pool(&POOL); held.truncate(32); }\n\
+                   fn mk_write(acc: &[f32], c: &mut [f32]) { \
+                   for (v, x) in c.iter_mut().zip(acc) { *v += x; } }\n\
+                   fn gemm_span(buf: &mut [f32]) { let acc = [0.0f32; 8]; mk_write(&acc, buf); }\n\
+                   pub fn gemm_mt(out: &mut [f32]) {\n\
+                   let wss = checkout(4);\n\
+                   std::thread::scope(|s| { s.spawn(move || { gemm_span(out); }); });\n\
+                   restore(wss);\n\
+                   }";
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+
+        // The exemption is about *where* the acquisition lives, not a free
+        // pass for parallel GEMMs: collapse the pool checkout into the
+        // spawning fold itself and the rule fires again.
+        let collapsed = "fn mk_write(acc: &[f32], c: &mut [f32]) { \
+                         for (v, x) in c.iter_mut().zip(acc) { *v += x; } }\n\
+                         pub fn gemm_mt(out: &mut [f32]) {\n\
+                         let held = lock_pool(&POOL);\n\
+                         std::thread::scope(|s| { s.spawn(move || {}); });\n\
+                         mk_write(&[0.0f32], out);\n\
+                         }";
+        assert!(
+            rules_of(&findings(collapsed)).contains(&ORDER_SENSITIVE_FOLD),
+            "{:?}",
+            findings(collapsed)
+        );
+    }
 }

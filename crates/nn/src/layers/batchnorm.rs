@@ -126,18 +126,29 @@ impl Layer for BatchNorm2d {
             }
             Mode::Eval => {
                 self.cache = None;
+                // Fold the normalisation into one affine per channel
+                // (scale = γ/σ, shift = β − μ·scale): the inner loop is a
+                // single fused multiply-add per element instead of
+                // subtract/scale/scale/add.
+                // lint: allow(hot-path-alloc) — per-channel affine Vecs are c entries, not tensor-sized
+                let mut scale = vec![0.0f32; c];
+                // lint: allow(hot-path-alloc) — per-channel affine Vecs are c entries, not tensor-sized
+                let mut shift = vec![0.0f32; c];
                 for ch in 0..c {
                     let mean = self.running_mean.value.data()[ch];
                     let var = self.running_var.value.data()[ch];
-                    let istd = 1.0 / (var + self.eps).sqrt();
-                    let g = self.gamma.value.data()[ch];
-                    let b = self.beta.value.data()[ch];
-                    for i in 0..n {
+                    let s = self.gamma.value.data()[ch] / (var + self.eps).sqrt();
+                    scale[ch] = s;
+                    shift[ch] = self.beta.value.data()[ch] - mean * s;
+                }
+                for i in 0..n {
+                    for ch in 0..c {
                         let base = (i * c + ch) * plane;
                         let src = &input.data()[base..base + plane];
                         let dst = &mut out[base..base + plane];
-                        for (d, &s) in dst.iter_mut().zip(src) {
-                            *d = g * (s - mean) * istd + b;
+                        let (s, t) = (scale[ch], shift[ch]);
+                        for (d, &x) in dst.iter_mut().zip(src) {
+                            *d = subfed_tensor::linalg::fmadd(x, s, t);
                         }
                     }
                 }

@@ -1,8 +1,11 @@
 use crate::layer::take_cache;
 use crate::{Layer, Mode, Param, ParamKind};
-use subfed_tensor::conv::{col2im_batch, im2col_batch, im2col_batch_select, ConvGeom};
+use subfed_tensor::conv::{
+    build_taps_dense, build_taps_sparse, col2im_batch, conv2d_taps_batch, im2col_batch,
+    im2col_batch_select, taps_supported, ConvGeom,
+};
 use subfed_tensor::init::{kaiming_uniform, SeededRng};
-use subfed_tensor::linalg::{gemm, gemm_nt, gemm_tn};
+use subfed_tensor::linalg::{gemm_nt, gemm_tn_ws, gemm_ws};
 use subfed_tensor::sparse::{
     masked_dot_nt, spmm, spmm_t, RectPattern, RowPattern, SPARSE_DENSITY_MAX,
 };
@@ -23,6 +26,12 @@ use subfed_tensor::Tensor;
 /// gets an inference fast path: the kept sub-matrix runs through the
 /// blocked *dense* kernel at the pruned network's smaller shape, and
 /// `im2col` lowers only the surviving patch rows.
+///
+/// Unpadded unit-stride geometries get a second inference fast path:
+/// evaluation skips the lowering entirely and runs the direct tap-list
+/// kernel ([`conv2d_taps_batch`]), whose cost is proportional to the
+/// number of *kept* weights — this is what makes an unstructured-pruned
+/// forward measurably cheaper than a dense one (see `docs/PERFORMANCE.md`).
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param,
@@ -156,6 +165,32 @@ impl Layer for Conv2d {
         let fused_cols = n * col_cols;
         if mode == Mode::Eval {
             self.cache = None;
+            if taps_supported(&geom) {
+                // Direct tap-list inference: no lowering, no permute —
+                // work is proportional to the (kept) tap count, so any
+                // pruned filter (structured or not) pays off linearly in
+                // its sparsity. Checked before the rect path: at the
+                // unpadded shapes this kernel supports, skipping im2col
+                // beats even the compacted dense GEMM.
+                let wvals = self.weight.value.data();
+                let (tap_ptr, taps) = match &self.sparse {
+                    Some(pat) => build_taps_sparse(pat, wvals, &geom),
+                    None => build_taps_dense(wvals, &geom, self.out_ch),
+                };
+                // lint: allow(hot-path-alloc) — output buffer returned as an owned Tensor by API contract
+                let mut out = vec![0.0f32; n * self.out_ch * col_cols];
+                conv2d_taps_batch(
+                    input.data(),
+                    &geom,
+                    n,
+                    &tap_ptr,
+                    &taps,
+                    self.bias.value.data(),
+                    &mut out,
+                );
+                // lint: allow(hot-path-alloc) — shape metadata, not tensor data
+                return Tensor::from_parts(vec![n, self.out_ch, oh, ow], out);
+            }
             if let Some(rect) = &self.rect {
                 // A rectangular (structured) mask is a smaller dense
                 // network: lower only the used patch rows, gather the kept
@@ -168,7 +203,7 @@ impl Layer for Conv2d {
                 let mut wc = ws.take_scratch(kept * used);
                 rect.gather_weights(self.weight.value.data(), &mut wc);
                 let mut prod = ws.take_scratch(kept * fused_cols);
-                gemm(kept, used, fused_cols, &wc, &cols, &mut prod);
+                gemm_ws(kept, used, fused_cols, &wc, &cols, &mut prod, ws);
                 ws.put(wc);
                 ws.put(cols);
                 // Compact-row position per output channel; pruned channels
@@ -202,7 +237,7 @@ impl Layer for Conv2d {
         let wvals = self.weight.value.data();
         match &self.sparse {
             Some(pat) => spmm(pat, wvals, &cols, fused_cols, &mut prod),
-            None => gemm(self.out_ch, col_rows, fused_cols, wvals, &cols, &mut prod),
+            None => gemm_ws(self.out_ch, col_rows, fused_cols, wvals, &cols, &mut prod, ws),
         }
         // Permute [Cout, N·cc] -> NCHW and add the bias in the same pass.
         // The destination advances sequentially (i outer, oc inner), so the
@@ -269,7 +304,7 @@ impl Layer for Conv2d {
         let wvals = self.weight.value.data();
         match &self.sparse {
             Some(pat) => spmm_t(pat, wvals, &dym, fused_cols, &mut dcols),
-            None => gemm_tn(self.out_ch, col_rows, fused_cols, wvals, &dym, &mut dcols),
+            None => gemm_tn_ws(self.out_ch, col_rows, fused_cols, wvals, &dym, &mut dcols, ws),
         }
         // lint: allow(hot-path-alloc) — dx is returned as an owned Tensor by API contract
         let mut dx = vec![0.0f32; n * geom.channels * geom.height * geom.width];
@@ -346,6 +381,39 @@ mod tests {
         let mut rng = SeededRng::new(2);
         let conv = Conv2d::new(1, 2, 3, 1, 0, &mut rng);
         crate::gradcheck::check_layer(Box::new(conv), &[2, 1, 5, 5], 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn unpadded_eval_takes_tap_path_and_matches_im2col() {
+        let mut rng = SeededRng::new(31);
+        // LeNet conv1 shape: pad 0, stride 1 → eval runs the tap kernel;
+        // train runs im2col+GEMM. The two summation orders must agree to
+        // float tolerance, dense and unstructured-sparse alike.
+        let mut conv = Conv2d::new(3, 6, 5, 1, 0, &mut rng);
+        let x = uniform(&[2, 3, 32, 32], -1.0, 1.0, &mut rng);
+        let ye = conv.forward(&x, Mode::Eval);
+        let yt = conv.forward(&x, Mode::Train);
+        assert_eq!(ye.shape(), &[2, 6, 28, 28]);
+        subfed_tensor::assert_slice_close(ye.data(), yt.data(), 1e-4, 1e-4);
+        let _ = conv.backward(&uniform(&[2, 6, 28, 28], -1.0, 1.0, &mut rng));
+
+        let mut bits = vec![0.0f32; 6 * 3 * 5 * 5];
+        for (t, bit) in bits.iter_mut().enumerate() {
+            if t % 2 == 0 || t % 5 == 0 {
+                *bit = 1.0;
+            }
+        }
+        for (v, &bit) in conv.weight.value.data_mut().iter_mut().zip(&bits) {
+            *v *= bit;
+        }
+        let bits_t = Tensor::from_parts(vec![6, 3, 5, 5], bits);
+        let ones = Tensor::full(&[6], 1.0);
+        conv.install_sparsity(&[&bits_t, &ones]);
+        assert!(conv.has_sparse_path() && !conv.has_rect_path());
+        let ys = conv.forward(&x, Mode::Eval);
+        let yst = conv.forward(&x, Mode::Train);
+        subfed_tensor::assert_slice_close(ys.data(), yst.data(), 1e-4, 1e-4);
+        let _ = conv.backward(&uniform(&[2, 6, 28, 28], -1.0, 1.0, &mut rng));
     }
 
     #[test]

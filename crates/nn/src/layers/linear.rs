@@ -2,7 +2,7 @@ use crate::layer::take_cache;
 use crate::layers::conv::store_grad;
 use crate::{Layer, Mode, Param, ParamKind};
 use subfed_tensor::init::{kaiming_uniform, SeededRng};
-use subfed_tensor::linalg::{matmul, matmul_tn, transpose_into};
+use subfed_tensor::linalg::{gemm_tn_ws, gemm_ws, transpose_into};
 use subfed_tensor::reduce::sum_rows;
 use subfed_tensor::sparse::{masked_dot_nt, spmm, spmm_t, RowPattern, SPARSE_DENSITY_MAX};
 use subfed_tensor::workspace::Workspace;
@@ -140,12 +140,38 @@ impl Layer for Linear {
         assert_eq!(grad_out.shape()[1], self.out_features, "linear backward feature mismatch");
         match (cache, &self.sparse) {
             (LinCache::Dense(x), _) => {
-                assert_eq!(grad_out.shape()[0], x.shape()[0], "linear backward batch mismatch");
-                // dW = dyᵀ·x : matmul_tn(dy [n,out], x [n,in]) -> [out,in]
-                self.weight.grad = matmul_tn(grad_out, &x);
+                let n = x.shape()[0];
+                assert_eq!(grad_out.shape()[0], n, "linear backward batch mismatch");
+                // dW = dyᵀ·x (dy [n,out], x [n,in] -> [out,in]), packed
+                // through the caller's workspace and stored into the
+                // existing grad allocation.
+                let mut dw = ws.take_scratch(self.out_features * self.in_features);
+                gemm_tn_ws(
+                    n,
+                    self.out_features,
+                    self.in_features,
+                    grad_out.data(),
+                    x.data(),
+                    &mut dw,
+                    ws,
+                );
+                store_grad(&mut self.weight, &[self.out_features, self.in_features], &dw);
+                ws.put(dw);
                 self.bias.grad = sum_rows(grad_out);
-                // dx = dy·W : matmul(dy [n,out], W [out,in]) -> [n,in]
-                matmul(grad_out, &self.weight.value)
+                // dx = dy·W (dy [n,out], W [out,in] -> [n,in]).
+                // lint: allow(hot-path-alloc) — dx is returned as an owned Tensor by API contract
+                let mut dx = vec![0.0f32; n * self.in_features];
+                gemm_ws(
+                    n,
+                    self.out_features,
+                    self.in_features,
+                    grad_out.data(),
+                    self.weight.value.data(),
+                    &mut dx,
+                    ws,
+                );
+                // lint: allow(hot-path-alloc) — shape metadata, not tensor data
+                Tensor::from_parts(vec![n, self.in_features], dx)
             }
             (LinCache::Sparse { xt, batch: n }, Some(pat)) => {
                 assert_eq!(grad_out.shape()[0], n, "linear backward batch mismatch");

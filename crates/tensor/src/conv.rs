@@ -18,7 +18,23 @@
 //! zeroed with `slice::fill`, and the in-image span is a `copy_from_slice`
 //! at stride 1 (a strided gather otherwise). Rows are addressed through
 //! slices so the inner loops carry no index arithmetic or bounds checks.
+//!
+//! # Direct tap-list path
+//!
+//! For unpadded unit-stride geometries ([`taps_supported`]) inference
+//! skips the lowering entirely: [`conv2d_taps_batch`] streams each
+//! output row through fixed-width lane accumulators, one broadcast-FMA
+//! per *kernel tap* — a `(flat input offset, weight)` pair. Work is
+//! therefore proportional to the number of taps, so a filter whose
+//! unstructured mask keeps 50% of its weights runs in roughly half the
+//! dense time, which im2col+GEMM can never deliver (the lowering cost is
+//! identical for dense and pruned filters). The tap builders
+//! ([`build_taps_dense`], [`build_taps_sparse`]) emit taps in ascending
+//! `(channel, ky, kx)` order, so a dense filter and a fully-kept sparse
+//! filter produce bit-identical outputs.
 
+use crate::linalg::{fmadd, lane_fmadd, load_lane};
+use crate::sparse::RowPattern;
 use crate::Tensor;
 
 /// Geometry of a 2-D convolution / pooling window.
@@ -295,6 +311,206 @@ pub fn col2im_batch(cols: &[f32], geom: &ConvGeom, batch: usize, images_grad: &m
     }
 }
 
+/// Narrow lane width for output rows of 8–15 pixels (LeNet's second
+/// convolution produces 10-wide rows); wider rows use the 16-wide
+/// [`crate::linalg::Lane`] from the GEMM kernels.
+const L8: usize = 8;
+type Lane8 = [f32; L8];
+
+/// Eight-wide counterpart of [`lane_fmadd`].
+#[inline(always)]
+fn lane8_fmadd(a: f32, b: &Lane8, c: &mut Lane8) {
+    for (x, &v) in c.iter_mut().zip(b) {
+        *x = fmadd(a, v, *x);
+    }
+}
+
+/// Loads an eight-wide lane from the head of a slice.
+#[inline(always)]
+fn load_lane8(s: &[f32]) -> Lane8 {
+    let mut l = [0.0f32; L8];
+    l.copy_from_slice(&s[..L8]);
+    l
+}
+
+/// Widest output row the direct tap path handles: three overlapping
+/// 16-wide lanes. Beyond this the im2col lowering amortises well enough
+/// that the tap path stops paying for its recomputed overlap pixels.
+pub const DIRECT_TAP_MAX_OW: usize = 3 * crate::linalg::NR / 2;
+
+/// Whether [`conv2d_taps_batch`] supports this geometry: unit stride, no
+/// padding, and an output row that a handful of fixed-width lanes cover.
+pub fn taps_supported(geom: &ConvGeom) -> bool {
+    geom.stride == 1 && geom.pad == 0 && (L8..=DIRECT_TAP_MAX_OW).contains(&geom.out_w())
+}
+
+/// One output row via `NLANES` overlapping 16-wide lanes. `starts` are
+/// lane origins within the row; the last lane typically overlaps its
+/// predecessor so the lanes cover `out_w` exactly. Every output pixel's
+/// value is the tap-ascending fmadd chain seeded with `bias` regardless
+/// of which lane computes it, so the overlap is bit-consistent.
+#[inline(always)]
+fn conv_row16<const NLANES: usize>(
+    taps: &[(u32, f32)],
+    img: &[f32],
+    base: usize,
+    starts: &[usize; NLANES],
+    orow: &mut [f32],
+    bias: f32,
+) {
+    let mut acc = [[bias; 16]; NLANES];
+    for &(off, w) in taps {
+        let o = base + off as usize;
+        for (a, &s) in acc.iter_mut().zip(starts) {
+            lane_fmadd(w, &load_lane(&img[o + s..]), a);
+        }
+    }
+    for (a, &s) in acc.iter().zip(starts) {
+        orow[s..s + 16].copy_from_slice(a);
+    }
+}
+
+/// Eight-wide sibling of [`conv_row16`] for 8–15 pixel output rows.
+#[inline(always)]
+fn conv_row8<const NLANES: usize>(
+    taps: &[(u32, f32)],
+    img: &[f32],
+    base: usize,
+    starts: &[usize; NLANES],
+    orow: &mut [f32],
+    bias: f32,
+) {
+    let mut acc = [[bias; L8]; NLANES];
+    for &(off, w) in taps {
+        let o = base + off as usize;
+        for (a, &s) in acc.iter_mut().zip(starts) {
+            lane8_fmadd(w, &load_lane8(&img[o + s..]), a);
+        }
+    }
+    for (a, &s) in acc.iter().zip(starts) {
+        orow[s..s + L8].copy_from_slice(a);
+    }
+}
+
+/// Maps a kernel-matrix column (of the `[Cout, C·KH·KW]` weight view) to
+/// its flat input-image offset `ic·H·W + ky·W + kx`.
+#[inline]
+fn tap_offset(geom: &ConvGeom, col: usize) -> u32 {
+    let taps = geom.kh * geom.kw;
+    let (ic, tap) = (col / taps, col % taps);
+    let (ky, kx) = (tap / geom.kw, tap % geom.kw);
+    (ic * geom.height * geom.width + ky * geom.width + kx) as u32
+}
+
+/// Builds the full tap list of a dense `[Cout, C·KH·KW]` weight matrix:
+/// `tap_ptr[oc]..tap_ptr[oc+1]` indexes output channel `oc`'s
+/// `(offset, weight)` pairs in ascending `(channel, ky, kx)` order.
+pub fn build_taps_dense(
+    weight: &[f32],
+    geom: &ConvGeom,
+    cout: usize,
+) -> (Vec<usize>, Vec<(u32, f32)>) {
+    let cr = geom.col_rows();
+    assert_eq!(weight.len(), cout * cr, "build_taps_dense: weight length mismatch");
+    let mut taps = Vec::with_capacity(cout * cr);
+    let mut tap_ptr = Vec::with_capacity(cout + 1);
+    tap_ptr.push(0);
+    for oc in 0..cout {
+        for c in 0..cr {
+            taps.push((tap_offset(geom, c), weight[oc * cr + c]));
+        }
+        tap_ptr.push(taps.len());
+    }
+    (tap_ptr, taps)
+}
+
+/// [`build_taps_dense`] restricted to the kept positions of an
+/// unstructured mask: only surviving weights become taps, so the kernel
+/// does work proportional to the kept count. Column order within a
+/// pattern row is ascending, matching the dense builder's chain order.
+pub fn build_taps_sparse(
+    pat: &RowPattern,
+    weight: &[f32],
+    geom: &ConvGeom,
+) -> (Vec<usize>, Vec<(u32, f32)>) {
+    let cr = geom.col_rows();
+    assert_eq!(pat.cols(), cr, "build_taps_sparse: pattern column mismatch");
+    assert_eq!(weight.len(), pat.rows() * cr, "build_taps_sparse: weight length mismatch");
+    let mut taps = Vec::with_capacity(pat.nnz());
+    let mut tap_ptr = Vec::with_capacity(pat.rows() + 1);
+    tap_ptr.push(0);
+    for oc in 0..pat.rows() {
+        for &c in pat.row(oc) {
+            taps.push((tap_offset(geom, c as usize), weight[oc * cr + c as usize]));
+        }
+        tap_ptr.push(taps.len());
+    }
+    (tap_ptr, taps)
+}
+
+/// Direct tap-list convolution over a batch: `images` is `[N, C, H, W]`
+/// flat, `out` is `[N, Cout, Hout, Wout]` flat and fully overwritten
+/// (bias included — a channel with no taps emits its bias plane). Output
+/// rows are computed by overlapping fixed-width lanes, one broadcast-FMA
+/// per tap per lane; see the module header for when this beats im2col.
+///
+/// # Panics
+///
+/// Panics if the geometry is unsupported ([`taps_supported`]) or any
+/// slice length disagrees with the dimensions implied by `geom`.
+pub fn conv2d_taps_batch(
+    images: &[f32],
+    geom: &ConvGeom,
+    batch: usize,
+    tap_ptr: &[usize],
+    taps: &[(u32, f32)],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    assert!(taps_supported(geom), "conv2d_taps_batch: unsupported geometry {geom:?}");
+    let cout = bias.len();
+    assert_eq!(tap_ptr.len(), cout + 1, "conv2d_taps_batch: tap_ptr length mismatch");
+    assert_eq!(
+        *tap_ptr.last().unwrap_or(&0),
+        taps.len(),
+        "conv2d_taps_batch: taps length mismatch"
+    );
+    let img_len = geom.channels * geom.height * geom.width;
+    assert_eq!(images.len(), batch * img_len, "conv2d_taps_batch: image length mismatch");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    assert_eq!(out.len(), batch * cout * oh * ow, "conv2d_taps_batch: out length mismatch");
+    if out.is_empty() {
+        return;
+    }
+    if img_len == 0 {
+        // Zero input channels: every output pixel is its channel's bias,
+        // exactly what the im2col path's empty-reduction GEMM produces.
+        for oimg in out.chunks_exact_mut((cout * oh * ow).max(1)) {
+            for (oc, oplane) in oimg.chunks_exact_mut(oh * ow).enumerate() {
+                oplane.fill(bias[oc]);
+            }
+        }
+        return;
+    }
+    let w = geom.width;
+    for (img, oimg) in images.chunks_exact(img_len).zip(out.chunks_exact_mut(cout * oh * ow)) {
+        for (oc, oplane) in oimg.chunks_exact_mut(oh * ow).enumerate() {
+            let tp = &taps[tap_ptr[oc]..tap_ptr[oc + 1]];
+            let b = bias[oc];
+            for (y, orow) in oplane.chunks_exact_mut(ow).enumerate() {
+                let base = y * w;
+                match ow {
+                    8 => conv_row8::<1>(tp, img, base, &[0], orow, b),
+                    9..=15 => conv_row8::<2>(tp, img, base, &[0, ow - L8], orow, b),
+                    16 => conv_row16::<1>(tp, img, base, &[0], orow, b),
+                    17..=31 => conv_row16::<2>(tp, img, base, &[0, ow - 16], orow, b),
+                    _ => conv_row16::<3>(tp, img, base, &[0, 16, ow - 16], orow, b),
+                }
+            }
+        }
+    }
+}
+
 /// Direct (quadruple-loop) convolution of one image, used as a test oracle
 /// for the im2col fast path. `weight` is `[Cout, C, KH, KW]` flat; output is
 /// `[Cout, Hout, Wout]` flat.
@@ -549,5 +765,122 @@ mod tests {
         let g = geom(1, 4, 4, 3, 1, 0);
         let mut cols = vec![0.0; g.col_rows() * g.col_cols()];
         im2col(&[0.0; 3], &g, &mut cols);
+    }
+
+    #[test]
+    fn taps_supported_gates_geometry() {
+        assert!(taps_supported(&geom(3, 32, 32, 5, 1, 0))); // ow = 28
+        assert!(taps_supported(&geom(6, 14, 14, 5, 1, 0))); // ow = 10
+        assert!(!taps_supported(&geom(3, 32, 32, 5, 1, 2))); // padded
+        assert!(!taps_supported(&geom(3, 32, 32, 5, 2, 0))); // strided
+        assert!(!taps_supported(&geom(1, 10, 10, 4, 1, 0))); // ow = 7 < 8
+        assert!(!taps_supported(&geom(1, 64, 64, 3, 1, 0))); // ow = 62 > 48
+    }
+
+    #[test]
+    fn dense_taps_match_direct_conv() {
+        let mut rng = SeededRng::new(61);
+        // Exercises all dispatch arms: ow = 8, 10, 16, 28, 36.
+        for &(c, hw, k, cout) in &[
+            (1usize, 12usize, 5usize, 3usize),
+            (6, 14, 5, 16),
+            (2, 18, 3, 4),
+            (3, 32, 5, 6),
+            (2, 38, 3, 5),
+        ] {
+            let g = geom(c, hw, hw, k, 1, 0);
+            assert!(taps_supported(&g), "{g:?}");
+            let batch = 2;
+            let imgs = uniform(&[batch * c * hw * hw], -1.0, 1.0, &mut rng);
+            let w = uniform(&[cout, c, k, k], -0.5, 0.5, &mut rng);
+            let bias = uniform(&[cout], -0.1, 0.1, &mut rng);
+            let (tap_ptr, taps) = build_taps_dense(w.data(), &g, cout);
+            let (oh, ow) = (g.out_h(), g.out_w());
+            let mut out = vec![0.0f32; batch * cout * oh * ow];
+            conv2d_taps_batch(imgs.data(), &g, batch, &tap_ptr, &taps, bias.data(), &mut out);
+            for i in 0..batch {
+                let img = &imgs.data()[i * c * hw * hw..(i + 1) * c * hw * hw];
+                let oracle = direct_conv2d_single(img, &w, Some(bias.data()), &g);
+                crate::assert_slice_close(
+                    &out[i * cout * oh * ow..(i + 1) * cout * oh * ow],
+                    &oracle,
+                    1e-4,
+                    1e-4,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_taps_match_direct_conv_on_masked_weights() {
+        use crate::sparse::RowPattern;
+        let mut rng = SeededRng::new(67);
+        let (c, hw, k, cout) = (3, 32, 5, 6);
+        let g = geom(c, hw, hw, k, 1, 0);
+        let cr = g.col_rows();
+        let mut w = uniform(&[cout, c, k, k], -0.5, 0.5, &mut rng);
+        // Unstructured ~50% mask; row 2 fully pruned (bias plane).
+        let mut bits = vec![0.0f32; cout * cr];
+        for (t, bit) in bits.iter_mut().enumerate() {
+            if t % 2 == 0 && !(cr * 2..cr * 3).contains(&t) {
+                *bit = 1.0;
+            }
+        }
+        for (v, &bit) in w.data_mut().iter_mut().zip(&bits) {
+            *v *= bit;
+        }
+        let pat = RowPattern::from_mask(cout, cr, &bits);
+        let bias = uniform(&[cout], -0.1, 0.1, &mut rng);
+        let (tap_ptr, taps) = build_taps_sparse(&pat, w.data(), &g);
+        assert_eq!(taps.len(), pat.nnz());
+        let batch = 2;
+        let imgs = uniform(&[batch * c * hw * hw], -1.0, 1.0, &mut rng);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut out = vec![0.0f32; batch * cout * oh * ow];
+        conv2d_taps_batch(imgs.data(), &g, batch, &tap_ptr, &taps, bias.data(), &mut out);
+        for i in 0..batch {
+            let img = &imgs.data()[i * c * hw * hw..(i + 1) * c * hw * hw];
+            let oracle = direct_conv2d_single(img, &w, Some(bias.data()), &g);
+            crate::assert_slice_close(
+                &out[i * cout * oh * ow..(i + 1) * cout * oh * ow],
+                &oracle,
+                1e-4,
+                1e-4,
+            );
+        }
+        // The fully-pruned channel is an exact bias plane.
+        let plane = &out[2 * oh * ow..3 * oh * ow];
+        assert!(plane.iter().all(|&v| v == bias.data()[2]));
+    }
+
+    #[test]
+    fn sparse_taps_with_full_mask_are_bitwise_dense() {
+        use crate::sparse::RowPattern;
+        let mut rng = SeededRng::new(71);
+        let (c, hw, k, cout) = (2, 14, 5, 4);
+        let g = geom(c, hw, hw, k, 1, 0);
+        let w = uniform(&[cout, c, k, k], -0.5, 0.5, &mut rng);
+        let bias = uniform(&[cout], -0.1, 0.1, &mut rng);
+        let bits = vec![1.0f32; cout * g.col_rows()];
+        let pat = RowPattern::from_mask(cout, g.col_rows(), &bits);
+        let (dp, dt) = build_taps_dense(w.data(), &g, cout);
+        let (sp, st) = build_taps_sparse(&pat, w.data(), &g);
+        assert_eq!(dp, sp);
+        assert_eq!(dt, st);
+        let imgs = uniform(&[c * hw * hw], -1.0, 1.0, &mut rng);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut dense = vec![0.0f32; cout * oh * ow];
+        let mut sparse = vec![0.0f32; cout * oh * ow];
+        conv2d_taps_batch(imgs.data(), &g, 1, &dp, &dt, bias.data(), &mut dense);
+        conv2d_taps_batch(imgs.data(), &g, 1, &sp, &st, bias.data(), &mut sparse);
+        assert_eq!(dense, sparse);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported geometry")]
+    fn taps_batch_rejects_padded_geometry() {
+        let g = geom(1, 8, 8, 3, 1, 1);
+        let mut out = vec![0.0; 64];
+        conv2d_taps_batch(&[0.0; 64], &g, 1, &[0, 0], &[], &[0.0], &mut out);
     }
 }

@@ -8,119 +8,470 @@
 //! * [`matmul_nt`]: `C = A · Bᵀ`    with `A: [m,k]`, `B: [n,k]`
 //!
 //! Each is a thin wrapper over a slice-level kernel ([`gemm`], [`gemm_tn`],
-//! [`gemm_nt`]) so hot paths can reuse [`crate::workspace::Workspace`]
-//! buffers instead of allocating per call.
+//! [`gemm_nt`]). Hot paths that already own a
+//! [`crate::workspace::Workspace`] call the `_ws` variants ([`gemm_ws`],
+//! [`gemm_tn_ws`]) so the pack panels below come from the pool; the plain
+//! entry points fall back to a thread-local pool with identical numerics.
 //!
 //! # Kernel design
 //!
-//! The axpy-form kernels (`gemm`, `gemm_tn`) are cache-blocked and
-//! register-tiled: the output is processed in column panels of [`NC`]
-//! floats (so the live output slices stay in L1), the reduction dimension
-//! in panels of [`KC`] (so the B panel stays in L2), and the microkernel
-//! updates two output rows from four B rows at a time — eight
-//! multiply-adds per loaded B value, all expressed as contiguous
-//! slice-zips the compiler auto-vectorises. The dot-form kernel
-//! (`gemm_nt`) runs eight independent accumulator lanes per dot product
-//! to break the serial dependency chain. No SIMD intrinsics: this
-//! reproduction targets plain CPUs and portable autovectorisation.
+//! The register tile is **6 × 32**: six output rows by two 16-float lane
+//! arrays ([`Lane`]), giving twelve live accumulator vectors — enough to
+//! hide FMA latency on one 512-bit pipe without spilling. Every
+//! multiply-add goes through [`fmadd`], which lowers to a fused `mul_add`
+//! when the target has FMA and to `a * b + c` otherwise, and every lane
+//! update is a fixed-width array zip that LLVM auto-vectorises to a
+//! single vector FMA. No SIMD intrinsics and no `unsafe`: the crate-level
+//! `forbid(unsafe_code)` holds, and the same source compiles to scalar
+//! code on targets without vector units.
+//!
+//! Two code paths feed that tile:
+//!
+//! * **Packed path** (any shape): the classic three-loop blocking. B is
+//!   copied into `KC × NR` column panels (zero-padded at the right edge)
+//!   and A into `KC × MR` row panels so the microkernel streams both
+//!   operands contiguously; the panel loop advances the reduction in
+//!   [`KC`]-deep slabs that stay in L2, and output columns in [`NC`]-wide
+//!   slabs so the live C rows stay in L1. The packed microkernel unrolls
+//!   two reduction steps per iteration.
+//! * **Direct path** (cache-resident single-panel shapes, `k ≤ KC` and
+//!   the touched A/B footprint under [`DIRECT_FOOTPRINT_BYTES`]): packing
+//!   a matrix that already fits in cache is pure overhead, so the
+//!   microkernel reads A and B in place — A broadcast-loaded at row
+//!   stride `k`, B streamed at row stride `n`. Column tails (`n % 32`)
+//!   are packed into one zero-padded `k × 32` strip so the tail still
+//!   runs the full-width kernel. The full-height (`MR`-row) and
+//!   partial-height kernels are deliberately separate functions: folding
+//!   the row count into one runtime loop bound costs LLVM the unrolled
+//!   register tile and roughly a third of the throughput.
+//!
+//! # Determinism
+//!
+//! Every output element is produced by a single fmadd chain over the
+//! reduction index `p` in ascending order within each `KC` panel, plus a
+//! partial-sum add at each panel boundary — and panel boundaries are
+//! multiples of [`KC`], a function of `k` alone. Loop unrolling changes
+//! instruction scheduling but not the per-accumulator dependency chain;
+//! zero-padded pack lanes touch only rows/columns that are never written
+//! back. The result is bit-identical across the packed and direct paths,
+//! any output-column partitioning (the [`NC`] loop, or the disjoint
+//! column stripes [`crate::parallel::gemm_mt`] hands to worker threads),
+//! and any tile shape — the property tests assert this exactly.
 //!
 //! # Pruned-zero policy
 //!
-//! The dense kernels perform **no per-element zero tests**. Earlier
-//! revisions skipped `a == 0.0` entries inside `matmul`/`matmul_tn` (but,
-//! inconsistently, not `matmul_nt`); that branch defeats vectorisation
-//! and made the three kernels disagree on cost for the same pruned
-//! weights. The policy is now uniform: dense kernels are branch-free, and
-//! pruned-weight sparsity is exploited *structurally* by the mask-derived
-//! compressed-row kernels in [`crate::sparse`], which are built once per
-//! round rather than re-checked per element. The [`naive_matmul`] family
-//! below keeps the plain triple-loop semantics (also without zero tests)
-//! as the oracle every optimised kernel is property-tested against.
+//! The dense kernels perform **no per-element zero tests**: branches
+//! defeat vectorisation, and pruned-weight sparsity is exploited
+//! *structurally* by the mask-derived compressed-row kernels in
+//! [`crate::sparse`], which are built once per round rather than
+//! re-checked per element. The [`naive_matmul`] family below keeps the
+//! plain triple-loop semantics as the oracle every optimised kernel is
+//! property-tested against.
 
+use crate::workspace::Workspace;
 use crate::Tensor;
+use std::cell::RefCell;
 
-/// Output-column panel width: live output slices stay within L1.
-pub const NC: usize = 256;
-/// Reduction panel depth: the B panel (`KC × NC` floats) stays within L2.
-pub const KC: usize = 512;
+/// Vector width of one lane array: 16 `f32`s = one AVX-512 register (or
+/// two NEON/AVX2 registers — LLVM splits the array transparently).
+pub const LANES: usize = 16;
+
+/// One register lane: a fixed-width array the compiler keeps in vector
+/// registers through the accumulation loop.
+pub type Lane = [f32; LANES];
+
+/// Microkernel tile height: output rows per register tile.
+pub const MR: usize = 6;
+
+/// Lane arrays per tile row.
+const NL: usize = 2;
+
+/// Microkernel tile width: output columns per register tile.
+pub const NR: usize = NL * LANES;
+
+/// Reduction panel depth: one packed A panel (`KC × MR`) plus the B
+/// panel strip a tile consumes stay cache-resident.
+pub const KC: usize = 256;
+
+/// Output-column panel width of the packed path: the packed B panel
+/// (`KC × NC` floats) stays within L2.
+pub const NC: usize = 512;
+
+/// Ceiling on the touched A + B footprint (bytes) for the pack-free
+/// direct path; above it, packing pays for itself.
+pub const DIRECT_FOOTPRINT_BYTES: usize = 1 << 20;
+
+thread_local! {
+    /// Pack-panel pool for the plain (non-`_ws`) entry points, so repeat
+    /// callers without a workspace still amortise panel allocation.
+    static LOCAL_POOL: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
     assert_eq!(t.ndim(), 2, "{what} must be 2-D, got shape {:?}", t.shape());
     (t.shape()[0], t.shape()[1])
 }
 
-/// Microkernel: two output rows accumulate four scaled B rows.
-///
-/// All five read slices and both write slices have identical length, so
-/// the zip chain lowers to one bounds check and a vectorised loop of
-/// eight fused multiply-adds per element.
+/// Fused multiply-add contraction point: every kernel in this crate
+/// funnels its multiply-adds through here so rounding behaviour is
+/// uniform. One fused operation (single rounding) on FMA targets.
+/// Public so downstream elementwise hot loops (e.g. the BatchNorm eval
+/// affine) share the exact same contraction.
 #[inline(always)]
-#[allow(clippy::too_many_arguments)] // two C rows + two scale quads + four B rows, by design
-fn mk2x4(
-    c0: &mut [f32],
-    c1: &mut [f32],
-    s0: [f32; 4],
-    s1: [f32; 4],
-    b0: &[f32],
-    b1: &[f32],
-    b2: &[f32],
-    b3: &[f32],
-) {
-    let iter = c0.iter_mut().zip(c1.iter_mut()).zip(b0).zip(b1).zip(b2).zip(b3);
-    for (((((x0, x1), &v0), &v1), &v2), &v3) in iter {
-        *x0 += s0[0] * v0 + s0[1] * v1 + s0[2] * v2 + s0[3] * v3;
-        *x1 += s1[0] * v0 + s1[1] * v1 + s1[2] * v2 + s1[3] * v3;
+pub fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
     }
 }
 
-/// Microkernel: two output rows accumulate one scaled B row (k remainder).
+/// `c[e] = fmadd(a, b[e], c[e])` across one lane: the body LLVM turns
+/// into a single broadcast + vector FMA.
 #[inline(always)]
-fn mk2x1(c0: &mut [f32], c1: &mut [f32], s0: f32, s1: f32, b: &[f32]) {
-    for ((x0, x1), &v) in c0.iter_mut().zip(c1.iter_mut()).zip(b) {
-        *x0 += s0 * v;
-        *x1 += s1 * v;
-    }
-}
-
-/// Microkernel: one output row accumulates four scaled B rows (m remainder).
-#[inline(always)]
-pub(crate) fn mk1x4(c0: &mut [f32], s: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
-    let iter = c0.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3);
-    for ((((x0, &v0), &v1), &v2), &v3) in iter {
-        *x0 += s[0] * v0 + s[1] * v1 + s[2] * v2 + s[3] * v3;
-    }
-}
-
-/// Microkernel: plain axpy, `c += s · b`.
-#[inline(always)]
-pub(crate) fn axpy(c: &mut [f32], s: f32, b: &[f32]) {
+pub(crate) fn lane_fmadd(a: f32, b: &Lane, c: &mut Lane) {
     for (x, &v) in c.iter_mut().zip(b) {
-        *x += s * v;
+        *x = fmadd(a, v, *x);
     }
 }
 
-/// Eight-lane dot product: independent partial sums break the serial
+/// Loads one lane from the head of a slice.
+#[inline(always)]
+pub(crate) fn load_lane(s: &[f32]) -> Lane {
+    let mut l = [0.0f32; LANES];
+    l.copy_from_slice(&s[..LANES]);
+    l
+}
+
+/// Packed microkernel: `MR × NR` register tile over packed panels
+/// (`pa`: `kb × MR` column-major strips, `pb`: `kb × NR` row strips),
+/// two reduction steps per iteration. The per-accumulator fmadd chain
+/// is still strictly `p`-ascending — unrolling reorders independent
+/// lanes, never one element's chain.
+#[inline(always)]
+fn mk_packed(pa: &[f32], pb: &[f32]) -> [[Lane; NL]; MR] {
+    let mut acc = [[[0.0f32; LANES]; NL]; MR];
+    let kb = pa.len() / MR;
+    let pairs = kb / 2;
+    for (am, bn) in pa.chunks_exact(2 * MR).zip(pb.chunks_exact(2 * NR)).take(pairs) {
+        let b0 = load_lane(&bn[0..]);
+        let b1 = load_lane(&bn[LANES..]);
+        for (r, row) in acc.iter_mut().enumerate() {
+            lane_fmadd(am[r], &b0, &mut row[0]);
+            lane_fmadd(am[r], &b1, &mut row[1]);
+        }
+        let c0 = load_lane(&bn[NR..]);
+        let c1 = load_lane(&bn[NR + LANES..]);
+        for (r, row) in acc.iter_mut().enumerate() {
+            lane_fmadd(am[MR + r], &c0, &mut row[0]);
+            lane_fmadd(am[MR + r], &c1, &mut row[1]);
+        }
+    }
+    if kb % 2 == 1 {
+        let am = &pa[(kb - 1) * MR..];
+        let bn = &pb[(kb - 1) * NR..];
+        let b0 = load_lane(&bn[0..]);
+        let b1 = load_lane(&bn[LANES..]);
+        for (r, row) in acc.iter_mut().enumerate() {
+            lane_fmadd(am[r], &b0, &mut row[0]);
+            lane_fmadd(am[r], &b1, &mut row[1]);
+        }
+    }
+    acc
+}
+
+/// Direct microkernel, full tile height: A read in place at row stride
+/// `lda`, B at row stride `ldb`. The row loop bound is the constant
+/// [`MR`] on purpose — see the module header on why the partial-height
+/// variant is a separate function.
+#[inline(always)]
+fn mk_direct(kb: usize, a: &[f32], lda: usize, b: &[f32], ldb: usize) -> [[Lane; NL]; MR] {
+    let mut acc = [[[0.0f32; LANES]; NL]; MR];
+    for p in 0..kb {
+        let brow = &b[p * ldb..p * ldb + NR];
+        let b0 = load_lane(&brow[0..]);
+        let b1 = load_lane(&brow[LANES..]);
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = a[r * lda + p];
+            lane_fmadd(av, &b0, &mut row[0]);
+            lane_fmadd(av, &b1, &mut row[1]);
+        }
+    }
+    acc
+}
+
+/// Direct microkernel, partial tile height (`mb < MR` rows).
+#[inline(always)]
+fn mk_direct_partial(
+    kb: usize,
+    mb: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+) -> [[Lane; NL]; MR] {
+    let mut acc = [[[0.0f32; LANES]; NL]; MR];
+    for p in 0..kb {
+        let brow = &b[p * ldb..p * ldb + NR];
+        let b0 = load_lane(&brow[0..]);
+        let b1 = load_lane(&brow[LANES..]);
+        for (r, row) in acc.iter_mut().take(mb).enumerate() {
+            let av = a[r * lda + p];
+            lane_fmadd(av, &b0, &mut row[0]);
+            lane_fmadd(av, &b1, &mut row[1]);
+        }
+    }
+    acc
+}
+
+/// Writes (or accumulates) a full-width register tile into `rows` rows
+/// of C at leading dimension `ldc`.
+#[inline(always)]
+fn mk_write(acc: &[[Lane; NL]; MR], rows: usize, c: &mut [f32], ldc: usize, add: bool) {
+    for (r, row) in acc.iter().take(rows).enumerate() {
+        let crow = &mut c[r * ldc..r * ldc + NR];
+        for (l, lane) in row.iter().enumerate() {
+            let seg = &mut crow[l * LANES..(l + 1) * LANES];
+            if add {
+                for (v, &x) in seg.iter_mut().zip(lane) {
+                    *v += x;
+                }
+            } else {
+                seg.copy_from_slice(lane);
+            }
+        }
+    }
+}
+
+/// Writes a register tile whose rightmost `NR - w` columns are padding:
+/// spills the tile to a scratch strip, then copies the `w` real columns
+/// out. Keeps the tail on the vector kernel instead of a scalar loop.
+#[inline(always)]
+fn mk_write_tail(
+    acc: &[[Lane; NL]; MR],
+    rows: usize,
+    w: usize,
+    c: &mut [f32],
+    ldc: usize,
+    add: bool,
+    tile: &mut [f32],
+) {
+    mk_write(acc, rows, tile, NR, false);
+    for r in 0..rows {
+        let seg = &mut c[r * ldc..r * ldc + w];
+        if add {
+            for (v, &x) in seg.iter_mut().zip(&tile[r * NR..]) {
+                *v += x;
+            }
+        } else {
+            seg.copy_from_slice(&tile[r * NR..r * NR + w]);
+        }
+    }
+}
+
+/// Packed-path span kernel: computes output columns `[j0, j0 + jw)` of
+/// `C = A · B` (or `Aᵀ · B` when `TA`) into `out` at column offset 0,
+/// leading dimension `ldc`. Works for any shape; see the module header.
+#[allow(clippy::too_many_arguments)] // a GEMM span is irreducibly (dims, operands, span, out, pool)
+fn packed_span<const TA: bool>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    j0: usize,
+    jw: usize,
+    out: &mut [f32],
+    ldc: usize,
+    ws: &mut Workspace,
+) {
+    // Scratch contract: every pack region is fully written before the
+    // microkernel reads it, so the stale-content `take_scratch` is safe.
+    let mut pb = ws.take_scratch(KC * NC);
+    let mut pa = ws.take_scratch(KC * MR);
+    let mut tile = ws.take_scratch(MR * NR);
+    let mut jp = 0;
+    while jp < jw {
+        let jn = NC.min(jw - jp);
+        let jt_count = jn.div_ceil(NR);
+        let mut p0 = 0;
+        while p0 < k {
+            let kb = KC.min(k - p0);
+            let add = p0 > 0;
+            for jt in 0..jt_count {
+                let jj = j0 + jp + jt * NR;
+                let w = NR.min(j0 + jp + jn - jj);
+                let dst = &mut pb[jt * kb * NR..(jt + 1) * kb * NR];
+                for (p, d) in dst.chunks_exact_mut(NR).enumerate() {
+                    d[..w].copy_from_slice(&b[(p0 + p) * n + jj..][..w]);
+                    d[w..].fill(0.0);
+                }
+            }
+            let mut i0 = 0;
+            while i0 < m {
+                let mb = MR.min(m - i0);
+                for (p, chunk) in pa[..kb * MR].chunks_exact_mut(MR).enumerate() {
+                    for (r, v) in chunk.iter_mut().enumerate() {
+                        *v = if r < mb {
+                            if TA {
+                                a[(p0 + p) * m + i0 + r]
+                            } else {
+                                a[(i0 + r) * k + p0 + p]
+                            }
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+                for jt in 0..jt_count {
+                    let jc = jp + jt * NR;
+                    let w = NR.min(jw - jc);
+                    let acc = mk_packed(&pa[..kb * MR], &pb[jt * kb * NR..(jt + 1) * kb * NR]);
+                    let dst = &mut out[i0 * ldc + jc..];
+                    if w == NR {
+                        mk_write(&acc, mb, dst, ldc, add);
+                    } else {
+                        mk_write_tail(&acc, mb, w, dst, ldc, add, &mut tile);
+                    }
+                }
+                i0 += MR;
+            }
+            p0 += kb;
+        }
+        jp += jn;
+    }
+    ws.put(tile);
+    ws.put(pa);
+    ws.put(pb);
+}
+
+/// Direct-path span kernel: single reduction panel (`k ≤ KC`), A and B
+/// read in place, column tail packed into one zero-padded strip.
+#[allow(clippy::too_many_arguments)] // a GEMM span is irreducibly (dims, operands, span, out, pool)
+fn direct_span(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    j0: usize,
+    jw: usize,
+    out: &mut [f32],
+    ldc: usize,
+    ws: &mut Workspace,
+) {
+    let jt_full = jw / NR;
+    let wtail = jw - jt_full * NR;
+    let mut pbt = ws.take_scratch(k * NR);
+    let mut tile = ws.take_scratch(MR * NR);
+    if wtail > 0 {
+        let jj = j0 + jt_full * NR;
+        for (p, d) in pbt.chunks_exact_mut(NR).enumerate() {
+            d[..wtail].copy_from_slice(&b[p * n + jj..][..wtail]);
+            d[wtail..].fill(0.0);
+        }
+    }
+    let mut i0 = 0;
+    while i0 < m {
+        let mb = MR.min(m - i0);
+        let ab = &a[i0 * k..];
+        for jt in 0..jt_full {
+            let jj = j0 + jt * NR;
+            let acc = if mb == MR {
+                mk_direct(k, ab, k, &b[jj..], n)
+            } else {
+                mk_direct_partial(k, mb, ab, k, &b[jj..], n)
+            };
+            mk_write(&acc, mb, &mut out[i0 * ldc + jt * NR..], ldc, false);
+        }
+        if wtail > 0 {
+            let acc = if mb == MR {
+                mk_direct(k, ab, k, &pbt, NR)
+            } else {
+                mk_direct_partial(k, mb, ab, k, &pbt, NR)
+            };
+            mk_write_tail(
+                &acc,
+                mb,
+                wtail,
+                &mut out[i0 * ldc + jt_full * NR..],
+                ldc,
+                false,
+                &mut tile,
+            );
+        }
+        i0 += MR;
+    }
+    ws.put(tile);
+    ws.put(pbt);
+}
+
+/// Span dispatcher shared by the sequential entry points and the
+/// column-striped parallel driver ([`crate::parallel::gemm_mt`]):
+/// computes output columns `[j0, j0 + jw)` into `out` (column offset 0,
+/// leading dimension `ldc ≥ jw`). `j0` must be a multiple of [`NR`] so
+/// register-tile boundaries — and therefore every write-back — land on
+/// the same global column grid regardless of how the span was cut.
+#[allow(clippy::too_many_arguments)] // a GEMM span is irreducibly (dims, operands, span, out, pool)
+pub(crate) fn gemm_span<const TA: bool>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    j0: usize,
+    jw: usize,
+    out: &mut [f32],
+    ldc: usize,
+    ws: &mut Workspace,
+) {
+    debug_assert!(j0.is_multiple_of(NR), "gemm_span: span start must be NR-aligned");
+    debug_assert!(j0 + jw <= n && ldc >= jw);
+    if m == 0 || jw == 0 {
+        return;
+    }
+    if k == 0 {
+        for r in 0..m {
+            out[r * ldc..r * ldc + jw].fill(0.0);
+        }
+        return;
+    }
+    // Path choice never affects bits (module header): with k ≤ KC both
+    // paths run the identical single-panel fmadd chain per element.
+    let direct = !TA && k <= KC && (m * k + k * jw) * 4 <= DIRECT_FOOTPRINT_BYTES;
+    if direct {
+        direct_span(m, k, n, a, b, j0, jw, out, ldc, ws);
+    } else {
+        packed_span::<TA>(m, k, n, a, b, j0, jw, out, ldc, ws);
+    }
+}
+
+/// Sixteen-lane dot product: independent partial sums break the serial
 /// accumulation chain so the loop vectorises.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    let mut lanes = [0.0f32; 8];
-    let ca = a.chunks_exact(8);
-    let cb = b.chunks_exact(8);
+    let mut lanes = [0.0f32; LANES];
+    let ca = a.chunks_exact(LANES);
+    let cb = b.chunks_exact(LANES);
     let mut tail = 0.0f32;
     for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
         tail += x * y;
     }
     for (xa, xb) in ca.zip(cb) {
         for (lane, (&x, &y)) in lanes.iter_mut().zip(xa.iter().zip(xb)) {
-            *lane += x * y;
+            *lane = fmadd(x, y, *lane);
         }
     }
     tail + lanes.iter().sum::<f32>()
 }
 
 /// Slice-level `C = A · B` with `A: [m,k]`, `B: [k,n]`; `out` is
-/// overwritten. Blocked and register-tiled as described in the module
-/// header.
+/// overwritten. Register-tiled and cache-blocked as described in the
+/// module header; pack panels come from a thread-local pool (use
+/// [`gemm_ws`] to supply your own).
 ///
 /// # Panics
 ///
@@ -129,66 +480,35 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
     assert_eq!(a.len(), m * k, "gemm: lhs length mismatch");
     assert_eq!(b.len(), k * n, "gemm: rhs length mismatch");
     assert_eq!(out.len(), m * n, "gemm: out length mismatch");
-    out.fill(0.0);
-    if m == 0 || k == 0 || n == 0 {
-        return;
-    }
-    let mut j0 = 0;
-    while j0 < n {
-        let jn = NC.min(n - j0);
-        let mut p0 = 0;
-        while p0 < k {
-            let kb = KC.min(k - p0);
-            let mut i = 0;
-            while i + 2 <= m {
-                let (head, tail) = out.split_at_mut((i + 1) * n);
-                let c0 = &mut head[i * n + j0..i * n + j0 + jn];
-                let c1 = &mut tail[j0..j0 + jn];
-                let a0 = &a[i * k..(i + 1) * k];
-                let a1 = &a[(i + 1) * k..(i + 2) * k];
-                let mut p = p0;
-                while p + 4 <= p0 + kb {
-                    let b0 = &b[p * n + j0..][..jn];
-                    let b1 = &b[(p + 1) * n + j0..][..jn];
-                    let b2 = &b[(p + 2) * n + j0..][..jn];
-                    let b3 = &b[(p + 3) * n + j0..][..jn];
-                    let s0 = [a0[p], a0[p + 1], a0[p + 2], a0[p + 3]];
-                    let s1 = [a1[p], a1[p + 1], a1[p + 2], a1[p + 3]];
-                    mk2x4(c0, c1, s0, s1, b0, b1, b2, b3);
-                    p += 4;
-                }
-                while p < p0 + kb {
-                    mk2x1(c0, c1, a0[p], a1[p], &b[p * n + j0..][..jn]);
-                    p += 1;
-                }
-                i += 2;
-            }
-            if i < m {
-                let c0 = &mut out[i * n + j0..i * n + j0 + jn];
-                let a0 = &a[i * k..(i + 1) * k];
-                let mut p = p0;
-                while p + 4 <= p0 + kb {
-                    let b0 = &b[p * n + j0..][..jn];
-                    let b1 = &b[(p + 1) * n + j0..][..jn];
-                    let b2 = &b[(p + 2) * n + j0..][..jn];
-                    let b3 = &b[(p + 3) * n + j0..][..jn];
-                    mk1x4(c0, [a0[p], a0[p + 1], a0[p + 2], a0[p + 3]], b0, b1, b2, b3);
-                    p += 4;
-                }
-                while p < p0 + kb {
-                    axpy(c0, a0[p], &b[p * n + j0..][..jn]);
-                    p += 1;
-                }
-            }
-            p0 += kb;
-        }
-        j0 += jn;
-    }
+    LOCAL_POOL.with(|pool| {
+        gemm_span::<false>(m, k, n, a, b, 0, n, out, n, &mut pool.borrow_mut());
+    });
+}
+
+/// [`gemm`] with caller-supplied pack-panel scratch. Numerically
+/// identical to [`gemm`] — the pool only changes where panels live.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_ws(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    ws: &mut Workspace,
+) {
+    assert_eq!(a.len(), m * k, "gemm: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm: out length mismatch");
+    gemm_span::<false>(m, k, n, a, b, 0, n, out, n, ws);
 }
 
 /// Slice-level `C = Aᵀ · B` with `A: [k,m]`, `B: [k,n]`; `out` is
-/// overwritten. Same blocking as [`gemm`]; only the scalar gather from A
-/// differs (column-strided instead of row-contiguous).
+/// overwritten. Always takes the packed path — packing A is what
+/// performs the transpose gather.
 ///
 /// # Panics
 ///
@@ -197,71 +517,34 @@ pub fn gemm_tn(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
     assert_eq!(a.len(), k * m, "gemm_tn: lhs length mismatch");
     assert_eq!(b.len(), k * n, "gemm_tn: rhs length mismatch");
     assert_eq!(out.len(), m * n, "gemm_tn: out length mismatch");
-    out.fill(0.0);
-    if m == 0 || k == 0 || n == 0 {
-        return;
-    }
-    let mut j0 = 0;
-    while j0 < n {
-        let jn = NC.min(n - j0);
-        let mut p0 = 0;
-        while p0 < k {
-            let kb = KC.min(k - p0);
-            let mut i = 0;
-            while i + 2 <= m {
-                let (head, tail) = out.split_at_mut((i + 1) * n);
-                let c0 = &mut head[i * n + j0..i * n + j0 + jn];
-                let c1 = &mut tail[j0..j0 + jn];
-                let mut p = p0;
-                while p + 4 <= p0 + kb {
-                    let b0 = &b[p * n + j0..][..jn];
-                    let b1 = &b[(p + 1) * n + j0..][..jn];
-                    let b2 = &b[(p + 2) * n + j0..][..jn];
-                    let b3 = &b[(p + 3) * n + j0..][..jn];
-                    let s0 =
-                        [a[p * m + i], a[(p + 1) * m + i], a[(p + 2) * m + i], a[(p + 3) * m + i]];
-                    let s1 = [
-                        a[p * m + i + 1],
-                        a[(p + 1) * m + i + 1],
-                        a[(p + 2) * m + i + 1],
-                        a[(p + 3) * m + i + 1],
-                    ];
-                    mk2x4(c0, c1, s0, s1, b0, b1, b2, b3);
-                    p += 4;
-                }
-                while p < p0 + kb {
-                    mk2x1(c0, c1, a[p * m + i], a[p * m + i + 1], &b[p * n + j0..][..jn]);
-                    p += 1;
-                }
-                i += 2;
-            }
-            if i < m {
-                let c0 = &mut out[i * n + j0..i * n + j0 + jn];
-                let mut p = p0;
-                while p + 4 <= p0 + kb {
-                    let b0 = &b[p * n + j0..][..jn];
-                    let b1 = &b[(p + 1) * n + j0..][..jn];
-                    let b2 = &b[(p + 2) * n + j0..][..jn];
-                    let b3 = &b[(p + 3) * n + j0..][..jn];
-                    let s =
-                        [a[p * m + i], a[(p + 1) * m + i], a[(p + 2) * m + i], a[(p + 3) * m + i]];
-                    mk1x4(c0, s, b0, b1, b2, b3);
-                    p += 4;
-                }
-                while p < p0 + kb {
-                    axpy(c0, a[p * m + i], &b[p * n + j0..][..jn]);
-                    p += 1;
-                }
-            }
-            p0 += kb;
-        }
-        j0 += jn;
-    }
+    LOCAL_POOL.with(|pool| {
+        gemm_span::<true>(m, k, n, a, b, 0, n, out, n, &mut pool.borrow_mut());
+    });
+}
+
+/// [`gemm_tn`] with caller-supplied pack-panel scratch.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_tn_ws(
+    k: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    ws: &mut Workspace,
+) {
+    assert_eq!(a.len(), k * m, "gemm_tn: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_tn: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_tn: out length mismatch");
+    gemm_span::<true>(m, k, n, a, b, 0, n, out, n, ws);
 }
 
 /// Slice-level `C = A · Bᵀ` with `A: [m,k]`, `B: [n,k]`; `out` is
-/// overwritten. Both operands are row-contiguous along `k`, so each output
-/// element is one eight-lane [`dot`].
+/// overwritten. Both operands are row-contiguous along `k`, so each
+/// output element is one sixteen-lane [`dot`].
 ///
 /// # Panics
 ///
@@ -302,10 +585,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul lhs");
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
-    // lint: allow(hot-path-alloc) — value-path GEMM returns an owned Tensor; blocked ws kernels carry the steady-state load
     let mut out = vec![0.0f32; m * n];
     gemm(m, k, n, a.data(), b.data(), &mut out);
-    // lint: allow(hot-path-alloc) — shape metadata, not tensor data
     Tensor::from_parts(vec![m, n], out)
 }
 
@@ -318,10 +599,8 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = dims2(a, "matmul_tn lhs");
     let (k2, n) = dims2(b, "matmul_tn rhs");
     assert_eq!(k, k2, "matmul_tn: leading dims {k} vs {k2}");
-    // lint: allow(hot-path-alloc) — value-path GEMM returns an owned Tensor; blocked ws kernels carry the steady-state load
     let mut out = vec![0.0f32; m * n];
     gemm_tn(k, m, n, a.data(), b.data(), &mut out);
-    // lint: allow(hot-path-alloc) — shape metadata, not tensor data
     Tensor::from_parts(vec![m, n], out)
 }
 
@@ -455,7 +734,8 @@ mod tests {
     fn matmul_matches_naive_oracle_random() {
         let mut rng = crate::init::SeededRng::new(7);
         // Shapes chosen to hit every blocking edge: odd m (row remainder),
-        // k % 4 != 0 (depth remainder), k and n crossing the KC/NC panels.
+        // column tails (n % NR != 0), k crossing the KC panel, and both
+        // the direct and packed dispatch arms.
         for &(m, k, n) in
             &[(1, 1, 1), (3, 4, 5), (8, 8, 8), (5, 17, 3), (7, 513, 2), (2, 3, 300), (6, 75, 784)]
         {
@@ -463,6 +743,21 @@ mod tests {
             let b = crate::init::uniform(&[k, n], -1.0, 1.0, &mut rng);
             let c = matmul(&a, &b);
             assert_slice_close(c.data(), naive_matmul(&a, &b).data(), 1e-4, 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_ws_bit_identical_to_gemm() {
+        let mut rng = crate::init::SeededRng::new(29);
+        let mut ws = crate::workspace::Workspace::new();
+        for &(m, k, n) in &[(5, 17, 33), (13, 300, 70), (6, 75, 784)] {
+            let a = crate::init::uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = crate::init::uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let mut plain = vec![0.0f32; m * n];
+            let mut pooled = vec![0.0f32; m * n];
+            gemm(m, k, n, a.data(), b.data(), &mut plain);
+            gemm_ws(m, k, n, a.data(), b.data(), &mut pooled, &mut ws);
+            assert_eq!(plain, pooled);
         }
     }
 
@@ -521,7 +816,7 @@ mod tests {
     #[test]
     fn dot_matches_scalar_sum() {
         let mut rng = crate::init::SeededRng::new(19);
-        for &len in &[0usize, 1, 7, 8, 9, 64, 100] {
+        for &len in &[0usize, 1, 7, 8, 9, 15, 16, 17, 64, 100] {
             let a = crate::init::uniform(&[len.max(1)], -1.0, 1.0, &mut rng);
             let b = crate::init::uniform(&[len.max(1)], -1.0, 1.0, &mut rng);
             let (ad, bd) = (&a.data()[..len], &b.data()[..len]);

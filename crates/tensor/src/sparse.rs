@@ -5,7 +5,7 @@
 //! every SGD step (the optimiser re-zeros them). That makes the sparsity
 //! *structural* — the set of kept positions is known up front — so instead
 //! of testing every weight against zero inside the dense kernels, we build
-//! a [`RowPattern`] (CSR-style index structure, no values) **once per
+//! a [`RowPattern`] (CSR + CSC index structure, no values) **once per
 //! round** and run kernels that only ever touch kept entries.
 //!
 //! Values are *not* stored in the pattern: weights change on every SGD
@@ -19,29 +19,56 @@
 //!   (weight gradient; masked positions are written as `0.0`, which is
 //!   exactly what the masked optimiser step would produce).
 //!
-//! All three stream contiguous row slices so the inner loops
-//! auto-vectorise; work scales with the number of kept weights, which is
-//! where the paper's ~2.4× FLOP-reduction claim becomes wall-clock time.
+//! # Register blocking
+//!
+//! Both matrix-matrix kernels process kept entries in **groups of four**
+//! against an L1-resident output panel of [`PANEL`] columns: four B rows
+//! feed one output row through a nested four-deep [`fmadd`] chain, so
+//! each loaded C element absorbs four multiply-adds before being stored
+//! back. `spmm` walks the CSR side (kept columns per output row);
+//! `spmm_t` walks the CSC side (kept rows per output row) — gather form,
+//! replacing the old scatter-axpy whose single-row updates wrote each C
+//! element once per kept entry. Work still scales with the number of
+//! kept weights, which is where the paper's ~2.4× FLOP-reduction claim
+//! becomes wall-clock time.
+//!
+//! # Determinism
+//!
+//! Each output element is one fixed fmadd chain over the kept indices in
+//! ascending order, grouped in fours with a single-step tail — a pure
+//! function of the pattern, never of panelling or blocking. The
+//! [`spmm_reference`]/[`spmm_t_reference`] oracles replay that chain one
+//! element at a time; the property tests assert **bitwise** equality
+//! against them, not closeness.
 //!
 //! `ModelMask` lives in `subfed-nn`; this crate only sees raw mask bits
 //! (`0.0`/`1.0` slices), keeping the dependency direction intact.
 
-use crate::linalg::{axpy, dot, mk1x4, NC};
+use crate::linalg::{dot, fmadd};
+
+/// Output-column panel width of the sparse kernels: one output row slice
+/// of `PANEL` floats plus four B row slices stay L1-resident.
+pub const PANEL: usize = 512;
 
 /// Density at or below which the sparse kernels beat the blocked dense
 /// path on the shapes this repo trains (see `docs/PERFORMANCE.md`).
 /// Layers denser than this should stay on the dense kernels.
 pub const SPARSE_DENSITY_MAX: f32 = 0.75;
 
-/// CSR-style row pattern over a `rows × cols` weight matrix: per row, the
-/// sorted column indices of *kept* (unmasked) entries. Indices only — the
-/// weight values are read from the dense tensor at kernel-call time.
+/// Dual CSR/CSC pattern over a `rows × cols` weight matrix: per row, the
+/// sorted column indices of *kept* (unmasked) entries, and per column,
+/// the sorted row indices of the same entries. Indices only — the weight
+/// values are read from the dense tensor at kernel-call time. Both sides
+/// are built once in [`from_mask`](Self::from_mask) (cold, once per
+/// round) so forward and backward each stream their natural side.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowPattern {
     rows: usize,
     cols: usize,
     row_ptr: Vec<u32>,
     col_idx: Vec<u32>,
+    col_ptr: Vec<u32>,
+    row_idx: Vec<u32>,
 }
 
 impl RowPattern {
@@ -54,6 +81,7 @@ impl RowPattern {
     /// for `u32` indexing (never the case for the paper's models).
     pub fn from_mask(rows: usize, cols: usize, bits: &[f32]) -> Self {
         assert_eq!(bits.len(), rows * cols, "mask bits length mismatch");
+        assert!(rows <= u32::MAX as usize, "row count overflows u32");
         assert!(cols <= u32::MAX as usize, "column count overflows u32");
         assert!(bits.len() <= u32::MAX as usize, "pattern size overflows u32");
         let mut row_ptr = Vec::with_capacity(rows + 1);
@@ -68,7 +96,29 @@ impl RowPattern {
             }
             row_ptr.push(col_idx.len() as u32);
         }
-        Self { rows, cols, row_ptr, col_idx }
+        // Transpose the index structure (counting sort by column). Row
+        // indices come out ascending within each column because rows are
+        // visited in order — the CSC-side kernels rely on that for their
+        // fixed reduction chains.
+        let mut col_ptr = vec![0u32; cols + 1];
+        for &c in &col_idx {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for c in 0..cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        let mut cursor: Vec<u32> = col_ptr[..cols].to_vec();
+        let mut row_idx = vec![0u32; col_idx.len()];
+        for r in 0..rows {
+            let lo = row_ptr[r] as usize;
+            let hi = row_ptr[r + 1] as usize;
+            for &c in &col_idx[lo..hi] {
+                let slot = cursor[c as usize];
+                row_idx[slot as usize] = r as u32;
+                cursor[c as usize] = slot + 1;
+            }
+        }
+        Self { rows, cols, row_ptr, col_idx, col_ptr, row_idx }
     }
 
     /// Number of matrix rows.
@@ -105,6 +155,17 @@ impl RowPattern {
         let lo = self.row_ptr[r] as usize;
         let hi = self.row_ptr[r + 1] as usize;
         &self.col_idx[lo..hi]
+    }
+
+    /// Kept row indices of column `c`, sorted ascending (the CSC side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: usize) -> &[u32] {
+        let lo = self.col_ptr[c] as usize;
+        let hi = self.col_ptr[c + 1] as usize;
+        &self.row_idx[lo..hi]
     }
 }
 
@@ -193,12 +254,32 @@ impl RectPattern {
     }
 }
 
+/// Inner step shared by both g4 kernels: accumulates four scaled B rows
+/// into one output row slice through a nested fmadd chain — four
+/// multiply-adds per loaded C element, all in one vectorised zip.
+#[inline(always)]
+fn g4_accumulate(crow: &mut [f32], w: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    let iter = crow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3);
+    for ((((cj, &v0), &v1), &v2), &v3) in iter {
+        *cj = fmadd(w[3], v3, fmadd(w[2], v2, fmadd(w[1], v1, fmadd(w[0], v0, *cj))));
+    }
+}
+
+/// Single-step tail of the g4 chain: `crow += w · brow`, fused.
+#[inline(always)]
+fn g1_accumulate(crow: &mut [f32], w: f32, brow: &[f32]) {
+    for (cj, &v) in crow.iter_mut().zip(brow) {
+        *cj = fmadd(w, v, *cj);
+    }
+}
+
 /// `C = W · B` where only the kept entries of `W` (row-major
 /// `rows × cols`, read from `vals`) participate. `B` is `[cols, n]`,
 /// `out` is `[rows, n]` and is overwritten.
 ///
-/// Column-panelled like the dense kernels so the live output slice stays
-/// in L1, with a four-way unrolled gather-axpy over kept columns.
+/// Register-blocked as described in the module header: kept columns in
+/// ascending groups of four against a [`PANEL`]-wide L1-resident output
+/// slice. Bit-identical to [`spmm_reference`] by construction.
 ///
 /// # Panics
 ///
@@ -213,18 +294,15 @@ pub fn spmm(pat: &RowPattern, vals: &[f32], b: &[f32], n: usize, out: &mut [f32]
     }
     let mut j0 = 0;
     while j0 < n {
-        let jn = NC.min(n - j0);
+        let jn = PANEL.min(n - j0);
         for r in 0..pat.rows {
             let crow = &mut out[r * n + j0..r * n + j0 + jn];
             let vrow = &vals[r * pat.cols..(r + 1) * pat.cols];
-            let idx = pat.row(r);
-            let mut t = 0;
-            while t + 4 <= idx.len() {
-                let c0 = idx[t] as usize;
-                let c1 = idx[t + 1] as usize;
-                let c2 = idx[t + 2] as usize;
-                let c3 = idx[t + 3] as usize;
-                mk1x4(
+            let mut quads = pat.row(r).chunks_exact(4);
+            for quad in quads.by_ref() {
+                let (c0, c1, c2, c3) =
+                    (quad[0] as usize, quad[1] as usize, quad[2] as usize, quad[3] as usize);
+                g4_accumulate(
                     crow,
                     [vrow[c0], vrow[c1], vrow[c2], vrow[c3]],
                     &b[c0 * n + j0..][..jn],
@@ -232,12 +310,10 @@ pub fn spmm(pat: &RowPattern, vals: &[f32], b: &[f32], n: usize, out: &mut [f32]
                     &b[c2 * n + j0..][..jn],
                     &b[c3 * n + j0..][..jn],
                 );
-                t += 4;
             }
-            while t < idx.len() {
-                let c = idx[t] as usize;
-                axpy(crow, vrow[c], &b[c * n + j0..][..jn]);
-                t += 1;
+            for &ci in quads.remainder() {
+                let c = ci as usize;
+                g1_accumulate(crow, vrow[c], &b[c * n + j0..][..jn]);
             }
         }
         j0 += jn;
@@ -248,9 +324,11 @@ pub fn spmm(pat: &RowPattern, vals: &[f32], b: &[f32], n: usize, out: &mut [f32]
 /// `[rows, n]`, `out` is `[cols, n]` and is overwritten (pruned rows of
 /// `Wᵀ` yield zero rows).
 ///
-/// Scatter-axpy form: each kept `(r, c)` adds `W[r,c] · B[r, ·]` into
-/// `out[c, ·]` — contiguous along `n`, panelled so the scattered output
-/// rows stay cache-resident within a column block.
+/// Gather form over the CSC side: output row `c` accumulates the kept
+/// rows of column `c` in ascending groups of four — the same g4 chain as
+/// [`spmm`], so each C element is loaded once per quad instead of once
+/// per kept entry as in the old scatter-axpy. Bit-identical to
+/// [`spmm_t_reference`] by construction.
 ///
 /// # Panics
 ///
@@ -265,13 +343,30 @@ pub fn spmm_t(pat: &RowPattern, vals: &[f32], b: &[f32], n: usize, out: &mut [f3
     }
     let mut j0 = 0;
     while j0 < n {
-        let jn = NC.min(n - j0);
-        for r in 0..pat.rows {
-            let brow = &b[r * n + j0..r * n + j0 + jn];
-            let vrow = &vals[r * pat.cols..(r + 1) * pat.cols];
-            for &ci in pat.row(r) {
-                let c = ci as usize;
-                axpy(&mut out[c * n + j0..c * n + j0 + jn], vrow[c], brow);
+        let jn = PANEL.min(n - j0);
+        for c in 0..pat.cols {
+            let crow = &mut out[c * n + j0..c * n + j0 + jn];
+            let mut quads = pat.col(c).chunks_exact(4);
+            for quad in quads.by_ref() {
+                let (r0, r1, r2, r3) =
+                    (quad[0] as usize, quad[1] as usize, quad[2] as usize, quad[3] as usize);
+                g4_accumulate(
+                    crow,
+                    [
+                        vals[r0 * pat.cols + c],
+                        vals[r1 * pat.cols + c],
+                        vals[r2 * pat.cols + c],
+                        vals[r3 * pat.cols + c],
+                    ],
+                    &b[r0 * n + j0..][..jn],
+                    &b[r1 * n + j0..][..jn],
+                    &b[r2 * n + j0..][..jn],
+                    &b[r3 * n + j0..][..jn],
+                );
+            }
+            for &ri in quads.remainder() {
+                let r = ri as usize;
+                g1_accumulate(crow, vals[r * pat.cols + c], &b[r * n + j0..][..jn]);
             }
         }
         j0 += jn;
@@ -284,7 +379,8 @@ pub fn spmm_t(pat: &RowPattern, vals: &[f32], b: &[f32], n: usize, out: &mut [f3
 ///
 /// This is the weight-gradient kernel: under a fixed mask the optimiser
 /// zeroes pruned-weight gradients anyway, so skipping them here is exact,
-/// not approximate. Each kept entry is one contiguous eight-lane [`dot`].
+/// not approximate. Each kept entry is one contiguous sixteen-lane
+/// [`dot`].
 ///
 /// # Panics
 ///
@@ -300,6 +396,85 @@ pub fn masked_dot_nt(pat: &RowPattern, a: &[f32], b: &[f32], n: usize, out: &mut
         for &ci in pat.row(r) {
             let c = ci as usize;
             orow[c] = dot(arow, &b[c * n..(c + 1) * n]);
+        }
+    }
+}
+
+/// Scalar same-chain oracle for [`spmm`]: one output element at a time,
+/// replaying exactly the ascending four-grouped fmadd chain the blocked
+/// kernel runs. The property tests assert `spmm` matches this
+/// **bitwise** — panelling and register blocking must not change a
+/// single ULP. Intentionally slow; test/diagnostic use only.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the pattern and `n`.
+pub fn spmm_reference(pat: &RowPattern, vals: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(vals.len(), pat.rows * pat.cols, "spmm: vals length mismatch");
+    assert_eq!(b.len(), pat.cols * n, "spmm: rhs length mismatch");
+    assert_eq!(out.len(), pat.rows * n, "spmm: out length mismatch");
+    for r in 0..pat.rows {
+        let vrow = &vals[r * pat.cols..(r + 1) * pat.cols];
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            let mut quads = pat.row(r).chunks_exact(4);
+            for quad in quads.by_ref() {
+                let (c0, c1, c2, c3) =
+                    (quad[0] as usize, quad[1] as usize, quad[2] as usize, quad[3] as usize);
+                acc = fmadd(
+                    vrow[c3],
+                    b[c3 * n + j],
+                    fmadd(
+                        vrow[c2],
+                        b[c2 * n + j],
+                        fmadd(vrow[c1], b[c1 * n + j], fmadd(vrow[c0], b[c0 * n + j], acc)),
+                    ),
+                );
+            }
+            for &ci in quads.remainder() {
+                let c = ci as usize;
+                acc = fmadd(vrow[c], b[c * n + j], acc);
+            }
+            out[r * n + j] = acc;
+        }
+    }
+}
+
+/// Scalar same-chain oracle for [`spmm_t`] (see [`spmm_reference`]).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the pattern and `n`.
+pub fn spmm_t_reference(pat: &RowPattern, vals: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(vals.len(), pat.rows * pat.cols, "spmm_t: vals length mismatch");
+    assert_eq!(b.len(), pat.rows * n, "spmm_t: rhs length mismatch");
+    assert_eq!(out.len(), pat.cols * n, "spmm_t: out length mismatch");
+    for c in 0..pat.cols {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            let mut quads = pat.col(c).chunks_exact(4);
+            for quad in quads.by_ref() {
+                let (r0, r1, r2, r3) =
+                    (quad[0] as usize, quad[1] as usize, quad[2] as usize, quad[3] as usize);
+                acc = fmadd(
+                    vals[r3 * pat.cols + c],
+                    b[r3 * n + j],
+                    fmadd(
+                        vals[r2 * pat.cols + c],
+                        b[r2 * n + j],
+                        fmadd(
+                            vals[r1 * pat.cols + c],
+                            b[r1 * n + j],
+                            fmadd(vals[r0 * pat.cols + c], b[r0 * n + j], acc),
+                        ),
+                    ),
+                );
+            }
+            for &ri in quads.remainder() {
+                let r = ri as usize;
+                acc = fmadd(vals[r * pat.cols + c], b[r * n + j], acc);
+            }
+            out[c * n + j] = acc;
         }
     }
 }
@@ -338,6 +513,23 @@ mod tests {
     }
 
     #[test]
+    fn csc_side_transposes_the_csr_side() {
+        let mut rng = SeededRng::new(43);
+        let bits = random_mask(7, 11, 0.4, &mut rng);
+        let pat = RowPattern::from_mask(7, 11, &bits);
+        let mut seen = 0;
+        for c in 0..11 {
+            let col = pat.col(c);
+            assert!(col.windows(2).all(|w| w[0] < w[1]), "col {c} not strictly ascending");
+            for &r in col {
+                assert!(pat.row(r as usize).contains(&(c as u32)));
+            }
+            seen += col.len();
+        }
+        assert_eq!(seen, pat.nnz());
+    }
+
+    #[test]
     fn spmm_matches_dense_masked_matmul() {
         let mut rng = SeededRng::new(31);
         for &(rows, cols, n, density) in
@@ -354,6 +546,23 @@ mod tests {
     }
 
     #[test]
+    fn spmm_bitwise_matches_reference_chain() {
+        let mut rng = SeededRng::new(47);
+        // n > PANEL exercises the panel loop; the chain must not notice.
+        for &(rows, cols, n, density) in &[(6, 75, 700, 0.5), (9, 33, 17, 0.2), (4, 150, 5, 0.9)] {
+            let bits = random_mask(rows, cols, density, &mut rng);
+            let w = masked_tensor(&[rows, cols], &bits, &mut rng);
+            let bm = uniform(&[cols, n], -1.0, 1.0, &mut rng);
+            let pat = RowPattern::from_mask(rows, cols, &bits);
+            let mut blocked = vec![0.0f32; rows * n];
+            let mut reference = vec![0.0f32; rows * n];
+            spmm(&pat, w.data(), bm.data(), n, &mut blocked);
+            spmm_reference(&pat, w.data(), bm.data(), n, &mut reference);
+            assert_eq!(blocked, reference);
+        }
+    }
+
+    #[test]
     fn spmm_t_matches_dense_masked_matmul_tn() {
         let mut rng = SeededRng::new(37);
         for &(rows, cols, n, density) in &[(6, 75, 98, 0.5), (5, 7, 1, 0.25), (3, 4, 6, 0.0)] {
@@ -364,6 +573,22 @@ mod tests {
             let mut out = vec![0.0f32; cols * n];
             spmm_t(&pat, w.data(), bm.data(), n, &mut out);
             assert_slice_close(&out, matmul_tn(&w, &bm).data(), 1e-4, 1e-4);
+        }
+    }
+
+    #[test]
+    fn spmm_t_bitwise_matches_reference_chain() {
+        let mut rng = SeededRng::new(53);
+        for &(rows, cols, n, density) in &[(6, 75, 700, 0.5), (33, 9, 17, 0.2), (150, 4, 5, 0.9)] {
+            let bits = random_mask(rows, cols, density, &mut rng);
+            let w = masked_tensor(&[rows, cols], &bits, &mut rng);
+            let bm = uniform(&[rows, n], -1.0, 1.0, &mut rng);
+            let pat = RowPattern::from_mask(rows, cols, &bits);
+            let mut blocked = vec![0.0f32; cols * n];
+            let mut reference = vec![0.0f32; cols * n];
+            spmm_t(&pat, w.data(), bm.data(), n, &mut blocked);
+            spmm_t_reference(&pat, w.data(), bm.data(), n, &mut reference);
+            assert_eq!(blocked, reference);
         }
     }
 

@@ -23,7 +23,9 @@
 /// A grow-only pool of `f32` scratch buffers.
 ///
 /// Not thread-safe by design: each worker thread (one client at a time)
-/// owns its workspace. Cross-thread pooling lives in `subfed-core`.
+/// owns its workspace. Cross-thread pooling lives in `subfed-core` (the
+/// client round loop) and [`crate::parallel`] (the striped GEMM's
+/// checkout/restore pool).
 #[derive(Debug, Default, Clone)]
 pub struct Workspace {
     free: Vec<Vec<f32>>,
