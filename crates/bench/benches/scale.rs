@@ -103,7 +103,7 @@ fn main() {
     timed("streaming_fold_32_updates", samples, || {
         let mut acc = StreamingAccumulator::new(MODEL_PARAMS);
         for (params, mask) in &updates {
-            acc.fold(params, mask);
+            acc.fold(params, mask).expect("bench updates match the model");
         }
         acc.finish(&global).len()
     });
@@ -113,7 +113,7 @@ fn main() {
     timed("ordered_fold_32_updates", samples, || {
         let acc = OrderedAccumulator::new(MODEL_PARAMS, 8);
         for (slot, (params, mask)) in updates.iter().enumerate() {
-            acc.fold(slot, params.clone(), mask.clone());
+            acc.fold(slot, params.clone(), mask.clone()).expect("bench slots fold once");
         }
         acc.into_streaming().finish(&global).len()
     });

@@ -19,6 +19,73 @@ pub struct Checkpoint {
 
 const MAGIC: u32 = 0x5342_4643; // "SBFC"
 
+/// What went wrong restoring or persisting a checkpoint.
+///
+/// Checkpoint images live on disk across process restarts, so
+/// [`Checkpoint::decode`] treats them as untrusted input: every structural
+/// problem maps to a variant here and none to a panic.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Shorter than the fixed 16-byte header.
+    TruncatedHeader {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Leading tag is not the checkpoint magic.
+    BadMagic {
+        /// Tag actually found.
+        got: u32,
+    },
+    /// Global parameter section is cut short.
+    TruncatedGlobal {
+        /// Bytes the header's parameter count requires.
+        needed: usize,
+        /// Bytes remaining.
+        got: usize,
+    },
+    /// Packed client-mask section is cut short.
+    TruncatedMask {
+        /// Bytes the header's client count requires.
+        needed: usize,
+        /// Bytes remaining.
+        got: usize,
+    },
+    /// Header-declared lengths overflow the platform's address range.
+    LengthOverflow,
+    /// The checkpoint file could not be read or written.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TruncatedHeader { got } => {
+                write!(f, "truncated checkpoint header ({got} of 16 bytes)")
+            }
+            Self::BadMagic { got } => write!(f, "bad checkpoint magic {got:#010x}"),
+            Self::TruncatedGlobal { needed, got } => {
+                write!(f, "truncated global parameters (need {needed} bytes, got {got})")
+            }
+            Self::TruncatedMask { needed, got } => {
+                write!(f, "truncated client mask (need {needed} bytes, got {got})")
+            }
+            Self::LengthOverflow => {
+                write!(f, "header-declared lengths overflow the platform's address range")
+            }
+            Self::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 impl Checkpoint {
     /// Serialises the checkpoint. Masks are stored bit-packed via the wire
     /// format's encoding.
@@ -46,40 +113,80 @@ impl Checkpoint {
 
     /// Restores a checkpoint from bytes.
     ///
+    /// Every length is re-derived with checked arithmetic and validated
+    /// against the bytes actually present before any allocation, so a
+    /// corrupt or adversarial image yields a [`CheckpointError`], never a
+    /// panic or an unbounded allocation.
+    ///
     /// # Errors
     ///
-    /// Returns a description of the corruption on truncated or mistagged
-    /// input.
+    /// Returns the corruption found on truncated, mistagged, or
+    /// overflowing input.
     #[must_use = "a dropped Result hides the checkpoint corruption it reports"]
-    pub fn decode(data: &[u8]) -> Result<Self, String> {
+    pub fn decode(data: &[u8]) -> Result<Self, CheckpointError> {
         let mut buf = data;
         if buf.remaining() < 16 {
-            return Err("truncated checkpoint header".into());
+            return Err(CheckpointError::TruncatedHeader { got: buf.remaining() });
         }
         let magic = buf.get_u32_le();
         if magic != MAGIC {
-            return Err(format!("bad checkpoint magic {magic:#010x}"));
+            return Err(CheckpointError::BadMagic { got: magic });
         }
         let round = buf.get_u32_le();
-        let n_params = buf.get_u32_le() as usize;
-        let n_clients = buf.get_u32_le() as usize;
-        if buf.remaining() < 4 * n_params {
-            return Err("truncated global parameters".into());
+        let overflow = |_| CheckpointError::LengthOverflow;
+        let n_params = usize::try_from(buf.get_u32_le()).map_err(overflow)?;
+        let n_clients = usize::try_from(buf.get_u32_le()).map_err(overflow)?;
+        let global_bytes = n_params.checked_mul(4).ok_or(CheckpointError::LengthOverflow)?;
+        if buf.remaining() < global_bytes {
+            return Err(CheckpointError::TruncatedGlobal {
+                needed: global_bytes,
+                got: buf.remaining(),
+            });
         }
         let mut global = Vec::with_capacity(n_params);
         for _ in 0..n_params {
             global.push(buf.get_f32_le());
         }
-        let mask_len = subfed_metrics::comm::mask_bytes(n_params) as usize;
-        let mut client_masks = Vec::with_capacity(n_clients);
+        let mask_len = usize::try_from(subfed_metrics::comm::mask_bytes(n_params))
+            .map_err(|_| CheckpointError::LengthOverflow)?;
+        let need = n_clients.checked_mul(mask_len).ok_or(CheckpointError::LengthOverflow)?;
+        if buf.remaining() < need {
+            return Err(CheckpointError::TruncatedMask { needed: need, got: buf.remaining() });
+        }
+        // For a non-degenerate model the size check above already bounds
+        // `n_clients` by the image length; the `min` closes the
+        // zero-param corner where `need == 0` would otherwise let a forged
+        // header reserve an arbitrary amount up front.
+        let mut client_masks = Vec::with_capacity(n_clients.min(data.len()));
         for _ in 0..n_clients {
-            if buf.remaining() < mask_len {
-                return Err("truncated client mask".into());
-            }
-            client_masks.push(subfed_metrics::comm::unpack_mask(&buf[..mask_len], n_params));
-            buf.advance(mask_len);
+            let (raw, rest) = buf
+                .split_at_checked(mask_len)
+                .ok_or(CheckpointError::TruncatedMask { needed: mask_len, got: buf.remaining() })?;
+            client_masks.push(subfed_metrics::comm::unpack_mask(raw, n_params));
+            buf = rest;
         }
         Ok(Self { round, global, client_masks })
+    }
+
+    /// Persists the encoded checkpoint to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when the file cannot be written.
+    #[must_use = "a dropped Result hides the write failure it reports"]
+    pub fn write_to(&self, path: &std::path::Path) -> Result<(), CheckpointError> {
+        std::fs::write(path, self.encode()).map_err(CheckpointError::Io)
+    }
+
+    /// Restores a checkpoint file written by [`Checkpoint::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when the file cannot be read,
+    /// otherwise whatever [`Checkpoint::decode`] reports about the image.
+    #[must_use = "a dropped Result hides the checkpoint corruption it reports"]
+    pub fn read_from(path: &std::path::Path) -> Result<Self, CheckpointError> {
+        Self::decode(&std::fs::read(path).map_err(CheckpointError::Io)?)
     }
 
     /// Size of the encoded checkpoint without building it.
@@ -119,17 +226,33 @@ mod tests {
 
     #[test]
     fn corruption_detected() {
+        let err = |r: Result<Checkpoint, CheckpointError>| r.unwrap_err().to_string();
         let buf = example().encode();
-        assert!(Checkpoint::decode(&buf[..8]).unwrap_err().contains("truncated checkpoint"));
-        assert!(Checkpoint::decode(&buf[..buf.len() - 1])
-            .unwrap_err()
-            .contains("truncated client mask"));
+        assert!(err(Checkpoint::decode(&buf[..8])).contains("truncated checkpoint"));
+        assert!(err(Checkpoint::decode(&buf[..buf.len() - 1])).contains("truncated client mask"));
         let mut bad = buf.clone();
         bad[0] ^= 0x55;
-        assert!(Checkpoint::decode(&bad).unwrap_err().contains("bad checkpoint magic"));
+        assert!(err(Checkpoint::decode(&bad)).contains("bad checkpoint magic"));
         let mut short = buf.clone();
         short.truncate(20);
-        assert!(Checkpoint::decode(&short).unwrap_err().contains("truncated global"));
+        assert!(err(Checkpoint::decode(&short)).contains("truncated global"));
+    }
+
+    #[test]
+    fn write_read_roundtrip_on_disk() {
+        let c = example();
+        let path = std::env::temp_dir().join("subfed_checkpoint_roundtrip.sbfc");
+        c.write_to(&path).expect("write checkpoint");
+        let back = Checkpoint::read_from(&path).expect("read checkpoint");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn read_from_missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("subfed_checkpoint_does_not_exist.sbfc");
+        let err = Checkpoint::read_from(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
     }
 
     #[test]

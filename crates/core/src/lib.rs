@@ -63,7 +63,7 @@ pub use aggregate::{
 pub use config::FedConfig;
 pub use engine::{evaluate_accuracy, train_client, train_client_ws, Federation, LocalOutcome};
 pub use history::{History, RoundRecord};
-pub use registry::ClientRegistry;
+pub use registry::{ClientRegistry, RegistryError};
 pub use sampler::{CohortSampler, UniformSampler};
 pub use scale::{ScaledSubFedAvg, ScaledSummary};
 pub use stream_agg::{OrderedAccumulator, StreamingAccumulator};

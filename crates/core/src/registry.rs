@@ -23,6 +23,78 @@ const NO_SLOT: u32 = u32::MAX;
 /// Magic + version tag for the cold-load image format.
 const MAGIC: [u8; 8] = *b"SFREG01\0";
 
+/// What went wrong decoding or persisting a registry image.
+///
+/// Registry images cross process (and potentially machine) boundaries, so
+/// [`ClientRegistry::load`] treats them as adversarial: every structural
+/// problem maps to a variant here and none to a panic.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The image does not start with the registry magic.
+    BadMagic,
+    /// The image is shorter than its fixed 32-byte header.
+    TruncatedHeader {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The header declares zero registered clients or a zero-length mask.
+    Empty,
+    /// Image length disagrees with the header's record and arena counts.
+    SizeMismatch {
+        /// Bytes actually present.
+        got: usize,
+        /// Bytes the header accounts for.
+        expected: usize,
+    },
+    /// Arena length is not a whole number of packed-mask slots.
+    RaggedArena,
+    /// A client record points at an arena slot that does not exist.
+    BadSlot {
+        /// Offending client index.
+        client: usize,
+        /// Slot the record names.
+        slot: u32,
+        /// Slots the arena actually holds.
+        slots: usize,
+    },
+    /// Header-declared lengths overflow the platform's address range.
+    LengthOverflow,
+    /// The image file could not be read or written.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "bad registry magic"),
+            Self::TruncatedHeader { got } => {
+                write!(f, "registry header needs 32 bytes, image has {got}")
+            }
+            Self::Empty => write!(f, "empty registry image"),
+            Self::SizeMismatch { got, expected } => {
+                write!(f, "registry image is {got} bytes, expected {expected}")
+            }
+            Self::RaggedArena => write!(f, "arena length is not a whole number of mask slots"),
+            Self::BadSlot { client, slot, slots } => {
+                write!(f, "client {client} points at slot {slot} of {slots}")
+            }
+            Self::LengthOverflow => {
+                write!(f, "header-declared lengths overflow the platform's address range")
+            }
+            Self::Io(e) => write!(f, "registry image i/o failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// Per-client record (16 bytes; 16 MB per million clients).
 #[derive(Debug, Clone, Copy)]
 struct ClientRecord {
@@ -200,63 +272,101 @@ impl ClientRegistry {
 
     /// Restores a registry from a [`ClientRegistry::save`] image.
     ///
+    /// Total by construction: the image is operator- or network-supplied,
+    /// so every read is bounds-checked and every length computation uses
+    /// checked arithmetic — a corrupt image yields a [`RegistryError`],
+    /// never a panic or a wrapped allocation (certified — see
+    /// `CERTIFIED.json`).
+    ///
     /// # Errors
     ///
-    /// Returns a description of the first structural problem found (bad
-    /// magic, truncated image, inconsistent lengths).
+    /// Returns the first structural problem found (bad magic, truncated
+    /// image, inconsistent lengths, out-of-range slot references).
     #[must_use = "a failed load leaves no registry to run on"]
-    pub fn load(bytes: &[u8]) -> Result<Self, String> {
-        let u64_at = |off: usize| -> Result<u64, String> {
-            let end = off.checked_add(8).ok_or("offset overflow")?;
-            let slice = bytes.get(off..end).ok_or("truncated registry header")?;
-            // lint: allow(no-unwrap) — slice is exactly 8 bytes by construction
-            Ok(u64::from_le_bytes(slice.try_into().unwrap()))
+    pub fn load(bytes: &[u8]) -> Result<Self, RegistryError> {
+        let header = |off: usize| {
+            u64_at(bytes, off).ok_or(RegistryError::TruncatedHeader { got: bytes.len() })
         };
-        if bytes.get(..8) != Some(&MAGIC[..]) {
-            return Err("bad registry magic".to_string());
+        if !bytes.starts_with(&MAGIC) {
+            return Err(RegistryError::BadMagic);
         }
-        let registered = u64_at(8)? as usize;
-        let mask_len = u64_at(16)? as usize;
-        let arena_len = u64_at(24)? as usize;
+        let overflow = |_| RegistryError::LengthOverflow;
+        let registered = usize::try_from(header(8)?).map_err(overflow)?;
+        let mask_len = usize::try_from(header(16)?).map_err(overflow)?;
+        let arena_len = usize::try_from(header(24)?).map_err(overflow)?;
         if registered == 0 || mask_len == 0 {
-            return Err("empty registry image".to_string());
+            return Err(RegistryError::Empty);
         }
-        let records_start = 32;
-        let arena_start = records_start + registered * 16;
-        if bytes.len() != arena_start + arena_len {
-            return Err(format!(
-                "registry image is {} bytes, expected {}",
-                bytes.len(),
-                arena_start + arena_len
-            ));
+        let records_bytes = registered.checked_mul(16).ok_or(RegistryError::LengthOverflow)?;
+        let arena_start = records_bytes.checked_add(32).ok_or(RegistryError::LengthOverflow)?;
+        let expected = arena_start.checked_add(arena_len).ok_or(RegistryError::LengthOverflow)?;
+        if bytes.len() != expected {
+            return Err(RegistryError::SizeMismatch { got: bytes.len(), expected });
         }
-        let slot_bytes = mask_bytes(mask_len) as usize;
+        let slot_bytes =
+            usize::try_from(mask_bytes(mask_len)).map_err(|_| RegistryError::LengthOverflow)?;
+        // `slot_bytes >= 1` for any `mask_len >= 1`; checked_div keeps the
+        // division total without relying on that.
+        let slots = arena_len.checked_div(slot_bytes).ok_or(RegistryError::RaggedArena)?;
         if !arena_len.is_multiple_of(slot_bytes) {
-            return Err("arena length is not a whole number of mask slots".to_string());
+            return Err(RegistryError::RaggedArena);
         }
-        let slots = arena_len / slot_bytes;
+        // The exact-size check above bounds this allocation by the image
+        // actually handed in: `registered * 16 + 32 == bytes.len() - arena_len`.
         let mut records = Vec::with_capacity(registered);
-        for i in 0..registered {
-            let off = records_start + i * 16;
-            let u32_at = |o: usize| -> u32 {
-                // lint: allow(no-unwrap) — bounds proven by the length check above
-                u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap())
-            };
-            let mask_slot = u32_at(off);
+        let records_raw = bytes.get(32..arena_start).unwrap_or(&[]);
+        for (i, rec) in records_raw.chunks_exact(16).enumerate() {
+            let mask_slot = u32_le(rec, 0);
             if mask_slot != NO_SLOT && mask_slot as usize >= slots {
-                return Err(format!("client {i} points at slot {mask_slot} of {slots}"));
+                return Err(RegistryError::BadSlot { client: i, slot: mask_slot, slots });
             }
             records.push(ClientRecord {
                 mask_slot,
-                kept: u32_at(off + 4),
-                rounds: u32_at(off + 8),
-                pruned_fraction: f32::from_le_bytes(
-                    // lint: allow(no-unwrap) — bounds proven by the length check above
-                    bytes[off + 12..off + 16].try_into().unwrap(),
-                ),
+                kept: u32_le(rec, 4),
+                rounds: u32_le(rec, 8),
+                pruned_fraction: f32::from_bits(u32_le(rec, 12)),
             });
         }
-        Ok(Self { mask_len, slot_bytes, records, arena: bytes[arena_start..].to_vec() })
+        let arena = bytes.get(arena_start..).unwrap_or(&[]).to_vec();
+        Ok(Self { mask_len, slot_bytes, records, arena })
+    }
+
+    /// Persists the registry image to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Io`] when the file cannot be written.
+    #[must_use = "a dropped Result hides the write failure it reports"]
+    pub fn save_to(&self, path: &std::path::Path) -> Result<(), RegistryError> {
+        std::fs::write(path, self.save()).map_err(RegistryError::Io)
+    }
+
+    /// Loads a registry image file written by [`ClientRegistry::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Io`] when the file cannot be read,
+    /// otherwise whatever [`ClientRegistry::load`] reports about the
+    /// image's structure.
+    #[must_use = "a dropped Result hides the image corruption it reports"]
+    pub fn load_from(path: &std::path::Path) -> Result<Self, RegistryError> {
+        Self::load(&std::fs::read(path).map_err(RegistryError::Io)?)
+    }
+}
+
+/// Little-endian `u64` at `off`, or `None` past the end — the panic-free
+/// reader the loader is built from.
+fn u64_at(bytes: &[u8], off: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(*bytes.get(off..)?.first_chunk::<8>()?))
+}
+
+/// Little-endian `u32` at `off` inside one 16-byte record. The fallback
+/// is unreachable for `chunks_exact(16)` callers; it exists so the
+/// reader stays total instead of trusting the caller.
+fn u32_le(rec: &[u8], off: usize) -> u32 {
+    match rec.get(off..).and_then(|s| s.first_chunk::<4>()) {
+        Some(c) => u32::from_le_bytes(*c),
+        None => 0,
     }
 }
 
@@ -336,8 +446,43 @@ mod tests {
         let reg = ClientRegistry::new(4, 8);
         let mut img = reg.save();
         img[0] = b'X';
-        assert!(ClientRegistry::load(&img).unwrap_err().contains("magic"));
+        assert!(ClientRegistry::load(&img).unwrap_err().to_string().contains("magic"));
         let img = reg.save();
-        assert!(ClientRegistry::load(&img[..img.len() - 1]).unwrap_err().contains("bytes"));
+        let short = ClientRegistry::load(&img[..img.len() - 1]).unwrap_err();
+        assert!(short.to_string().contains("bytes"));
+    }
+
+    #[test]
+    fn load_rejects_out_of_range_slot() {
+        let mut reg = ClientRegistry::new(4, 8);
+        reg.set_mask(2, &[1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0]);
+        let mut img = reg.save();
+        // Client 2's record starts at 32 + 2*16; point its slot far past
+        // the single allocated arena slot.
+        img[32 + 2 * 16] = 9;
+        let err = ClientRegistry::load(&img).unwrap_err();
+        assert!(matches!(err, RegistryError::BadSlot { client: 2, slot: 9, slots: 1 }), "{err}");
+    }
+
+    #[test]
+    fn save_to_load_from_roundtrip_on_disk() {
+        let mut reg = ClientRegistry::new(6, 9);
+        reg.set_mask(3, &[1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0]);
+        reg.note_participation(3);
+        let path = std::env::temp_dir().join("subfed_registry_roundtrip.sfreg");
+        reg.save_to(&path).expect("write image");
+        let back = ClientRegistry::load_from(&path).expect("read image");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back.registered(), 6);
+        assert_eq!(back.kept(3), 6);
+        assert_eq!(back.rounds_participated(3), 1);
+    }
+
+    #[test]
+    fn load_from_missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("subfed_registry_does_not_exist.sfreg");
+        let err = ClientRegistry::load_from(&path).unwrap_err();
+        assert!(matches!(err, RegistryError::Io(_)), "{err}");
+        assert!(err.to_string().contains("i/o"));
     }
 }

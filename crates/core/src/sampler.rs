@@ -47,7 +47,7 @@ impl CohortSampler for UniformSampler {
             return (0..registered).collect();
         }
         let mut rng = SeededRng::new(round_seed(seed, round));
-        if cohort * DENSE_FACTOR >= registered {
+        if cohort.saturating_mul(DENSE_FACTOR) >= registered {
             // Dense cohort: partial Fisher–Yates, identical to the seed
             // engine's schedule so historical runs replay unchanged.
             let mut ids = rng.sample_indices(registered, cohort);

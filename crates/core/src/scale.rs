@@ -309,7 +309,11 @@ impl ScaledSubFedAvg {
                 bytes: buf.len() as u64,
             });
             fed.tracer().emit(TraceEvent::Upload { round, client: i, bytes: upload });
-            acc.fold(slot, dec_params, dec_mask);
+            // Each slot is handed in exactly once by the strided
+            // schedule, with the lengths the decode invariant just
+            // checked, so a rejection here is a driver bug.
+            // lint: allow(no-unwrap)
+            acc.fold(slot, dec_params, dec_mask).expect("strided slots fold exactly once");
             let test_acc = eval_due.then(|| {
                 let mut model = fed.build_model();
                 model.load_flat(&final_flat);

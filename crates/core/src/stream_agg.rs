@@ -27,6 +27,43 @@ use std::sync::{Condvar, Mutex};
 use subfed_metrics::sync::{into_inner_unpoisoned, lock_unpoisoned, wait_unpoisoned};
 use subfed_nn::is_kept;
 
+/// Typed rejection for a malformed or replayed upload: the aggregation
+/// spine is a certified-total entry point (`TOTAL_ENTRIES` in
+/// `subfed-lint`), so a bad fold is a reportable per-client event, never
+/// a server panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggError {
+    /// An upload vector's length differs from the model.
+    LengthMismatch {
+        /// Which vector was wrong (`"params"`, `"mask"`).
+        what: &'static str,
+        /// Length the upload carried.
+        got: usize,
+        /// Length the model requires.
+        want: usize,
+    },
+    /// The cohort slot was already folded (or parked) this round.
+    SlotReplayed {
+        /// The offending slot.
+        slot: usize,
+    },
+}
+
+impl std::fmt::Display for AggError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggError::LengthMismatch { what, got, want } => {
+                write!(f, "{what} length {got} does not match model length {want}")
+            }
+            AggError::SlotReplayed { slot } => {
+                write!(f, "cohort slot {slot} folded twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggError {}
+
 /// Running position-wise Sub-FedAvg state: one masked sum and one holder
 /// count per model position.
 #[derive(Debug, Clone)]
@@ -45,12 +82,19 @@ impl StreamingAccumulator {
     /// Folds one client upload: every kept position contributes its
     /// parameter to the sum and one holder to the count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params` or `mask` length differs from the model.
-    pub fn fold(&mut self, params: &[f32], mask: &[f32]) {
-        assert_eq!(params.len(), self.sum.len(), "update length mismatch");
-        assert_eq!(mask.len(), self.sum.len(), "mask length mismatch");
+    /// Returns [`AggError::LengthMismatch`] — and folds nothing — if
+    /// `params` or `mask` length differs from the model.
+    #[must_use = "a dropped Result hides the rejected upload it reports"]
+    pub fn fold(&mut self, params: &[f32], mask: &[f32]) -> Result<(), AggError> {
+        let want = self.sum.len();
+        if params.len() != want {
+            return Err(AggError::LengthMismatch { what: "params", got: params.len(), want });
+        }
+        if mask.len() != want {
+            return Err(AggError::LengthMismatch { what: "mask", got: mask.len(), want });
+        }
         for (((s, c), &p), &m) in
             self.sum.iter_mut().zip(self.count.iter_mut()).zip(params).zip(mask)
         {
@@ -60,6 +104,7 @@ impl StreamingAccumulator {
             }
         }
         self.updates += 1;
+        Ok(())
     }
 
     /// Uploads folded so far.
@@ -160,37 +205,51 @@ impl OrderedAccumulator {
     /// reorder window; anything further ahead blocks until the turn
     /// catches up. Callable from any worker thread (`&self`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params` or `mask` length differs from the model, or if
-    /// `slot` was already folded.
-    pub fn fold(&self, slot: usize, params: Vec<f32>, mask: Vec<f32>) {
-        assert_eq!(params.len(), self.num_params, "update length mismatch");
-        assert_eq!(mask.len(), self.num_params, "mask length mismatch");
+    /// Returns [`AggError::LengthMismatch`] if `params` or `mask` length
+    /// differs from the model, or [`AggError::SlotReplayed`] if `slot`
+    /// was already folded or parked. Rejected uploads fold nothing and
+    /// leave the turnstile state untouched, so the round can continue
+    /// without the offending client.
+    #[must_use = "a dropped Result hides the rejected upload it reports"]
+    pub fn fold(&self, slot: usize, params: Vec<f32>, mask: Vec<f32>) -> Result<(), AggError> {
+        let want = self.num_params;
+        if params.len() != want {
+            return Err(AggError::LengthMismatch { what: "params", got: params.len(), want });
+        }
+        if mask.len() != want {
+            return Err(AggError::LengthMismatch { what: "mask", got: mask.len(), want });
+        }
         // Poison-tolerant by policy: the running sums stay valid even if
         // a sibling worker panicked, and that panic re-raises at join.
         let mut st = lock_unpoisoned(&self.state);
         loop {
             if slot == st.next {
-                st.acc.fold(&params, &mask);
+                // Lengths were validated against the same `num_params`
+                // the inner accumulator was built with, so the inner
+                // folds cannot fail; `?` keeps the proof local.
+                st.acc.fold(&params, &mask)?;
                 st.next += 1;
                 while let Some((p, m)) = {
                     let due = st.next;
                     st.pending.remove(&due)
                 } {
-                    st.acc.fold(&p, &m);
+                    st.acc.fold(&p, &m)?;
                     st.next += 1;
                 }
                 self.turn.notify_all();
-                return;
+                return Ok(());
             }
-            assert!(slot > st.next, "cohort slot {slot} folded twice");
+            if slot < st.next || st.pending.contains_key(&slot) {
+                return Err(AggError::SlotReplayed { slot });
+            }
             // Distance-based window: parked keys live in
             // `(next, next + window]`, so at most `window` uploads are
             // ever resident beyond the running sums.
             if slot - st.next <= self.window {
                 st.pending.insert(slot, (params, mask));
-                return;
+                return Ok(());
             }
             st = wait_unpoisoned(&self.turn, st);
         }
@@ -259,7 +318,7 @@ mod tests {
             let batch = subfedavg_aggregate(&global, &updates);
             let mut acc = StreamingAccumulator::new(len);
             for (p, m) in &updates {
-                acc.fold(p, m);
+                acc.fold(p, m).unwrap();
             }
             let streamed = acc.finish(&global);
             assert_eq!(acc.updates(), cohort);
@@ -285,7 +344,7 @@ mod tests {
             let acc = OrderedAccumulator::new(len, cohort);
             for &slot in &arrival {
                 let (p, m) = updates[slot].clone();
-                acc.fold(slot, p, m);
+                acc.fold(slot, p, m).unwrap();
             }
             assert_eq!(acc.updates(), cohort);
             let streamed = acc.into_streaming().finish(&global);
@@ -315,7 +374,7 @@ mod tests {
                         // precondition for turnstile progress.
                         for slot in (w..updates.len()).step_by(threads) {
                             let (p, m) = updates[slot].clone();
-                            acc.fold(slot, p, m);
+                            acc.fold(slot, p, m).unwrap();
                         }
                     });
                 }
@@ -331,8 +390,8 @@ mod tests {
     fn uncovered_positions_keep_previous_global() {
         let global = vec![5.0, -3.0, 0.5];
         let mut acc = StreamingAccumulator::new(3);
-        acc.fold(&[1.0, 9.0, 2.0], &[1.0, 0.0, 1.0]);
-        acc.fold(&[3.0, 9.0, 4.0], &[1.0, 0.0, 0.0]);
+        acc.fold(&[1.0, 9.0, 2.0], &[1.0, 0.0, 1.0]).unwrap();
+        acc.fold(&[3.0, 9.0, 4.0], &[1.0, 0.0, 0.0]).unwrap();
         let out = acc.finish(&global);
         assert_eq!(out, vec![2.0, -3.0, 2.0]);
         assert_eq!(acc.counts()[1], 0.0);
@@ -345,7 +404,7 @@ mod tests {
         let before = acc.memory_bytes();
         let ones = vec![1.0; len];
         for _ in 0..100 {
-            acc.fold(&ones, &ones);
+            acc.fold(&ones, &ones).unwrap();
         }
         assert_eq!(acc.memory_bytes(), before, "folding must not grow the accumulator");
         assert_eq!(before, 2 * len * 4);
@@ -354,7 +413,7 @@ mod tests {
         // window drains: on-time folds never park.
         let acc = OrderedAccumulator::new(len, 4);
         for slot in 0..100 {
-            acc.fold(slot, ones.clone(), ones.clone());
+            acc.fold(slot, ones.clone(), ones.clone()).unwrap();
         }
         assert_eq!(acc.memory_bytes(), 2 * len * 4);
     }
@@ -366,10 +425,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "folded twice")]
-    fn refolding_a_slot_panics() {
+    fn refolding_a_slot_is_rejected_not_folded() {
         let acc = OrderedAccumulator::new(2, 2);
-        acc.fold(0, vec![1.0, 1.0], vec![1.0, 1.0]);
-        acc.fold(0, vec![2.0, 2.0], vec![1.0, 1.0]);
+        acc.fold(0, vec![1.0, 1.0], vec![1.0, 1.0]).unwrap();
+        let err = acc.fold(0, vec![2.0, 2.0], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(err, AggError::SlotReplayed { slot: 0 });
+        // A replay parked in the window is caught too, and neither copy
+        // corrupts the fold: slot 1 parks, then arrives again.
+        acc.fold(2, vec![5.0, 5.0], vec![1.0, 1.0]).unwrap();
+        let err = acc.fold(2, vec![6.0, 6.0], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(err, AggError::SlotReplayed { slot: 2 });
+        acc.fold(1, vec![3.0, 3.0], vec![1.0, 1.0]).unwrap();
+        assert_eq!(acc.updates(), 3);
+    }
+
+    #[test]
+    fn mismatched_upload_is_rejected_not_folded() {
+        let mut acc = StreamingAccumulator::new(3);
+        let err = acc.fold(&[1.0], &[1.0, 1.0, 1.0]).unwrap_err();
+        assert_eq!(err, AggError::LengthMismatch { what: "params", got: 1, want: 3 });
+        let ordered = OrderedAccumulator::new(3, 1);
+        let err = ordered.fold(0, vec![1.0; 3], vec![1.0; 2]).unwrap_err();
+        assert_eq!(err, AggError::LengthMismatch { what: "mask", got: 2, want: 3 });
+        assert_eq!(ordered.updates(), 0, "a rejected upload must fold nothing");
     }
 }

@@ -53,6 +53,19 @@ pub enum WireError {
         /// Bytes actually present.
         got: usize,
     },
+    /// The mask keeps more positions than the header's parameter count —
+    /// structurally impossible for an honest encoder, so the frame is
+    /// forged or corrupt.
+    KeptExceedsParams {
+        /// Positions the decoded mask keeps.
+        kept: usize,
+        /// Parameter count the header declares.
+        num_params: usize,
+    },
+    /// A size computation on header-supplied lengths exceeds the
+    /// platform's address range; honouring it would wrap and
+    /// under-allocate.
+    LengthOverflow,
 }
 
 impl std::fmt::Display for WireError {
@@ -70,6 +83,12 @@ impl std::fmt::Display for WireError {
             }
             WireError::TruncatedQuantised { needed, got } => {
                 write!(f, "truncated quantised update: need {needed} bytes, got {got}")
+            }
+            WireError::KeptExceedsParams { kept, num_params } => {
+                write!(f, "mask keeps {kept} positions but header declares {num_params} params")
+            }
+            WireError::LengthOverflow => {
+                write!(f, "header-declared lengths overflow the platform's address range")
             }
         }
     }
@@ -106,8 +125,10 @@ pub fn encode_update(params: &[f32], mask: &[f32]) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns a [`WireError`] naming the corruption if the buffer is truncated
-/// or carries a wrong magic tag.
+/// Returns a [`WireError`] naming the corruption if the buffer is
+/// truncated, carries a wrong magic tag, or declares lengths whose byte
+/// math would overflow. Total by construction: no input byte sequence
+/// panics or over-allocates (certified — see `CERTIFIED.json`).
 #[must_use = "a dropped Result hides the wire corruption it reports"]
 pub fn decode_update(data: &[u8]) -> Result<(Vec<f32>, Vec<f32>), WireError> {
     let mut buf = data;
@@ -119,17 +140,26 @@ pub fn decode_update(data: &[u8]) -> Result<(Vec<f32>, Vec<f32>), WireError> {
         return Err(WireError::BadMagic { got: magic });
     }
     let _reserved = buf.get_u16_le();
-    let len = buf.get_u32_le() as usize;
-    let mb = mask_bytes(len) as usize;
-    if buf.remaining() < mb {
-        return Err(WireError::TruncatedMask { needed: mb, got: buf.remaining() });
-    }
-    let mask = unpack_mask(&buf[..mb], len);
-    buf.advance(mb);
+    let len = usize::try_from(buf.get_u32_le()).map_err(|_| WireError::LengthOverflow)?;
+    let mb = usize::try_from(mask_bytes(len)).map_err(|_| WireError::LengthOverflow)?;
+    let (mask_raw, rest) = buf
+        .split_at_checked(mb)
+        .ok_or(WireError::TruncatedMask { needed: mb, got: buf.remaining() })?;
+    let mask = unpack_mask(mask_raw, len);
+    buf = rest;
     let kept = mask.iter().filter(|&&m| is_kept(m)).count();
-    if buf.remaining() < 4 * kept {
-        return Err(WireError::TruncatedParams { needed: 4 * kept, got: buf.remaining() });
+    // `kept <= len` holds for any mask `unpack_mask` can produce; the
+    // guard is the adversarial backstop should the mask source change.
+    if kept > len {
+        return Err(WireError::KeptExceedsParams { kept, num_params: len });
     }
+    let needed = kept.checked_mul(4).ok_or(WireError::LengthOverflow)?;
+    if buf.remaining() < needed {
+        return Err(WireError::TruncatedParams { needed, got: buf.remaining() });
+    }
+    // Bounded allocation: the mask-length check above caps `len` at
+    // eight bits per remaining input byte, so a forged header cannot
+    // demand more memory than ~8x the frame it arrived in.
     let mut params = vec![0.0f32; len];
     for (p, &m) in params.iter_mut().zip(mask.iter()) {
         if is_kept(m) {
@@ -174,8 +204,9 @@ pub fn encode_update_q8(params: &[f32]) -> Vec<u8> {
 #[must_use = "a dropped Result hides the wire corruption it reports"]
 pub fn decode_update_q8(data: &[u8], len: usize) -> Result<Vec<f32>, WireError> {
     let mut buf = data;
-    if buf.remaining() < 8 + len {
-        return Err(WireError::TruncatedQuantised { needed: 8 + len, got: buf.remaining() });
+    let needed = len.checked_add(8).ok_or(WireError::LengthOverflow)?;
+    if buf.remaining() < needed {
+        return Err(WireError::TruncatedQuantised { needed, got: buf.remaining() });
     }
     let lo = buf.get_f32_le();
     let scale = buf.get_f32_le();

@@ -1,0 +1,133 @@
+//! Adversarial wire-format corpus: the decode surface must be *total* —
+//! every malformed frame returns a typed [`WireError`], and no input
+//! byte sequence panics. The corpus is deterministic (fixed golden
+//! frame, exhaustive header bit flips, truncation at every byte
+//! boundary, seeded random fuzz frames), so a regression reproduces
+//! identically in CI. Note the test profile compiles with
+//! `debug-assertions` on, so any wrapping arithmetic on the decode path
+//! would abort these tests — silent wraparound cannot hide here.
+
+use subfed_core::wire::{decode_update, decode_update_q8, encode_update, WireError};
+use subfed_tensor::init::SeededRng;
+
+/// A golden frame with a mixed mask: 21 params, 13 kept.
+fn golden() -> (Vec<f32>, Vec<f32>, Vec<u8>) {
+    let params: Vec<f32> = (0..21).map(|i| i as f32 * 0.5 - 4.0).collect();
+    let mask: Vec<f32> = (0..21).map(|i| if i % 3 == 0 { 0.0 } else { 1.0 }).collect();
+    let frame = encode_update(&params, &mask);
+    (params, mask, frame)
+}
+
+#[test]
+fn golden_frame_roundtrips() {
+    let (params, mask, frame) = golden();
+    let (p, m) = decode_update(&frame).expect("golden frame decodes");
+    assert_eq!(m, mask);
+    for (i, (&got, &want)) in p.iter().zip(params.iter()).enumerate() {
+        let want = if mask[i] == 0.0 { 0.0 } else { want };
+        assert_eq!(got, want, "param {i}");
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary_is_a_typed_error() {
+    let (_, _, frame) = golden();
+    // Every proper prefix is missing load-bearing bytes: header, mask,
+    // or kept parameters. Each must be an Err, never a panic.
+    for cut in 0..frame.len() {
+        let err = decode_update(&frame[..cut])
+            .expect_err(&format!("prefix of {cut} bytes must not decode"));
+        match err {
+            WireError::TruncatedHeader { got } => assert_eq!(got, cut),
+            WireError::TruncatedMask { .. } | WireError::TruncatedParams { .. } => {}
+            other => panic!("unexpected error at cut {cut}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_header_bit_flip_decodes_or_rejects_without_panicking() {
+    let (_, _, frame) = golden();
+    for byte in 0..8 {
+        for bit in 0..8 {
+            let mut mutant = frame.clone();
+            mutant[byte] ^= 1 << bit;
+            let verdict = decode_update(&mutant);
+            // Flips in the magic tag must be caught by name.
+            if byte < 2 {
+                assert!(
+                    matches!(verdict, Err(WireError::BadMagic { .. })),
+                    "magic flip {byte}.{bit}: {verdict:?}"
+                );
+            }
+            // Flips that grow the declared count past what the frame's
+            // bytes can cover must be rejected by name. (Small growth
+            // can legally decode — the extra positions read as pruned —
+            // but the decode call above already proved it cannot panic.)
+            if byte >= 4 && frame[byte] & (1 << bit) == 0 {
+                let new_len =
+                    u32::from_le_bytes([mutant[4], mutant[5], mutant[6], mutant[7]]) as usize;
+                if new_len.div_ceil(8) > frame.len() - 8 {
+                    assert!(verdict.is_err(), "count inflation {byte}.{bit}: {verdict:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn count_inflation_to_the_u32_limit_is_rejected_not_allocated() {
+    let (_, _, mut frame) = golden();
+    // Declare u32::MAX parameters on a 100-byte frame: an honest decoder
+    // must refuse (the mask alone would need 512 MiB), not allocate.
+    frame[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    match decode_update(&frame) {
+        Err(WireError::TruncatedMask { needed, got }) => {
+            assert_eq!(needed, (u32::MAX as usize).div_ceil(8));
+            assert!(got < needed);
+        }
+        other => panic!("expected TruncatedMask, got {other:?}"),
+    }
+    // One past the real count: the packed mask rounds to the same byte
+    // count, the extra position reads as pruned, and the frame still
+    // carries enough kept floats — but never a panic either way.
+    let (_, _, mut frame) = golden();
+    frame[4..8].copy_from_slice(&22u32.to_le_bytes());
+    let _ = decode_update(&frame);
+}
+
+#[test]
+fn seeded_random_frames_never_panic_the_decoder() {
+    // 4096 deterministic fuzz frames of every length 0..64: whatever the
+    // bytes, the decoder returns a verdict.
+    let mut rng = SeededRng::new(0x5FA1_F00D);
+    let mut decoded = 0u32;
+    for round in 0..4096u32 {
+        let len = (round % 64) as usize;
+        let frame: Vec<u8> = (0..len).map(|_| (rng.below(256)) as u8).collect();
+        if decode_update(&frame).is_ok() {
+            decoded += 1;
+        }
+    }
+    // Random bytes essentially never carry the magic tag.
+    assert_eq!(decoded, 0, "random frames should not decode");
+}
+
+#[test]
+fn q8_truncation_and_overflow_are_typed_errors() {
+    let params: Vec<f32> = (0..33).map(|i| (i as f32).sin()).collect();
+    let frame = subfed_core::wire::encode_update_q8(&params);
+    assert_eq!(frame.len(), 8 + 33);
+    assert!(decode_update_q8(&frame, 33).is_ok());
+    for cut in 0..frame.len() {
+        assert!(
+            matches!(
+                decode_update_q8(&frame[..cut], 33),
+                Err(WireError::TruncatedQuantised { .. })
+            ),
+            "q8 prefix of {cut} bytes must not decode"
+        );
+    }
+    // A length whose header math would wrap usize is rejected by name.
+    assert!(matches!(decode_update_q8(&frame, usize::MAX - 4), Err(WireError::LengthOverflow)));
+}

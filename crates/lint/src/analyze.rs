@@ -2,24 +2,27 @@
 //! the cross-crate call graph, run the dataflow and concurrency rules,
 //! then apply and audit suppressions.
 //!
-//! The analyze command owns the eleven analyze-side rules
+//! The analyze command owns the fourteen analyze-side rules
 //! ([`crate::dataflow::ANALYZE_RULES`]: the three hot-path dataflow
-//! rules, the four [`crate::locks`] concurrency rules, and the four
-//! [`crate::taint`] determinism rules) and audits
+//! rules, the four [`crate::locks`] concurrency rules, the four
+//! [`crate::taint`] determinism rules, and the three
+//! [`crate::totality`] rules) and audits
 //! only *their* allow directives for staleness — `check` audits the
 //! token/scope rules' directives and skips these, so each directive is
 //! judged exactly once, by the command that computes the findings it
-//! could suppress. The same pass audits `// lint: hot`/`cold` markers:
-//! a marker that attaches to no function (the `fn` on its own line or
-//! the line below), or a `hot` marker on a function that is already a
-//! built-in hot entry, is reported as [`STALE_ALLOW`], because a
-//! drifted marker silently widens or narrows the hot set.
+//! could suppress. The same pass audits `// lint: hot`/`cold`/`total`
+//! markers: a marker that attaches to no function (the `fn` on its own
+//! line or the line below), or a `hot`/`total` marker on a function
+//! that is already a built-in hot or total entry, is reported as
+//! [`STALE_ALLOW`], because a drifted marker silently widens or narrows
+//! the analyzed entry sets.
 
 use crate::callgraph::{CallGraph, SourceFile, HOT_ENTRIES};
 use crate::dataflow::{dataflow_findings, ANALYZE_RULES};
 use crate::lexer::MarkerKind;
 use crate::rules::{Finding, STALE_ALLOW};
 use crate::summaries::Summaries;
+use crate::totality::TOTAL_ENTRIES;
 use crate::walk::{crate_sources, Report, ANALYZE_CRATES};
 use std::path::Path;
 
@@ -34,6 +37,7 @@ pub fn analyze_sources(inputs: &[(String, String)]) -> Vec<Finding> {
     let summaries = Summaries::build(&files, &graph);
     findings.extend(crate::locks::lock_findings(&files, &graph, &summaries));
     findings.extend(crate::taint::taint_findings(&files, &graph, &summaries));
+    findings.extend(crate::totality::totality_findings(&files, &graph));
 
     for f in &mut findings {
         let Some(file) = files.iter().find(|s| s.label == f.file) else { continue };
@@ -95,13 +99,13 @@ fn audit_directives(file: &SourceFile, findings: &mut Vec<Finding>) {
                 file: file.label.clone(),
                 line: m.line,
                 rule: STALE_ALLOW,
-                message: "lint: hot/cold marker attaches to no function (it must sit on \
-                          the fn's line or the line above); move or remove it"
+                message: "lint: hot/cold/total marker attaches to no function (it must sit \
+                          on the fn's line or the line above); move or remove it"
                     .to_string(),
                 suppressed: false,
             }),
-            // A `hot` marker on a built-in entry widens nothing: it is
-            // dead weight that would silently stop protecting the
+            // A `hot`/`total` marker on a built-in entry widens nothing:
+            // it is dead weight that would silently stop protecting the
             // function if the entry list ever changed.
             Some(d) if m.kind == MarkerKind::Hot && HOT_ENTRIES.contains(&d.item.name.as_str()) => {
                 stale.push(Finding {
@@ -112,6 +116,22 @@ fn audit_directives(file: &SourceFile, findings: &mut Vec<Finding>) {
                         "lint: hot marker is redundant: `{}` is a built-in hot entry \
                          point; remove the marker",
                         d.item.name
+                    ),
+                    suppressed: false,
+                });
+            }
+            Some(d)
+                if m.kind == MarkerKind::Total
+                    && TOTAL_ENTRIES.contains(&d.qualified().as_str()) =>
+            {
+                stale.push(Finding {
+                    file: file.label.clone(),
+                    line: m.line,
+                    rule: STALE_ALLOW,
+                    message: format!(
+                        "lint: total marker is redundant: `{}` is a built-in total entry \
+                         point; remove the marker",
+                        d.qualified()
                     ),
                     suppressed: false,
                 });

@@ -196,13 +196,16 @@ impl CallGraph {
 
 /// The temperature a `// lint: hot`/`cold` marker assigns to `def`: the
 /// marker must sit on the definition's line or the line directly above.
+/// `// lint: total` markers belong to the totality analysis and say
+/// nothing about temperature, so the scan continues past them.
 fn marker_temp(file: &SourceFile, def: &FnDef) -> Temp {
     for m in &file.lexed.markers {
         if m.line == def.item.line || m.line + 1 == def.item.line {
-            return match m.kind {
-                MarkerKind::Hot => Temp::Hot,
-                MarkerKind::Cold => Temp::Cold,
-            };
+            match m.kind {
+                MarkerKind::Hot => return Temp::Hot,
+                MarkerKind::Cold => return Temp::Cold,
+                MarkerKind::Total => continue,
+            }
         }
     }
     Temp::Default

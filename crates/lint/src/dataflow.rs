@@ -42,8 +42,9 @@ pub const PATTERN_REBUILD_IN_LOOP: &str = "pattern-rebuild-in-loop";
 /// The rules owned by `subfed-lint analyze` (vs `check`); `check`'s
 /// stale-allow audit ignores directives naming these. The three hot-path
 /// rules live here; the four concurrency rules in [`crate::locks`], the
-/// four determinism rules in [`crate::taint`].
-pub const ANALYZE_RULES: [&str; 11] = [
+/// four determinism rules in [`crate::taint`], the three totality rules
+/// in [`crate::totality`].
+pub const ANALYZE_RULES: [&str; 14] = [
     HOT_PATH_ALLOC,
     SCRATCH_BEFORE_READ,
     PATTERN_REBUILD_IN_LOOP,
@@ -55,6 +56,9 @@ pub const ANALYZE_RULES: [&str; 11] = [
     crate::taint::SEED_COLLISION,
     crate::taint::WALLCLOCK_TAINT,
     crate::taint::ORDER_SENSITIVE_FOLD,
+    crate::totality::PANIC_REACHABLE,
+    crate::totality::ARITH_OVERFLOW,
+    crate::totality::ERROR_SWALLOW,
 ];
 
 /// Whether the hot-path rules apply to a file. The metrics crate is

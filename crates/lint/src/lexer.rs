@@ -48,8 +48,9 @@ pub struct AllowDirective {
     pub rules: Vec<String>,
 }
 
-/// What a `// lint: hot` / `// lint: cold` marker says about the function
-/// it annotates (the `fn` on the same line or the line below).
+/// What a `// lint: hot` / `// lint: cold` / `// lint: total` marker says
+/// about the function it annotates (the `fn` on the same line or the line
+/// below).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MarkerKind {
     /// The function is an additional hot-path entry point for the
@@ -58,14 +59,19 @@ pub enum MarkerKind {
     /// The function is cold (per-round setup, not per-batch work); the
     /// call-graph analyses do not traverse through it.
     Cold,
+    /// The function is an additional panic-freedom entry point for the
+    /// totality analysis (see `crate::totality`): no panic source may be
+    /// reachable from it.
+    Total,
 }
 
-/// A `// lint: hot` or `// lint: cold` annotation comment.
+/// A `// lint: hot`, `// lint: cold`, or `// lint: total` annotation
+/// comment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Marker {
     /// 1-based line the comment sits on.
     pub line: usize,
-    /// Which temperature the annotated function is asserted to have.
+    /// What the annotated function is asserted to be.
     pub kind: MarkerKind,
 }
 
@@ -344,9 +350,9 @@ fn parse_allow(comment: &str, line: usize) -> Option<AllowDirective> {
     }
 }
 
-/// Parses a `// lint: hot` / `// lint: cold` comment, returning `None`
-/// for ordinary comments (trailing prose after the keyword is tolerated:
-/// `// lint: cold — once-per-round setup`).
+/// Parses a `// lint: hot` / `// lint: cold` / `// lint: total` comment,
+/// returning `None` for ordinary comments (trailing prose after the
+/// keyword is tolerated: `// lint: cold — once-per-round setup`).
 fn parse_marker(comment: &str, line: usize) -> Option<Marker> {
     let body = comment.trim_start_matches('/').trim();
     let rest = body.strip_prefix("lint:")?.trim();
@@ -354,6 +360,7 @@ fn parse_marker(comment: &str, line: usize) -> Option<Marker> {
     match keyword {
         "hot" => Some(Marker { line, kind: MarkerKind::Hot }),
         "cold" => Some(Marker { line, kind: MarkerKind::Cold }),
+        "total" => Some(Marker { line, kind: MarkerKind::Total }),
         _ => None,
     }
 }

@@ -10,8 +10,13 @@
 //!   graph with hot-entry reachability ([`callgraph`]), the dataflow
 //!   rules ([`dataflow`]) that defend the PR-4 performance contracts,
 //!   bottom-up function summaries ([`summaries`]), the interprocedural
-//!   lock-order / held-region rules ([`locks`]), and the determinism
-//!   taint rules ([`taint`]) that defend the replay-identity gate;
+//!   lock-order / held-region rules ([`locks`]), the determinism
+//!   taint rules ([`taint`]) that defend the replay-identity gate, and
+//!   the totality rules ([`totality`]) that prove the decode→fold spine
+//!   panic-free;
+//! * **`certify`** — the totality walk condensed into a per-entry
+//!   panic-freedom certificate ([`totality::certify`]), diffed in CI
+//!   against the committed `CERTIFIED.json`;
 //! * **`conform`** — an offline protocol verifier: an executable
 //!   state-machine spec of the federation round ([`spec`]) replayed over
 //!   JSONL traces ([`conform`]).
@@ -35,6 +40,9 @@
 //! | `seed-collision` | *(determinism)* two RNG constructions sharing one literal seed — "independent" streams are perfectly correlated |
 //! | `wallclock-taint` | *(determinism)* `Instant::now()`/`SystemTime::now()` outside the `Span` stopwatch — clock values diverge between runs |
 //! | `order-sensitive-fold` | *(determinism)* a lock-taking, spawn-reachable float accumulation — arrival order decides the f32 sum |
+//! | `panic-reachable` | *(totality)* a panic source (panicking macro, `unwrap`/`expect`, bare indexing, non-literal division) reachable from a total entry point — adversarial bytes must meet a typed error, never an abort |
+//! | `arith-overflow` | *(totality)* unchecked `+`/`*`/`<<` on byte-length/index math on a total path — a wrapped length turns into an under-allocation or out-of-bounds slice |
+//! | `error-swallow` | *(totality)* a `*Error`-carrying `Result` discarded with `let _ =` or `.ok()` outside tests — the error path exists but nobody walks it |
 //! | `stale-allow` | a `// lint: allow(…)` comment that no longer suppresses anything |
 //!
 //! Suppress an intentional occurrence with `// lint: allow(rule-id)` on
@@ -43,7 +51,8 @@
 //! The round-protocol spec and its predicate table: `docs/PROTOCOL.md`.
 //!
 //! Run it with `cargo run -p subfed-lint -- check`,
-//! `cargo run -p subfed-lint -- analyze`, or
+//! `cargo run -p subfed-lint -- analyze`,
+//! `cargo run -p subfed-lint -- certify`, or
 //! `cargo run -p subfed-lint -- conform trace.jsonl`.
 
 #![forbid(unsafe_code)]
@@ -60,6 +69,7 @@ pub mod scope;
 pub mod spec;
 pub mod summaries;
 pub mod taint;
+pub mod totality;
 pub mod walk;
 
 pub use analyze::{analyze_sources, analyze_workspace};
@@ -69,6 +79,10 @@ pub use locks::{lock_findings, LockGraph};
 pub use rules::{analyze_source, Finding, ALL_RULES};
 pub use spec::{replay_identity, ProtocolSpec, Violation};
 pub use summaries::Summaries;
+pub use totality::{
+    certify, certify_workspace, render_certificates_json, totality_findings, EntryCertificate,
+    TOTAL_ENTRIES,
+};
 pub use walk::{
     check_workspace, crate_sources, find_workspace_root, Report, ANALYZE_CRATES, TARGET_CRATES,
 };

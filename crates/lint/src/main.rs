@@ -3,6 +3,7 @@
 //! ```text
 //! subfed-lint check [--root DIR] [--format text|json]   # exit 1 on findings
 //! subfed-lint analyze [--root DIR] [--format text|json] # dataflow rules
+//! subfed-lint certify [--root DIR] [--json]             # panic-freedom certificate
 //! subfed-lint conform [FILE [FILE2]] [--format text|json] # verify JSONL trace(s)
 //! subfed-lint rules                                     # print the catalog
 //! ```
@@ -12,9 +13,18 @@
 //! write-before-read contract, per-batch pattern rebuilds), the
 //! interprocedural concurrency rules (raw lock unwraps, lock-order
 //! cycles, allocation under a held guard, guards held across
-//! spawn/join), and the determinism taint rules (unseeded or colliding
-//! RNG seeds, wall-clock reads, arrival-order float folds). Both exit 1
-//! on unsuppressed findings.
+//! spawn/join), the determinism taint rules (unseeded or colliding
+//! RNG seeds, wall-clock reads, arrival-order float folds), and the
+//! totality rules (panic sources, overflow-prone length math, and
+//! swallowed errors on the certified-total paths). Both exit 1 on
+//! unsuppressed findings.
+//!
+//! `certify` condenses the totality walk into the per-entry
+//! panic-freedom certificate: one line (or JSON object) per entry in
+//! `TOTAL_ENTRIES` plus every `// lint: total`-marked function, carrying
+//! the verdict, the unsuppressed witness count, and the counted-allow
+//! count. Exit 0 only when every entry is `panic-free`; CI regenerates
+//! the `--json` form and diffs it against the committed `CERTIFIED.json`.
 //!
 //! `conform` replays a `--trace` JSONL log (from FILE, or stdin when FILE
 //! is absent or `-`) against the executable round-protocol spec and exits
@@ -29,13 +39,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use subfed_lint::rules::rule_description;
 use subfed_lint::{
-    analyze_workspace, check_workspace, find_workspace_root, verify_reader, verify_replay_pair,
-    Report, ALL_RULES,
+    analyze_workspace, certify_workspace, check_workspace, find_workspace_root,
+    render_certificates_json, verify_reader, verify_replay_pair, Report, ALL_RULES,
 };
 
 fn usage() -> &'static str {
-    "usage: subfed-lint <check|analyze|conform|rules> [FILE [FILE2]] [--root DIR] \
-     [--format text|json]"
+    "usage: subfed-lint <check|analyze|certify|conform|rules> [FILE [FILE2]] [--root DIR] \
+     [--format text|json] [--json]"
 }
 
 fn main() -> ExitCode {
@@ -53,6 +63,7 @@ fn main() -> ExitCode {
         }
         "check" => run_scan(&args[1..], check_workspace),
         "analyze" => run_scan(&args[1..], analyze_workspace),
+        "certify" => run_certify(&args[1..]),
         "conform" => run_conform(&args[1..]),
         other => {
             eprintln!("unknown command `{other}`\n{}", usage());
@@ -116,6 +127,65 @@ fn run_conform(flags: &[String]) -> ExitCode {
         print!("{}", report.summary());
     }
     ExitCode::from(report.exit_code())
+}
+
+fn run_certify(flags: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--root needs a value\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.map_or_else(workspace_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (certs, files) = match certify_workspace(&root) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", render_certificates_json(&certs));
+    } else {
+        let width = certs.iter().map(|c| c.entry.len()).max().unwrap_or(0);
+        for c in &certs {
+            println!(
+                "{:<width$}  {:<16}  witnesses={}  allows={}",
+                c.entry, c.verdict, c.witnesses, c.allows
+            );
+        }
+        let free = certs.iter().filter(|c| c.verdict == "panic-free").count();
+        println!("{free}/{} entry points panic-free across {files} files", certs.len());
+    }
+    if certs.iter().all(|c| c.verdict == "panic-free") {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn workspace_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read current dir: {e}"))?;
+    find_workspace_root(&cwd)
 }
 
 fn run_scan(flags: &[String], scan: fn(&std::path::Path) -> Result<Report, String>) -> ExitCode {

@@ -27,8 +27,9 @@ pub const STALE_ALLOW: &str = "stale-allow";
 /// Every rule id, in reporting order (the two scope-aware rules live in
 /// [`crate::scope`], the three hot-path dataflow rules in
 /// [`crate::dataflow`], the four concurrency rules in [`crate::locks`],
-/// the four determinism rules in [`crate::taint`]).
-pub const ALL_RULES: [&str; 18] = [
+/// the four determinism rules in [`crate::taint`], the three totality
+/// rules in [`crate::totality`]).
+pub const ALL_RULES: [&str; 21] = [
     NO_UNWRAP,
     FLOAT_EQ,
     UNCHECKED_INDEX,
@@ -46,6 +47,9 @@ pub const ALL_RULES: [&str; 18] = [
     crate::taint::SEED_COLLISION,
     crate::taint::WALLCLOCK_TAINT,
     crate::taint::ORDER_SENSITIVE_FOLD,
+    crate::totality::PANIC_REACHABLE,
+    crate::totality::ARITH_OVERFLOW,
+    crate::totality::ERROR_SWALLOW,
     STALE_ALLOW,
 ];
 
@@ -116,6 +120,18 @@ pub fn rule_description(rule: &str) -> &'static str {
         rule if rule == crate::taint::ORDER_SENSITIVE_FOLD => {
             "a lock-taking, spawn-reachable function accumulates floats; \
              arrival order decides the sum — fold in slot order instead"
+        }
+        rule if rule == crate::totality::PANIC_REACHABLE => {
+            "a panic source (panicking macro, unwrap/expect, bare indexing, \
+             non-literal division) is reachable from a total entry point"
+        }
+        rule if rule == crate::totality::ARITH_OVERFLOW => {
+            "unchecked +/*/<< on byte-length or index math reachable from a \
+             total entry point; use checked_*/saturating_* arithmetic"
+        }
+        rule if rule == crate::totality::ERROR_SWALLOW => {
+            "a *Error-carrying Result discarded via `let _ =` or `.ok()` \
+             outside tests; handle or propagate the error"
         }
         STALE_ALLOW => {
             "a `// lint: allow(…)` comment that suppresses no finding; \

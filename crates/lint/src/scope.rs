@@ -127,16 +127,21 @@ pub fn function_items(toks: &[Token]) -> Vec<FnItem> {
         let close_paren = matching_paren(toks, j);
         let (has_self, params) = parse_params(&toks[j + 1..close_paren]);
         // Find the body `{` (or `;` for a bodiless declaration). The
-        // return type may contain `<…>` but never a brace.
+        // return type may contain `<…>` but never a brace; an array type
+        // like `-> [u8; 2]` carries a `;` that must not read as bodiless,
+        // so `;` only terminates at bracket depth 0.
         let mut k = close_paren + 1;
         let mut body = None;
+        let mut bracket = 0i32;
         while k < toks.len() {
             match punct(&toks[k]) {
+                Some('[') => bracket += 1,
+                Some(']') => bracket -= 1,
                 Some('{') => {
                     body = Some((k, matching_brace(toks, k)));
                     break;
                 }
-                Some(';') => break,
+                Some(';') if bracket == 0 => break,
                 _ => {}
             }
             k += 1;

@@ -83,6 +83,9 @@ fn corpus_rules_match_the_analyze_catalog() {
         ("seed_collision.rs", include_str!("fixtures/seed_collision.rs")),
         ("wallclock_taint.rs", include_str!("fixtures/wallclock_taint.rs")),
         ("order_sensitive_fold.rs", include_str!("fixtures/order_sensitive_fold.rs")),
+        ("panic_reachable.rs", include_str!("fixtures/panic_reachable.rs")),
+        ("arith_overflow.rs", include_str!("fixtures/arith_overflow.rs")),
+        ("error_swallow.rs", include_str!("fixtures/error_swallow.rs")),
     ];
     for rule in ANALYZE_RULES {
         assert!(

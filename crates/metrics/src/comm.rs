@@ -49,9 +49,21 @@ pub fn pack_mask(mask: &[f32]) -> Vec<u8> {
     buf.to_vec()
 }
 
-/// Unpacks a bit-packed mask back into 0/1 floats.
+/// Unpacks a bit-packed mask back into 0/1 floats. Positions beyond the
+/// packed bytes read as pruned (0.0), so a short buffer cannot panic the
+/// decode path — the caller's length checks decide whether that is an
+/// error.
 pub fn unpack_mask(bytes: &[u8], len: usize) -> Vec<f32> {
-    (0..len).map(|i| if bytes[i / 8] & (1 << (i % 8)) != 0 { 1.0 } else { 0.0 }).collect()
+    (0..len)
+        .map(|i| {
+            let byte = bytes.get(i / 8).copied().unwrap_or(0);
+            if byte & (1 << (i % 8)) != 0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
 }
 
 /// Total cost of a dense-FedAvg-style run: `R` rounds, `clients_per_round`

@@ -47,13 +47,13 @@ impl SeededRng {
         self.inner.gen_range(lo..hi)
     }
 
-    /// Draws a uniform integer in `[0, n)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0`.
+    /// Draws a uniform integer in `[0, n)`. The degenerate `n == 0` draw
+    /// is pinned to 0 rather than panicking, so the cohort-sampling path
+    /// stays total under adversarial registry states.
     pub fn below(&mut self, n: usize) -> usize {
-        assert!(n > 0, "below(0) is undefined");
+        if n == 0 {
+            return 0;
+        }
         self.inner.gen_range(0..n)
     }
 
@@ -73,13 +73,10 @@ impl SeededRng {
         }
     }
 
-    /// Samples `k` distinct indices from `0..n` (k ≤ n), in random order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k > n`.
+    /// Samples `min(k, n)` distinct indices from `0..n`, in random order.
+    /// Oversampling clamps to the whole population instead of panicking —
+    /// the stream consumed is identical either way, so determinism holds.
     pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
-        assert!(k <= n, "cannot sample {k} from {n}");
         let mut idx: Vec<usize> = (0..n).collect();
         self.shuffle(&mut idx);
         idx.truncate(k);
@@ -215,9 +212,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot sample")]
-    fn sample_more_than_population_panics() {
+    fn sample_more_than_population_clamps_to_all() {
         let mut rng = SeededRng::new(8);
-        let _ = rng.sample_indices(3, 4);
+        let mut got = rng.sample_indices(3, 4);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn below_zero_population_is_pinned() {
+        let mut rng = SeededRng::new(8);
+        assert_eq!(rng.below(0), 0);
     }
 }
